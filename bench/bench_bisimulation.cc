@@ -1,0 +1,108 @@
+// Experiment E12 (§7): partition-refinement bisimulation over term graphs
+// -- the engine behind psi's duplicate elimination (Prop 7.1.4) and pure-
+// value equality. Sweeps graph size for (a) a uniform ring that collapses
+// to one block and (b) a labeled ring that stays fully distinguished.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "vmodel/bisim.h"
+#include "vmodel/encode.h"
+
+namespace iqlkit::bench {
+namespace {
+
+TermGraph BuildRing(SymbolTable* syms, int n, bool labeled) {
+  TermGraph g(syms);
+  Symbol name = syms->Intern("name");
+  Symbol succ = syms->Intern("succ");
+  std::vector<RNodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(g.AddPlaceholder());
+  for (int i = 0; i < n; ++i) {
+    RNodeId label =
+        labeled ? g.AddConst(std::to_string(i)) : g.AddConst("n");
+    IQL_CHECK(g.FillTuple(nodes[i], {{name, label},
+                                     {succ, nodes[(i + 1) % n]}})
+                  .ok());
+  }
+  return g;
+}
+
+void BM_Bisimulation(benchmark::State& state, bool labeled) {
+  int n = static_cast<int>(state.range(0));
+  SymbolTable syms;
+  TermGraph g = BuildRing(&syms, n, labeled);
+  size_t blocks = 0;
+  for (auto _ : state) {
+    std::vector<uint32_t> b = BisimulationBlocks(g);
+    blocks = std::set<uint32_t>(b.begin(), b.end()).size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.SetComplexityN(n);
+}
+
+void BM_Bisimulation_UniformRing(benchmark::State& state) {
+  BM_Bisimulation(state, /*labeled=*/false);
+}
+BENCHMARK(BM_Bisimulation_UniformRing)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_Bisimulation_LabeledRing(benchmark::State& state) {
+  BM_Bisimulation(state, /*labeled=*/true);
+}
+BENCHMARK(BM_Bisimulation_LabeledRing)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+// End-to-end psi: objects -> canonical pure values.
+void BM_PsiCanonicalization(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Universe u;
+  auto schema = std::make_shared<Schema>(&u);
+  TypePool& t = u.types();
+  IQL_CHECK(schema
+                ->DeclareClass("Node",
+                               t.Tuple({{u.Intern("name"), t.Base()},
+                                        {u.Intern("succ"),
+                                         t.Set(t.ClassNamed("Node"))}}))
+                .ok());
+  Instance inst(schema.get(), &u);
+  ValueStore& v = u.values();
+  std::vector<Oid> oids;
+  for (int i = 0; i < n; ++i) {
+    auto o = inst.CreateOid("Node");
+    IQL_CHECK(o.ok());
+    oids.push_back(*o);
+  }
+  for (int i = 0; i < n; ++i) {
+    IQL_CHECK(inst.SetOidValue(
+                      oids[i],
+                      v.Tuple({{u.Intern("name"), v.Const("n")},
+                               {u.Intern("succ"),
+                                v.Set({v.OfOid(oids[(i + 1) % n])})}}))
+                  .ok());
+  }
+  size_t canonical = 0;
+  for (auto _ : state) {
+    auto vi = Psi(inst);
+    IQL_CHECK(vi.ok()) << vi.status();
+    canonical = vi->classes.at(u.Intern("Node")).size();
+    benchmark::DoNotOptimize(vi);
+  }
+  state.counters["canonical_values"] = static_cast<double>(canonical);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PsiCanonicalization)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+}  // namespace iqlkit::bench

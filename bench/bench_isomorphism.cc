@@ -1,0 +1,102 @@
+// Experiment E6 (Theorem 4.1.3): the cost of *verifying* determinacy --
+// O-isomorphism checking between instances. Color refinement makes
+// labeled/asymmetric instances near-linear; highly symmetric inputs
+// (uniform rings) stress the backtracking search.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit::bench {
+namespace {
+
+struct RingFixture {
+  explicit RingFixture(Universe* u) : universe(u), schema(u) {
+    TypePool& t = u->types();
+    IQL_CHECK(schema
+                  .DeclareClass("Node",
+                                t.Tuple({{u->Intern("name"), t.Base()},
+                                         {u->Intern("succ"),
+                                          t.Set(t.ClassNamed("Node"))}}))
+                  .ok());
+  }
+
+  // labeled: distinct names break symmetry; unlabeled: uniform names.
+  Instance Ring(int n, bool labeled) {
+    Instance inst(&schema, universe);
+    ValueStore& v = universe->values();
+    std::vector<Oid> oids;
+    for (int i = 0; i < n; ++i) {
+      auto o = inst.CreateOid("Node");
+      IQL_CHECK(o.ok());
+      oids.push_back(*o);
+    }
+    for (int i = 0; i < n; ++i) {
+      ValueId name = labeled ? v.ConstInt(i) : v.Const("n");
+      IQL_CHECK(inst.SetOidValue(
+                        oids[i],
+                        v.Tuple({{universe->Intern("name"), name},
+                                 {universe->Intern("succ"),
+                                  v.Set({v.OfOid(oids[(i + 1) % n])})}}))
+                    .ok());
+    }
+    return inst;
+  }
+
+  Universe* universe;
+  Schema schema;
+};
+
+void BM_Isomorphism(benchmark::State& state, bool labeled) {
+  int n = static_cast<int>(state.range(0));
+  Universe u;
+  RingFixture fixture(&u);
+  Instance a = fixture.Ring(n, labeled);
+  Instance b = fixture.Ring(n, labeled);
+  for (auto _ : state) {
+    bool iso = OIsomorphic(a, b);
+    IQL_CHECK(iso);
+    benchmark::DoNotOptimize(iso);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_Isomorphism_Labeled(benchmark::State& state) {
+  BM_Isomorphism(state, /*labeled=*/true);
+}
+BENCHMARK(BM_Isomorphism_Labeled)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_Isomorphism_SymmetricRing(benchmark::State& state) {
+  BM_Isomorphism(state, /*labeled=*/false);
+}
+BENCHMARK(BM_Isomorphism_SymmetricRing)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_Isomorphism_NegativeCase(benchmark::State& state) {
+  // A ring vs a path: refinement distinguishes quickly.
+  int n = static_cast<int>(state.range(0));
+  Universe u;
+  RingFixture fixture(&u);
+  Instance a = fixture.Ring(n, true);
+  Instance b = fixture.Ring(n + 1, true);
+  for (auto _ : state) {
+    bool iso = OIsomorphic(a, b);
+    IQL_CHECK(!iso);
+    benchmark::DoNotOptimize(iso);
+  }
+}
+BENCHMARK(BM_Isomorphism_NegativeCase)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iqlkit::bench

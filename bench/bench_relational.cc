@@ -1,0 +1,93 @@
+// The Prop 4.2.2 relational flattening as a serialization path:
+// encode/decode throughput vs instance size. Hash-consing makes the
+// encoding linear in the value DAG, not the unfolded trees.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "transform/isomorphism.h"
+#include "transform/relational.h"
+
+namespace iqlkit::bench {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Universe* u) : universe(u) {
+    TypePool& t = u->types();
+    schema = std::make_shared<Schema>(u);
+    IQL_CHECK(schema
+                  ->DeclareClass("Node",
+                                 t.Tuple({{u->Intern("name"), t.Base()},
+                                          {u->Intern("succ"),
+                                           t.Set(t.ClassNamed("Node"))}}))
+                  .ok());
+    auto v = RelationalVocabulary(u);
+    IQL_CHECK(v.ok());
+    vocab = std::make_shared<const Schema>(std::move(*v));
+  }
+
+  Instance Ring(int n) {
+    Instance inst(schema.get(), universe);
+    ValueStore& v = universe->values();
+    std::vector<Oid> oids;
+    for (int i = 0; i < n; ++i) {
+      auto o = inst.CreateOid("Node");
+      IQL_CHECK(o.ok());
+      oids.push_back(*o);
+    }
+    for (int i = 0; i < n; ++i) {
+      IQL_CHECK(inst.SetOidValue(
+                        oids[i],
+                        v.Tuple({{universe->Intern("name"), v.ConstInt(i)},
+                                 {universe->Intern("succ"),
+                                  v.Set({v.OfOid(oids[(i + 1) % n])})}}))
+                    .ok());
+    }
+    return inst;
+  }
+
+  Universe* universe;
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<const Schema> vocab;
+};
+
+void BM_RelationalEncode(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Universe u;
+  Fixture f(&u);
+  Instance inst = f.Ring(n);
+  for (auto _ : state) {
+    auto flat = EncodeRelational(inst, f.vocab);
+    IQL_CHECK(flat.ok());
+    benchmark::DoNotOptimize(flat);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RelationalEncode)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_RelationalRoundTrip(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Universe u;
+  Fixture f(&u);
+  Instance inst = f.Ring(n);
+  for (auto _ : state) {
+    auto flat = EncodeRelational(inst, f.vocab);
+    IQL_CHECK(flat.ok());
+    auto back = DecodeRelational(*flat, f.schema);
+    IQL_CHECK(back.ok());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RelationalRoundTrip)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+}  // namespace iqlkit::bench

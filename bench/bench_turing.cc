@@ -1,0 +1,52 @@
+// E16: cost of the completeness construction -- the TM-in-IQL simulator.
+// Each machine step re-derives a full tape copy under the naive operator,
+// so runtime grows ~ steps^2 x tape (time points accumulate and the
+// val-dom rescans them); the point is feasibility and shape, not speed.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "transform/turing.h"
+
+namespace iqlkit::bench {
+namespace {
+
+TuringMachine IncrementMachine() {
+  TuringMachine tm;
+  tm.start_state = "scan";
+  tm.accepting_states = {"done"};
+  tm.transitions = {
+      {"scan", "0", "scan", "0", 'R'}, {"scan", "1", "scan", "1", 'R'},
+      {"scan", "B", "inc", "B", 'L'},  {"inc", "1", "inc", "0", 'L'},
+      {"inc", "0", "done", "1", 'L'},  {"inc", "B", "done", "1", 'L'},
+  };
+  return tm;
+}
+
+void BM_TuringIncrement(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // All-ones input: maximal carry chain, 2n+2 machine steps, left growth.
+  std::vector<std::string> word(n, "1");
+  size_t steps = 0;
+  for (auto _ : state) {
+    Universe u;
+    auto start = std::chrono::steady_clock::now();
+    auto r = RunTuringMachine(&u, IncrementMachine(), word);
+    auto end = std::chrono::steady_clock::now();
+    IQL_CHECK(r.ok()) << r.status();
+    IQL_CHECK(r->final_tape.size() == word.size() + 1);  // 1...1 -> 10...0
+    steps = r->steps;
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+  }
+  state.counters["machine_steps"] = static_cast<double>(steps);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TuringIncrement)
+    ->DenseRange(2, 10, 2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+}  // namespace iqlkit::bench

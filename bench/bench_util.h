@@ -1,0 +1,67 @@
+#ifndef IQLKIT_BENCH_BENCH_UTIL_H_
+#define IQLKIT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <random>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/instance.h"
+#include "model/universe.h"
+
+namespace iqlkit::bench {
+
+// Deterministic random digraph: `n` nodes, `m` edges (duplicates collapse).
+inline std::vector<std::pair<int, int>> RandomGraph(int n, int m,
+                                                    uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(m);
+  for (int i = 0; i < m; ++i) edges.emplace_back(node(rng), node(rng));
+  return edges;
+}
+
+// Parses a unit and loads edge facts into its input projection of a binary
+// relation named `rel`.
+struct PreparedRun {
+  explicit PreparedRun(std::string_view source) {
+    auto parsed = ParseUnit(&universe, source);
+    IQL_CHECK(parsed.ok()) << parsed.status();
+    unit = std::make_unique<ParsedUnit>(std::move(*parsed));
+    auto in = unit->schema.Project(unit->input_names);
+    IQL_CHECK(in.ok()) << in.status();
+    input_schema = std::make_shared<const Schema>(std::move(*in));
+    input = std::make_unique<Instance>(input_schema, &universe);
+  }
+
+  void AddEdge(std::string_view rel, int a, int b) {
+    ValueStore& v = universe.values();
+    ValueId t = v.Tuple({{PositionalAttr(&universe, 1), v.ConstInt(a)},
+                         {PositionalAttr(&universe, 2), v.ConstInt(b)}});
+    IQL_CHECK(input->AddToRelation(rel, t).ok());
+  }
+
+  void AddUnary(std::string_view rel, int a) {
+    IQL_CHECK(
+        input->AddToRelation(rel, universe.values().ConstInt(a)).ok());
+  }
+
+  Result<Instance> Run(const EvalOptions& options = {},
+                       EvalStats* stats = nullptr) {
+    return RunUnit(&universe, unit.get(), *input, options, stats);
+  }
+
+  Universe universe;
+  std::unique_ptr<ParsedUnit> unit;
+  std::shared_ptr<const Schema> input_schema;
+  std::unique_ptr<Instance> input;
+};
+
+}  // namespace iqlkit::bench
+
+#endif  // IQLKIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Example 1.2: converting a flat binary edge relation into a cyclic,
+// object-based representation of the same graph -- the paper's flagship
+// IQL program, exercising oid invention, set accretion through temporary
+// oids, weak assignment, and sequential composition.
+//
+//   $ ./examples/graph_encoding
+
+#include <iostream>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+
+using namespace iqlkit;
+
+int main() {
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema {
+      relation R  : [D, D];        # input: edges over node names
+      relation R0 : D;             # stage 1: node names
+      relation R9 : [D, P, P'];    # stage 2: two invented oids per node
+      class P  : [D, {P}];         # output: node = [name, successors]
+      class P' : {P};              # temporaries for set construction
+    }
+    input R;
+    output P, P';
+    program {
+      # Stage 1 (Datalog): collect the node names.
+      R0(x) :- R(x, y).
+      R0(x) :- R(y, x).
+      # Stage 2 (invention): two fresh oids per node, detDL-style.
+      R9(x, p, p') :- R0(x).
+      # Stage 3 (grouping): collect successors into the P'-oids' sets.
+      p'^(q) :- R9(x, p, p'), R9(y, q, q'), R(x, y).
+      ;
+      # Stage 4 (weak assignment): runs only after the sets are complete.
+      p^ = [x, p'^] :- R9(x, p, p').
+    }
+  )");
+  IQL_CHECK(unit.ok()) << unit.status();
+
+  // A small cyclic graph: a -> b -> c -> a plus a -> c.
+  auto in_schema = unit->schema.Project({"R"});
+  IQL_CHECK(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), &u);
+  ValueStore& v = u.values();
+  auto edge = [&](std::string_view a, std::string_view b) {
+    IQL_CHECK(input
+                  .AddToRelation(
+                      "R", v.Tuple({{PositionalAttr(&u, 1), v.Const(a)},
+                                    {PositionalAttr(&u, 2), v.Const(b)}}))
+                  .ok());
+  };
+  edge("a", "b");
+  edge("b", "c");
+  edge("c", "a");
+  edge("a", "c");
+
+  std::cout << "=== Input (flat representation) ===\n"
+            << input.ToString() << "\n";
+
+  EvalStats stats;
+  auto out = RunUnit(&u, &*unit, input, {}, &stats);
+  IQL_CHECK(out.ok()) << out.status();
+
+  std::cout << "=== Output (object-based representation) ===\n"
+            << out->ToString() << "\n";
+  std::cout << "invented oids: " << stats.invented_oids
+            << ", fixpoint steps: " << stats.steps << "\n";
+  std::cout << "\nEach node is now an oid whose value is [name, {successor "
+               "oids}]; the cycle a->b->c->a lives in nu, while every "
+               "individual o-value stays a finite tree. Run it twice and "
+               "the concrete oids differ, but the results are O-isomorphic "
+               "(Theorem 4.1.3).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 1 / Theorems 4.3.1 and 4.4.1: the quadrangle query. Plain IQL can
+// only construct *both* symmetric candidate answers ("did the hen make the
+// egg, or the egg the hen?"); the IQL+ `choose` literal deterministically
+// selects one without breaking genericity, because the candidates are
+// isomorphic.
+//
+//   $ ./examples/quadrangle
+
+#include <iostream>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+
+using namespace iqlkit;
+
+namespace {
+
+constexpr std::string_view kSource = R"(
+  schema {
+    relation R    : D;              # input: exactly two constants
+    class M : D;                    # one marker per orientation (x, y)
+    class Q : D;                    # quadrangle vertices
+    relation M2    : [D, D, M];
+    relation Quad  : [M, Q, Q, Q, Q];
+    relation EdgeC : [M, Q, (D | Q)];
+    relation Pick  : M;
+    relation R'    : [Q, (D | Q)];  # output: Figure 1's answer
+  }
+  input R;
+  output R', Q;
+  program {
+    # One candidate copy per orientation of the two constants.
+    M2(x, y, m) :- R(x), R(y), x != y.
+    ;
+    Quad(m, o1, o2, o3, o4) :- M2(x, y, m).
+    ;
+    # Figure 1: o1, o3 attach to x; o2, o4 to y; cycle o1->o2->o3->o4->o1.
+    EdgeC(m, o1, x)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o3, x)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o2, y)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o4, y)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o1, o2) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o2, o3) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o3, o4) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    EdgeC(m, o4, o1) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+    ;
+    Pick(m) :- choose.              # IQL+: select one copy
+    ;
+    R'(u, v) :- Pick(m), EdgeC(m, u, v).
+  }
+)";
+
+Result<Instance> RunWithPolicy(Universe* u, EvalOptions::ChoosePolicy p) {
+  auto unit = ParseUnit(u, kSource);
+  if (!unit.ok()) return unit.status();
+  auto in_schema = unit->schema.Project({"R"});
+  if (!in_schema.ok()) return in_schema.status();
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), u);
+  IQL_RETURN_IF_ERROR(input.AddToRelation("R", u->values().Const("a")));
+  IQL_RETURN_IF_ERROR(input.AddToRelation("R", u->values().Const("b")));
+  EvalOptions options;
+  options.choose_policy = p;
+  return RunUnit(u, &*unit, input, options);
+}
+
+}  // namespace
+
+int main() {
+  Universe u;
+  auto out_min = RunWithPolicy(&u, EvalOptions::ChoosePolicy::kMinOid);
+  IQL_CHECK(out_min.ok()) << out_min.status();
+
+  std::cout << "=== The chosen quadrangle (input {a, b}) ===\n"
+            << out_min->ToString() << "\n";
+  std::cout << "8 edges: o1, o3 connect to one constant; o2, o4 to the "
+               "other; the four vertices form a directed 4-cycle.\n\n";
+
+  // Genericity check: a different deterministic choice policy picks the
+  // other candidate copy -- and gets an O-isomorphic answer.
+  auto out_max = RunWithPolicy(&u, EvalOptions::ChoosePolicy::kMaxOid);
+  IQL_CHECK(out_max.ok()) << out_max.status();
+  std::cout << "choosing the other copy gives an O-isomorphic answer: "
+            << (OIsomorphic(*out_min, *out_max) ? "true" : "false")
+            << "\n\n";
+  std::cout
+      << "Theorem 4.3.1: *without* choose, no IQL program computes this\n"
+         "query -- creating o1 before o4 (or vice versa) would break\n"
+         "genericity, so IQL can only produce all copies (Thm 4.2.4),\n"
+         "and IQL+ = IQL + choose is complete (Thm 4.4.1).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Computational completeness, on stage: a Turing machine compiled to IQL.
+// Time points and tape cells are invented oids; a binary-increment machine
+// runs, ripples a carry, and grows the tape leftward on overflow.
+//
+//   $ ./examples/turing 10111
+
+#include <iostream>
+
+#include "model/universe.h"
+#include "transform/turing.h"
+
+using namespace iqlkit;
+
+int main(int argc, char** argv) {
+  std::string bits = argc > 1 ? argv[1] : "111";
+  TuringMachine tm;
+  tm.start_state = "scan";
+  tm.accepting_states = {"done"};
+  tm.transitions = {
+      {"scan", "0", "scan", "0", 'R'},
+      {"scan", "1", "scan", "1", 'R'},
+      {"scan", "B", "inc", "B", 'L'},
+      {"inc", "1", "inc", "0", 'L'},
+      {"inc", "0", "done", "1", 'L'},
+      {"inc", "B", "done", "1", 'L'},
+  };
+  std::vector<std::string> word;
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      std::cerr << "usage: turing <binary word>\n";
+      return 2;
+    }
+    word.emplace_back(1, c);
+  }
+
+  std::cout << "=== The IQL program simulating any deterministic TM ===\n"
+            << TuringSimulatorSource() << "\n";
+
+  Universe u;
+  auto r = RunTuringMachine(&u, tm, word);
+  IQL_CHECK(r.ok()) << r.status();
+  std::cout << "input : " << bits << "\n";
+  std::cout << "output: ";
+  for (const std::string& s : r->final_tape) std::cout << s;
+  std::cout << "\nmachine steps (invented time points): " << r->steps
+            << ", accepted: " << (r->accepted ? "yes" : "no") << "\n";
+  std::cout << "\nEvery step invented one T-oid; tape overflow invented\n"
+               "fresh Cell-oids. This is the mechanism behind the paper's\n"
+               "completeness results (Prop 4.2.2, Thm 4.2.4): invention\n"
+               "manufactures unbounded structure, so IQL expresses every\n"
+               "computable database transformation.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef IQLKIT_BASE_HASH_H_
+#define IQLKIT_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iqlkit {
+
+// 64-bit mix in the style of MurmurHash3's finalizer; good avalanche for
+// hash-consing keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// Hashes a contiguous range of integral values.
+template <typename It>
+uint64_t HashRange(It begin, It end, uint64_t seed = 0) {
+  uint64_t h = seed;
+  for (It it = begin; it != end; ++it) {
+    h = HashCombine(h, static_cast<uint64_t>(*it));
+  }
+  return h;
+}
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_BASE_HASH_H_

@@ -1,0 +1,29 @@
+#include "base/interner.h"
+
+#include <memory>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+Symbol SymbolTable::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  IQL_CHECK(names_.size() < kInvalidSymbol) << "symbol table overflow";
+  names_.emplace_back(s);
+  Symbol sym = static_cast<Symbol>(names_.size() - 1);
+  index_.emplace(std::string_view(names_.back()), sym);
+  return sym;
+}
+
+Symbol SymbolTable::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+std::string_view SymbolTable::name(Symbol sym) const {
+  IQL_CHECK(sym < names_.size()) << "invalid symbol " << sym;
+  return names_[sym];
+}
+
+}  // namespace iqlkit

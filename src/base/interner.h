@@ -1,0 +1,48 @@
+#ifndef IQLKIT_BASE_INTERNER_H_
+#define IQLKIT_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace iqlkit {
+
+// Interned string handle. Two Symbols from the same SymbolTable compare
+// equal iff their strings are equal, so symbol comparison is O(1).
+using Symbol = uint32_t;
+
+inline constexpr Symbol kInvalidSymbol = 0xFFFFFFFFu;
+
+// Bidirectional string <-> Symbol map. Append-only; symbols are dense ids
+// starting at 0. Not thread-safe (the library is single-threaded by design;
+// evaluators own their universe).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the symbol for `s`, creating it on first use.
+  Symbol Intern(std::string_view s);
+
+  // Returns the symbol for `s` or kInvalidSymbol if never interned.
+  Symbol Find(std::string_view s) const;
+
+  // Returns the string for a valid symbol. Precondition: sym < size().
+  std::string_view name(Symbol sym) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // deque: element addresses are stable, so the string_view keys in index_
+  // (which point into these strings) never dangle. A vector would move
+  // small strings' SSO buffers on reallocation.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Symbol> index_;  // views into names_
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_BASE_INTERNER_H_

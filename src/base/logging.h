@@ -1,0 +1,51 @@
+#ifndef IQLKIT_BASE_LOGGING_H_
+#define IQLKIT_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace iqlkit::internal_logging {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only for internal invariant violations (library bugs), never for
+// data-dependent errors, which are reported via Status.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Converts a streamed CheckFailure chain to void with precedence lower
+// than operator<<, so `IQL_CHECK(x) << "why";` parses as intended.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace iqlkit::internal_logging
+
+// Aborts with a message if `condition` is false. Supports streaming extra
+// context: IQL_CHECK(n < size) << "n=" << n;
+#define IQL_CHECK(condition)                                       \
+  (condition) ? (void)0                                            \
+              : ::iqlkit::internal_logging::Voidify() &            \
+                    ::iqlkit::internal_logging::CheckFailure(      \
+                        __FILE__, __LINE__, #condition)
+
+#define IQL_DCHECK(condition) IQL_CHECK(condition)
+
+#endif  // IQLKIT_BASE_LOGGING_H_

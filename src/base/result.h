@@ -1,0 +1,71 @@
+#ifndef IQLKIT_BASE_RESULT_H_
+#define IQLKIT_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace iqlkit {
+
+// Either a value of type T or a non-ok Status explaining why the value could
+// not be produced. Mirrors absl::StatusOr<T>.
+//
+//   Result<TypeId> r = pool.Parse("...");
+//   if (!r.ok()) return r.status();
+//   TypeId t = *r;
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return SomeStatusError(...)` and
+  // `return value` both work inside functions returning Result<T>.
+  Result(Status status) : status_(std::move(status)) {
+    IQL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IQL_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IQL_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IQL_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace iqlkit
+
+// Evaluates a Result-returning expression; on error returns the Status, on
+// success binds the value to `lhs`.
+#define IQL_ASSIGN_OR_RETURN(lhs, expr)                     \
+  IQL_ASSIGN_OR_RETURN_IMPL_(                               \
+      IQL_RESULT_CONCAT_(_iql_result, __LINE__), lhs, expr)
+
+#define IQL_RESULT_CONCAT_INNER_(a, b) a##b
+#define IQL_RESULT_CONCAT_(a, b) IQL_RESULT_CONCAT_INNER_(a, b)
+
+#define IQL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // IQLKIT_BASE_RESULT_H_

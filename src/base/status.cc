@@ -1,0 +1,72 @@
+#include "base/status.h"
+
+namespace iqlkit {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kTypeError:
+      return "TYPE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+Status OutOfRangeError(std::string_view message) {
+  return Status(StatusCode::kOutOfRange, std::string(message));
+}
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, std::string(message));
+}
+Status UnimplementedError(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+Status ParseError(std::string_view message) {
+  return Status(StatusCode::kParseError, std::string(message));
+}
+Status TypeError(std::string_view message) {
+  return Status(StatusCode::kTypeError, std::string(message));
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,78 @@
+#ifndef IQLKIT_BASE_STATUS_H_
+#define IQLKIT_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace iqlkit {
+
+// Error category for a failed operation. The library does not use C++
+// exceptions; every fallible API returns a Status (or a Result<T>, see
+// base/result.h) that the caller must inspect.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    // malformed request or value
+  kNotFound = 2,           // named entity does not exist
+  kAlreadyExists = 3,      // named entity already declared
+  kFailedPrecondition = 4, // operation not valid in current state
+  kOutOfRange = 5,         // index or budget bound exceeded
+  kResourceExhausted = 6,  // evaluation budget (steps/facts/oids) exhausted
+  kUnimplemented = 7,
+  kInternal = 8,           // invariant violation; indicates a library bug
+  kParseError = 9,         // concrete-syntax error with position info
+  kTypeError = 10,         // IQL/schema type-checking failure
+};
+
+// Returns a stable human-readable name, e.g. "TYPE_ERROR".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type carrying either success (ok) or an error code plus message.
+// Cheap to copy in the ok case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TYPE_ERROR: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl::*Error.
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status ParseError(std::string_view message);
+Status TypeError(std::string_view message);
+
+}  // namespace iqlkit
+
+// Propagates a non-ok Status out of the enclosing function.
+#define IQL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::iqlkit::Status _iql_status = (expr);         \
+    if (!_iql_status.ok()) return _iql_status;     \
+  } while (false)
+
+#endif  // IQLKIT_BASE_STATUS_H_

@@ -1,0 +1,306 @@
+#include "datalog/datalog.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace iqlkit::datalog {
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  return static_cast<size_t>(HashRange(t.begin(), t.end(), t.size()));
+}
+
+Result<int> Database::AddRelation(std::string_view name, int arity) {
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      return AlreadyExistsError("relation already declared: " +
+                                std::string(name));
+    }
+  }
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  facts_.emplace_back();
+  index_.emplace_back();
+  return static_cast<int>(names_.size()) - 1;
+}
+
+Result<int> Database::FindRelation(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return NotFoundError("unknown relation: " + std::string(name));
+}
+
+Value Database::InternConstant(std::string_view c) {
+  auto it = constants_.find(std::string(c));
+  if (it != constants_.end()) return it->second;
+  Value v = static_cast<Value>(constants_.size());
+  constants_.emplace(std::string(c), v);
+  return v;
+}
+
+bool Database::AddFact(int rel, Tuple t) {
+  IQL_CHECK(rel >= 0 && rel < relation_count());
+  IQL_CHECK(static_cast<int>(t.size()) == arities_[rel])
+      << "arity mismatch for " << names_[rel];
+  auto [it, inserted] = index_[rel].insert(t);
+  if (inserted) facts_[rel].push_back(std::move(t));
+  return inserted;
+}
+
+bool Database::Contains(int rel, const Tuple& t) const {
+  return index_[rel].count(t) > 0;
+}
+
+size_t Database::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& f : facts_) n += f.size();
+  return n;
+}
+
+Result<std::vector<int>> Stratify(const Program& program,
+                                  int relation_count) {
+  // edges[r] = list of (source, negative?) with an arc source -> r.
+  // stratum[head] >= stratum[body]; strictly greater across negation.
+  std::vector<int> stratum(relation_count, 0);
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > relation_count + 2) {
+      return InvalidArgumentError(
+          "program is not stratifiable (recursion through negation)");
+    }
+    for (const Rule& rule : program.rules) {
+      int h = rule.head.relation;
+      for (const Atom& a : rule.body) {
+        if (stratum[h] < stratum[a.relation]) {
+          stratum[h] = stratum[a.relation];
+          changed = true;
+        }
+      }
+      for (const Atom& a : rule.negated) {
+        if (stratum[h] < stratum[a.relation] + 1) {
+          stratum[h] = stratum[a.relation] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+namespace {
+
+// Checks rule safety and computes the number of variables.
+Status CheckRule(const Rule& rule, const Database& db, int* var_count) {
+  std::unordered_set<int> positive_vars;
+  int max_var = -1;
+  auto scan = [&](const Atom& a, bool collect) -> Status {
+    if (a.relation < 0 || a.relation >= db.relation_count()) {
+      return InvalidArgumentError("atom references unknown relation");
+    }
+    if (static_cast<int>(a.terms.size()) != db.arity(a.relation)) {
+      return InvalidArgumentError("atom arity mismatch for relation " +
+                                  std::string(db.name(a.relation)));
+    }
+    for (const Term& t : a.terms) {
+      if (!t.is_var) continue;
+      max_var = std::max(max_var, static_cast<int>(t.value));
+      if (collect) positive_vars.insert(static_cast<int>(t.value));
+    }
+    return Status::Ok();
+  };
+  for (const Atom& a : rule.body) IQL_RETURN_IF_ERROR(scan(a, true));
+  for (const Atom& a : rule.negated) IQL_RETURN_IF_ERROR(scan(a, false));
+  IQL_RETURN_IF_ERROR(scan(rule.head, false));
+  // Safety: every head / negated variable occurs positively.
+  auto check_covered = [&](const Atom& a) -> Status {
+    for (const Term& t : a.terms) {
+      if (t.is_var && !positive_vars.count(static_cast<int>(t.value))) {
+        return InvalidArgumentError(
+            "unsafe rule: variable not bound by a positive body atom");
+      }
+    }
+    return Status::Ok();
+  };
+  IQL_RETURN_IF_ERROR(check_covered(rule.head));
+  for (const Atom& a : rule.negated) IQL_RETURN_IF_ERROR(check_covered(a));
+  *var_count = max_var + 1;
+  return Status::Ok();
+}
+
+constexpr Value kUnbound = 0xFFFFFFFFu;
+
+// Nested-loop join driver shared by naive and semi-naive evaluation. For
+// semi-naive, `delta_pos` forces one body atom to range over the delta
+// facts of the previous round.
+class Engine {
+ public:
+  Engine(const Program& program, Database* db, Stats* stats)
+      : program_(program), db_(db), stats_(stats) {}
+
+  Status Run(EvalMode mode) {
+    IQL_ASSIGN_OR_RETURN(std::vector<int> strata,
+                         Stratify(program_, db_->relation_count()));
+    var_counts_.resize(program_.rules.size());
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      IQL_RETURN_IF_ERROR(
+          CheckRule(program_.rules[i], *db_, &var_counts_[i]));
+    }
+    int max_stratum = 0;
+    for (const Rule& rule : program_.rules) {
+      max_stratum = std::max(max_stratum, strata[rule.head.relation]);
+    }
+    for (int s = 0; s <= max_stratum; ++s) {
+      std::vector<size_t> active;
+      for (size_t i = 0; i < program_.rules.size(); ++i) {
+        if (strata[program_.rules[i].head.relation] == s) active.push_back(i);
+      }
+      if (active.empty()) continue;
+      IQL_RETURN_IF_ERROR(mode == EvalMode::kNaive
+                              ? RunStratumNaive(active)
+                              : RunStratumSemiNaive(active));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status RunStratumNaive(const std::vector<size_t>& active) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats_->iterations;
+      std::vector<std::pair<int, Tuple>> pending;
+      for (size_t i : active) {
+        const Rule& rule = program_.rules[i];
+        std::vector<Value> env(var_counts_[i], kUnbound);
+        JoinBody(rule, env, 0, -1, 0, &pending);
+      }
+      for (auto& [rel, t] : pending) {
+        if (db_->AddFact(rel, std::move(t))) {
+          changed = true;
+          ++stats_->facts_added;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status RunStratumSemiNaive(const std::vector<size_t>& active) {
+    // delta[rel] = (begin, end) range of facts_ that are new this round.
+    std::vector<size_t> frontier(db_->relation_count(), 0);
+    bool first = true;
+    while (true) {
+      ++stats_->iterations;
+      std::vector<size_t> snapshot(db_->relation_count());
+      for (int r = 0; r < db_->relation_count(); ++r) {
+        snapshot[r] = db_->FactCount(r);
+      }
+      std::vector<std::pair<int, Tuple>> pending;
+      for (size_t i : active) {
+        const Rule& rule = program_.rules[i];
+        if (first) {
+          std::vector<Value> env(var_counts_[i], kUnbound);
+          JoinBody(rule, env, 0, -1, 0, &pending);
+        } else {
+          // One delta atom per evaluation; others range over all facts.
+          for (size_t d = 0; d < rule.body.size(); ++d) {
+            int rel = rule.body[d].relation;
+            if (frontier[rel] >= snapshot[rel]) continue;  // empty delta
+            std::vector<Value> env(var_counts_[i], kUnbound);
+            JoinBody(rule, env, 0, static_cast<int>(d), frontier[rel],
+                     &pending);
+          }
+        }
+      }
+      bool changed = false;
+      for (auto& [rel, t] : pending) {
+        if (db_->AddFact(rel, std::move(t))) {
+          changed = true;
+          ++stats_->facts_added;
+        }
+      }
+      // Next round's deltas are exactly the facts appended by this round:
+      // positions [snapshot[rel], FactCount(rel)).
+      frontier = std::move(snapshot);
+      first = false;
+      if (!changed) break;
+    }
+    return Status::Ok();
+  }
+
+  bool MatchAtom(const Atom& atom, const Tuple& fact,
+                 std::vector<Value>* env, std::vector<int>* trail) {
+    for (size_t k = 0; k < atom.terms.size(); ++k) {
+      const Term& t = atom.terms[k];
+      if (!t.is_var) {
+        if (t.value != fact[k]) return false;
+        continue;
+      }
+      Value& slot = (*env)[t.value];
+      if (slot == kUnbound) {
+        slot = fact[k];
+        trail->push_back(static_cast<int>(t.value));
+      } else if (slot != fact[k]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Recursively joins body atoms j..end; atom delta_atom (if >= 0) ranges
+  // only over facts at positions >= delta_begin.
+  void JoinBody(const Rule& rule, std::vector<Value>& env, size_t j,
+                int delta_atom, size_t delta_begin,
+                std::vector<std::pair<int, Tuple>>* pending) {
+    if (j == rule.body.size()) {
+      // Negated atoms, then emit.
+      for (const Atom& a : rule.negated) {
+        Tuple t(a.terms.size());
+        for (size_t k = 0; k < a.terms.size(); ++k) {
+          t[k] = a.terms[k].is_var ? env[a.terms[k].value]
+                                   : a.terms[k].value;
+        }
+        if (db_->Contains(a.relation, t)) return;
+      }
+      ++stats_->derivations;
+      Tuple t(rule.head.terms.size());
+      for (size_t k = 0; k < rule.head.terms.size(); ++k) {
+        const Term& term = rule.head.terms[k];
+        t[k] = term.is_var ? env[term.value] : term.value;
+      }
+      pending->emplace_back(rule.head.relation, std::move(t));
+      return;
+    }
+    const Atom& atom = rule.body[j];
+    const std::vector<Tuple>& facts = db_->Facts(atom.relation);
+    size_t begin =
+        static_cast<int>(j) == delta_atom ? delta_begin : 0;
+    for (size_t f = begin; f < facts.size(); ++f) {
+      std::vector<int> trail;
+      if (MatchAtom(atom, facts[f], &env, &trail)) {
+        JoinBody(rule, env, j + 1, delta_atom, delta_begin, pending);
+      }
+      for (int v : trail) env[v] = kUnbound;
+    }
+  }
+
+  const Program& program_;
+  Database* db_;
+  Stats* stats_;
+  std::vector<int> var_counts_;
+};
+
+}  // namespace
+
+Status Evaluate(const Program& program, Database* db, EvalMode mode,
+                Stats* stats) {
+  Stats local;
+  if (stats == nullptr) stats = &local;
+  Engine engine(program, db, stats);
+  return engine.Run(mode);
+}
+
+}  // namespace iqlkit::datalog

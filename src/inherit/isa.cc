@@ -1,0 +1,248 @@
+#include "inherit/isa.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+Status IsaHierarchy::Declare(Symbol sub, Symbol super) {
+  if (sub == super) return Status::Ok();  // reflexive, nothing to record
+  if (IsSubclass(super, sub)) {
+    return InvalidArgumentError("isa cycle: the superclass is already a "
+                                "subclass of the subclass");
+  }
+  direct_supers_[sub].insert(super);
+  return Status::Ok();
+}
+
+bool IsaHierarchy::IsSubclass(Symbol a, Symbol b) const {
+  if (a == b) return true;
+  auto it = direct_supers_.find(a);
+  if (it == direct_supers_.end()) return false;
+  for (Symbol super : it->second) {
+    if (IsSubclass(super, b)) return true;
+  }
+  return false;
+}
+
+std::vector<Symbol> IsaHierarchy::SubclassesOf(
+    Symbol cls, const std::vector<Symbol>& all) const {
+  std::vector<Symbol> out;
+  for (Symbol c : all) {
+    if (IsSubclass(c, cls)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Symbol> IsaHierarchy::SuperclassesOf(
+    Symbol cls, const std::vector<Symbol>& all) const {
+  std::vector<Symbol> out;
+  for (Symbol c : all) {
+    if (IsSubclass(cls, c)) out.push_back(c);
+  }
+  return out;
+}
+
+bool InheritedResolver::OidInClass(Oid o, Symbol cls) const {
+  auto creation = instance_->ClassOf(o);
+  return creation.has_value() && isa_->IsSubclass(*creation, cls);
+}
+
+TypeId StarMeet(TypePool* pool, TypeId a, TypeId b) {
+  if (a == b) return a;
+  const TypeNode& an = pool->node(a);
+  const TypeNode& bn = pool->node(b);
+  if (an.kind == TypeKind::kEmpty || bn.kind == TypeKind::kEmpty) {
+    return pool->Empty();
+  }
+  if (an.kind == TypeKind::kUnion) {
+    std::vector<TypeId> members;
+    members.reserve(an.children.size());
+    for (TypeId child : an.children) {
+      members.push_back(StarMeet(pool, child, b));
+    }
+    return pool->Union(std::move(members));
+  }
+  if (bn.kind == TypeKind::kUnion) return StarMeet(pool, b, a);
+  if (an.kind == TypeKind::kIntersect || bn.kind == TypeKind::kIntersect) {
+    // Residual class intersections only; combine member lists.
+    if ((an.kind == TypeKind::kClass || an.kind == TypeKind::kIntersect) &&
+        (bn.kind == TypeKind::kClass || bn.kind == TypeKind::kIntersect)) {
+      return pool->Intersect2(a, b);
+    }
+    return pool->Empty();
+  }
+  switch (an.kind) {
+    case TypeKind::kBase:
+      return bn.kind == TypeKind::kBase ? a : pool->Empty();
+    case TypeKind::kClass:
+      return bn.kind == TypeKind::kClass ? pool->Intersect2(a, b)
+                                         : pool->Empty();
+    case TypeKind::kSet:
+      if (bn.kind != TypeKind::kSet) return pool->Empty();
+      return pool->Set(StarMeet(pool, an.children[0], bn.children[0]));
+    case TypeKind::kTuple: {
+      if (bn.kind != TypeKind::kTuple) return pool->Empty();
+      // *-interpretation: "a record with at least A's fields" meets "at
+      // least B's fields" = "at least the union of the fields" (Prop 6.1).
+      std::vector<std::pair<Symbol, TypeId>> fields = an.fields;
+      for (const auto& [attr, bt] : bn.fields) {
+        auto it = std::find_if(
+            fields.begin(), fields.end(),
+            [&](const auto& f) { return f.first == attr; });
+        if (it == fields.end()) {
+          fields.emplace_back(attr, bt);
+        } else {
+          it->second = StarMeet(pool, it->second, bt);
+        }
+      }
+      return pool->Tuple(std::move(fields));
+    }
+    case TypeKind::kEmpty:
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect:
+      break;  // handled above
+  }
+  IQL_CHECK(false) << "unreachable StarMeet case";
+  return pool->Empty();
+}
+
+Result<TypeId> TauType(Universe* universe, const Schema& schema,
+                       const IsaHierarchy& isa, Symbol cls) {
+  TypePool& pool = universe->types();
+  std::vector<Symbol> supers = isa.SuperclassesOf(cls, schema.class_names());
+  if (supers.empty()) {
+    return NotFoundError("class not in schema: " +
+                         std::string(universe->Name(cls)));
+  }
+  TypeId tau = kInvalidType;
+  for (Symbol super : supers) {
+    TypeId t = schema.ClassType(super);
+    tau = tau == kInvalidType ? t : StarMeet(&pool, tau, t);
+  }
+  if (pool.node(tau).kind == TypeKind::kEmpty) {
+    return TypeError("class '" + std::string(universe->Name(cls)) +
+                     "' inherits structurally incompatible types");
+  }
+  return tau;
+}
+
+namespace {
+
+// Replaces every class reference Q by the union of Q's subclasses.
+TypeId SubstituteSubclassUnions(Universe* universe, const Schema& schema,
+                                const IsaHierarchy& isa, TypeId t) {
+  TypePool& pool = universe->types();
+  const TypeNode n = pool.node(t);  // copy: pool may grow below
+  switch (n.kind) {
+    case TypeKind::kEmpty:
+    case TypeKind::kBase:
+      return t;
+    case TypeKind::kClass: {
+      std::vector<TypeId> members;
+      for (Symbol sub : isa.SubclassesOf(n.class_name,
+                                         schema.class_names())) {
+        members.push_back(pool.Class(sub));
+      }
+      return pool.Union(std::move(members));
+    }
+    case TypeKind::kTuple: {
+      std::vector<std::pair<Symbol, TypeId>> fields = n.fields;
+      for (auto& [attr, child] : fields) {
+        child = SubstituteSubclassUnions(universe, schema, isa, child);
+      }
+      return pool.Tuple(std::move(fields));
+    }
+    case TypeKind::kSet:
+      return pool.Set(
+          SubstituteSubclassUnions(universe, schema, isa, n.children[0]));
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect: {
+      std::vector<TypeId> members = n.children;
+      for (TypeId& child : members) {
+        child = SubstituteSubclassUnions(universe, schema, isa, child);
+      }
+      return n.kind == TypeKind::kUnion ? pool.Union(std::move(members))
+                                        : pool.Intersect(std::move(members));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Status ValidateWithInheritance(const Instance& instance,
+                               const Schema& schema,
+                               const IsaHierarchy& isa) {
+  Universe* u = instance.universe();
+  InheritedResolver resolver(&instance, &isa);
+  TypeMembership membership(&u->types(), &u->values(), &resolver);
+  const ValueStore& values = u->values();
+  // (1) relations, under pi-bar.
+  for (Symbol r : schema.relation_names()) {
+    TypeId t = schema.RelationType(r);
+    for (ValueId v : instance.Relation(r)) {
+      if (!membership.Contains(t, v)) {
+        return TypeError("value " + values.ToString(v) + " in relation '" +
+                         std::string(u->Name(r)) +
+                         "' is not of type " + u->types().ToString(t) +
+                         " under the inherited assignment");
+      }
+    }
+  }
+  // (2) nu-values against tau_P; (3) totality on set-valued classes.
+  for (Symbol p : schema.class_names()) {
+    IQL_ASSIGN_OR_RETURN(TypeId tau, TauType(u, schema, isa, p));
+    tau = EliminateIntersection(&u->types(), tau);
+    bool set_valued = schema.IsSetValuedClass(p);
+    for (Oid o : instance.ClassExtent(p)) {
+      auto v = instance.ValueOf(o);
+      if (!v.has_value()) {
+        if (set_valued) {
+          return TypeError("nu undefined for set-valued oid " +
+                           instance.OidLabel(o));
+        }
+        continue;
+      }
+      if (!membership.Contains(tau, *v)) {
+        return TypeError("nu(" + instance.OidLabel(o) + ") = " +
+                         values.ToString(*v) + " is not of type tau_" +
+                         std::string(u->Name(p)) + " = " +
+                         u->types().ToString(tau));
+      }
+    }
+  }
+  // Oid closure.
+  for (Oid o : instance.Objects()) {
+    if (!instance.HasOid(o)) {
+      return TypeError("oid @" + std::to_string(o.raw) +
+                       " occurs but belongs to no class");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Schema> CompileInheritance(Universe* universe, const Schema& schema,
+                                  const IsaHierarchy& isa) {
+  TypePool& pool = universe->types();
+  Schema out(universe);
+  for (Symbol cls : schema.class_names()) {
+    IQL_ASSIGN_OR_RETURN(TypeId tau, TauType(universe, schema, isa, cls));
+    // Eliminate residual class-class intersections (disjoint creation
+    // classes), then realize inheritance through subclass unions.
+    tau = EliminateIntersection(&pool, tau);
+    TypeId compiled = SubstituteSubclassUnions(universe, schema, isa, tau);
+    IQL_RETURN_IF_ERROR(
+        out.DeclareClass(universe->Name(cls), compiled));
+  }
+  for (Symbol rel : schema.relation_names()) {
+    TypeId compiled = SubstituteSubclassUnions(universe, schema, isa,
+                                               schema.RelationType(rel));
+    IQL_RETURN_IF_ERROR(out.DeclareRelation(universe->Name(rel), compiled));
+  }
+  IQL_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace iqlkit

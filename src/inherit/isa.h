@@ -1,0 +1,89 @@
+#ifndef IQLKIT_INHERIT_ISA_H_
+#define IQLKIT_INHERIT_ISA_H_
+
+#include <map>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/type_algebra.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// The isa hierarchy of Definition 6.2: a partial order <= on class names.
+// "Every ta isa student" is Declare(ta, student).
+class IsaHierarchy {
+ public:
+  // Declares sub <= super. Rejects edges that would create a cycle.
+  Status Declare(Symbol sub, Symbol super);
+
+  // Reflexive-transitive: a <= b?
+  bool IsSubclass(Symbol a, Symbol b) const;
+
+  // All classes <= cls among `universe_of_classes`, including cls itself
+  // (the classes whose oids an inherited assignment pools into cls,
+  // Def 6.1.1).
+  std::vector<Symbol> SubclassesOf(Symbol cls,
+                                   const std::vector<Symbol>& all) const;
+  // All classes >= cls among `all`, including cls (whose types cls
+  // inherits, §6.2).
+  std::vector<Symbol> SuperclassesOf(Symbol cls,
+                                     const std::vector<Symbol>& all) const;
+
+ private:
+  std::map<Symbol, std::set<Symbol>> direct_supers_;
+};
+
+// The inherited oid assignment pi-bar of Definition 6.1.1 as a
+// ClassResolver: an oid created in class P belongs to every P' >= P.
+// Wraps a disjoint instance (which records each oid's creation class).
+class InheritedResolver : public ClassResolver {
+ public:
+  InheritedResolver(const Instance* instance, const IsaHierarchy* isa)
+      : instance_(instance), isa_(isa) {}
+
+  bool OidInClass(Oid o, Symbol cls) const override;
+
+ private:
+  const Instance* instance_;
+  const IsaHierarchy* isa_;
+};
+
+// The meet of two types under the *-interpretation (§6.2 / Prop 6.1):
+// tuple types intersect by *uniting* their attribute sets (width
+// subtyping), e.g. [A1:D,A2:D] & [A2:D,A3:D] == [A1:D,A2:D,A3:D].
+// Sound over every oid assignment under the *-interpretation.
+TypeId StarMeet(TypePool* pool, TypeId a, TypeId b);
+
+// tau_P (§6.2): the *-meet of T(P') over all P' >= P -- the exact value
+// type of objects created in class P under inheritance.
+Result<TypeId> TauType(Universe* universe, const Schema& schema,
+                       const IsaHierarchy& isa, Symbol cls);
+
+// Compiles a schema-with-isa into a plain schema on which stock IQL runs
+// unchanged (the §6.2 construction): each class type becomes tau_P, and
+// every class reference Q (in class and relation types) is replaced by the
+// union of Q's subclasses, realizing the inherited assignment through
+// union types.
+Result<Schema> CompileInheritance(Universe* universe, const Schema& schema,
+                                  const IsaHierarchy& isa);
+
+// Definition 6.2.2, applied directly (without compiling): checks that
+//   (1) rho(R) lies in ⟦T(R)⟧ under the *inherited* assignment pi-bar,
+//   (2) each nu(o) for o created in P lies in ⟦tau_P⟧ under pi-bar
+//       (unstarred, "to have the schema fully specify the structure"),
+//   (3) nu is total on set-valued classes,
+// plus the oid-closure condition. The instance's own (disjoint) class
+// assignment records each oid's creation class.
+Status ValidateWithInheritance(const Instance& instance,
+                               const Schema& schema,
+                               const IsaHierarchy& isa);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_INHERIT_ISA_H_

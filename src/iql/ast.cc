@@ -1,0 +1,190 @@
+#include "iql/ast.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+TermId Program::Var(Symbol name) {
+  Term t;
+  t.kind = Term::Kind::kVar;
+  t.name = name;
+  return AddTerm(std::move(t));
+}
+
+TermId Program::Const(Symbol atom) {
+  Term t;
+  t.kind = Term::Kind::kConst;
+  t.name = atom;
+  return AddTerm(std::move(t));
+}
+
+TermId Program::RelName(Symbol name) {
+  Term t;
+  t.kind = Term::Kind::kRelName;
+  t.name = name;
+  return AddTerm(std::move(t));
+}
+
+TermId Program::ClassName(Symbol name) {
+  Term t;
+  t.kind = Term::Kind::kClassName;
+  t.name = name;
+  return AddTerm(std::move(t));
+}
+
+TermId Program::Deref(Symbol var) {
+  Term t;
+  t.kind = Term::Kind::kDeref;
+  t.name = var;
+  return AddTerm(std::move(t));
+}
+
+TermId Program::TupleTerm(std::vector<std::pair<Symbol, TermId>> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    IQL_CHECK(fields[i - 1].first != fields[i].first)
+        << "duplicate attribute in tuple term";
+  }
+  Term t;
+  t.kind = Term::Kind::kTuple;
+  t.fields = std::move(fields);
+  return AddTerm(std::move(t));
+}
+
+TermId Program::SetTerm(std::vector<TermId> elems) {
+  Term t;
+  t.kind = Term::Kind::kSet;
+  t.elems = std::move(elems);
+  return AddTerm(std::move(t));
+}
+
+std::vector<const Rule*> Program::AllRules() const {
+  std::vector<const Rule*> out;
+  for (const auto& stage : stages) {
+    for (const Rule& r : stage) out.push_back(&r);
+  }
+  return out;
+}
+
+void Program::CollectVars(TermId id, std::set<Symbol>* out) const {
+  const Term& t = term(id);
+  switch (t.kind) {
+    case Term::Kind::kVar:
+    case Term::Kind::kDeref:
+      out->insert(t.name);
+      return;
+    case Term::Kind::kConst:
+    case Term::Kind::kRelName:
+    case Term::Kind::kClassName:
+      return;
+    case Term::Kind::kTuple:
+      for (const auto& [attr, child] : t.fields) CollectVars(child, out);
+      return;
+    case Term::Kind::kSet:
+      for (TermId child : t.elems) CollectVars(child, out);
+      return;
+  }
+}
+
+void Program::CollectVars(const Literal& lit, std::set<Symbol>* out) const {
+  if (lit.kind == Literal::Kind::kChoose) return;
+  CollectVars(lit.lhs, out);
+  CollectVars(lit.rhs, out);
+}
+
+std::string Program::TermToString(TermId id, const SymbolTable& syms) const {
+  const Term& t = term(id);
+  switch (t.kind) {
+    case Term::Kind::kVar:
+      return std::string(syms.name(t.name));
+    case Term::Kind::kConst:
+      return "\"" + std::string(syms.name(t.name)) + "\"";
+    case Term::Kind::kRelName:
+    case Term::Kind::kClassName:
+      return std::string(syms.name(t.name));
+    case Term::Kind::kDeref:
+      return std::string(syms.name(t.name)) + "^";
+    case Term::Kind::kTuple: {
+      bool positional = true;
+      for (size_t i = 0; i < t.fields.size(); ++i) {
+        if (syms.name(t.fields[i].first) != "#" + std::to_string(i + 1)) {
+          positional = false;
+          break;
+        }
+      }
+      std::string out = "[";
+      bool first = true;
+      for (const auto& [attr, child] : t.fields) {
+        if (!first) out += ", ";
+        first = false;
+        if (!positional) out += std::string(syms.name(attr)) + ": ";
+        out += TermToString(child, syms);
+      }
+      return out + "]";
+    }
+    case Term::Kind::kSet: {
+      std::string out = "{";
+      bool first = true;
+      for (TermId child : t.elems) {
+        if (!first) out += ", ";
+        first = false;
+        out += TermToString(child, syms);
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+std::string Program::LiteralToString(const Literal& lit,
+                                     const SymbolTable& syms) const {
+  switch (lit.kind) {
+    case Literal::Kind::kChoose:
+      return "choose";
+    case Literal::Kind::kMembership: {
+      std::string out = lit.positive ? "" : "!";
+      out += TermToString(lit.lhs, syms) + "(" +
+             TermToString(lit.rhs, syms) + ")";
+      return out;
+    }
+    case Literal::Kind::kEquality:
+      return TermToString(lit.lhs, syms) +
+             (lit.positive ? " = " : " != ") + TermToString(lit.rhs, syms);
+  }
+  return "?";
+}
+
+std::string Program::RuleToString(const Rule& rule,
+                                  const SymbolTable& syms) const {
+  std::string out = rule.head_negative ? "!" : "";
+  out += LiteralToString(rule.head, syms);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    bool first = true;
+    for (const Literal& lit : rule.body) {
+      if (!first) out += ", ";
+      first = false;
+      out += LiteralToString(lit, syms);
+    }
+  }
+  return out + ".";
+}
+
+std::string Program::ToString(const SymbolTable& syms) const {
+  std::string out;
+  bool first_stage = true;
+  for (const auto& stage : stages) {
+    if (!first_stage) out += ";\n";
+    first_stage = false;
+    for (const Rule& r : stage) {
+      out += RuleToString(r, syms);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,114 @@
+#ifndef IQLKIT_IQL_AST_H_
+#define IQLKIT_IQL_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "model/schema.h"
+#include "model/type.h"
+
+namespace iqlkit {
+
+// Handle to a term inside a Program's term arena.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = 0xFFFFFFFFu;
+
+// The IQL terms of §3.1:
+//   variables x; relation names R (of type {T(R)}); class names P (of type
+//   {P}); dereference x^ ("x-hat", the value of the oid bound to x);
+//   constants (an easy addition the paper mentions in Remark 3.1.1);
+//   set constructors {t1,...,tk}; tuple constructors [A1:t1,...,Ak:tk].
+struct Term {
+  enum class Kind : uint8_t {
+    kVar,       // name = variable symbol
+    kConst,     // name = constant atom
+    kRelName,   // name = relation symbol
+    kClassName, // name = class symbol
+    kDeref,     // name = variable symbol x; denotes x^
+    kTuple,     // fields
+    kSet,       // elems
+  };
+
+  Kind kind = Kind::kVar;
+  Symbol name = kInvalidSymbol;
+  std::vector<std::pair<Symbol, TermId>> fields;  // kTuple (sorted by attr)
+  std::vector<TermId> elems;                      // kSet
+};
+
+// A literal (§3.1): membership t1(t2), equality t1 = t2, their negations
+// !t1(t2) and t1 != t2, and the IQL+ `choose` marker (§4.4).
+struct Literal {
+  enum class Kind : uint8_t { kMembership, kEquality, kChoose };
+
+  Kind kind = Literal::Kind::kMembership;
+  bool positive = true;
+  TermId lhs = kInvalidTerm;  // membership: the set-typed side; equality: lhs
+  TermId rhs = kInvalidTerm;
+};
+
+// A rule L <- L1, ..., Lk. The head must be a *fact* (§3.1): R(t), P(t),
+// x^(t) for a set-typed x^, or x^ = t for a non-set x^. A negative head
+// (IQL*, §4.5) deletes instead of inserting.
+struct Rule {
+  Literal head;
+  bool head_negative = false;  // IQL* deletion rule
+  std::vector<Literal> body;
+
+  // Filled by the type checker:
+  std::map<Symbol, TypeId> var_types;   // every variable in the rule
+  std::vector<Symbol> invented_vars;    // head-only variables (class-typed)
+  bool has_choose = false;              // body contains `choose`
+
+  // Position (for diagnostics): stage index and rule index within stage.
+  int stage = 0;
+  int index = 0;
+};
+
+// An IQL program: stages separated by ';' (the composition shorthand the
+// paper defines via inflationary negation, §3.4 -- realized natively here),
+// each stage a set of rules evaluated in parallel to an inflationary
+// fixpoint. Terms live in a shared arena.
+struct Program {
+  std::vector<Term> terms;
+  std::vector<std::vector<Rule>> stages;
+  // Program-wide `var x: t` declarations; per-rule inference fills the rest.
+  std::map<Symbol, TypeId> declared_var_types;
+  // Set by TypeCheck once every rule's var_types/invented_vars are filled.
+  bool type_checked = false;
+
+  const Term& term(TermId id) const { return terms[id]; }
+
+  TermId AddTerm(Term t) {
+    terms.push_back(std::move(t));
+    return static_cast<TermId>(terms.size() - 1);
+  }
+  TermId Var(Symbol name);
+  TermId Const(Symbol atom);
+  TermId RelName(Symbol name);
+  TermId ClassName(Symbol name);
+  TermId Deref(Symbol var);
+  TermId TupleTerm(std::vector<std::pair<Symbol, TermId>> fields);
+  TermId SetTerm(std::vector<TermId> elems);
+
+  // All rules across stages, in order.
+  std::vector<const Rule*> AllRules() const;
+
+  // Collects variable symbols occurring in a term / literal.
+  void CollectVars(TermId t, std::set<Symbol>* out) const;
+  void CollectVars(const Literal& lit, std::set<Symbol>* out) const;
+
+  // Renders in the concrete syntax ("x^" for x-hat, ":-" for <-).
+  std::string TermToString(TermId t, const SymbolTable& syms) const;
+  std::string LiteralToString(const Literal& lit,
+                              const SymbolTable& syms) const;
+  std::string RuleToString(const Rule& rule, const SymbolTable& syms) const;
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_AST_H_

@@ -1,0 +1,1011 @@
+#include "iql/eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "iql/extent.h"
+#include "iql/parser.h"
+#include "iql/typecheck.h"
+
+namespace iqlkit {
+
+namespace {
+
+// A (partial) valuation theta of a rule's body variables (§3.2). Ordered
+// map so valuations compare deterministically (for dedup and reproducible
+// firing order).
+using Bindings = std::map<Symbol, ValueId>;
+
+// ---------------------------------------------------------------------------
+// Term evaluation and matching against the step-start instance.
+// ---------------------------------------------------------------------------
+
+// Evaluates a term to an o-value under `b`. Returns nullopt when the term
+// is not yet evaluable: an unbound variable, or a dereference x^ whose oid
+// has an undefined nu-value (a valuation must be *defined* on every term of
+// a literal for the literal to be satisfied, §3.2).
+std::optional<ValueId> EvalTerm(const Program& prog, TermId id,
+                                const Bindings& b, const Instance& inst) {
+  const Term& t = prog.term(id);
+  ValueStore& values = inst.universe()->values();
+  switch (t.kind) {
+    case Term::Kind::kVar: {
+      auto it = b.find(t.name);
+      if (it == b.end()) return std::nullopt;
+      return it->second;
+    }
+    case Term::Kind::kConst:
+      return values.ConstSymbol(t.name);
+    case Term::Kind::kRelName: {
+      const auto& tuples = inst.Relation(t.name);
+      return values.Set(std::vector<ValueId>(tuples.begin(), tuples.end()));
+    }
+    case Term::Kind::kClassName: {
+      std::vector<ValueId> oids;
+      for (Oid o : inst.ClassExtent(t.name)) oids.push_back(values.OfOid(o));
+      return values.Set(std::move(oids));
+    }
+    case Term::Kind::kDeref: {
+      auto it = b.find(t.name);
+      if (it == b.end()) return std::nullopt;
+      const ValueNode& n = values.node(it->second);
+      if (n.kind != ValueKind::kOid) return std::nullopt;
+      return inst.ValueOf(n.oid);  // nullopt when nu is undefined
+    }
+    case Term::Kind::kTuple: {
+      std::vector<std::pair<Symbol, ValueId>> fields;
+      fields.reserve(t.fields.size());
+      for (const auto& [attr, child] : t.fields) {
+        auto v = EvalTerm(prog, child, b, inst);
+        if (!v.has_value()) return std::nullopt;
+        fields.emplace_back(attr, *v);
+      }
+      return values.Tuple(std::move(fields));
+    }
+    case Term::Kind::kSet: {
+      std::vector<ValueId> elems;
+      elems.reserve(t.elems.size());
+      for (TermId child : t.elems) {
+        auto v = EvalTerm(prog, child, b, inst);
+        if (!v.has_value()) return std::nullopt;
+        elems.push_back(*v);
+      }
+      return values.Set(std::move(elems));
+    }
+  }
+  return std::nullopt;
+}
+
+// True when matching `id` can be *attempted* under `b`: every variable
+// under a dereference or inside a set constructor is already bound.
+// (Matching binds variables at kVar and inside tuple positions only;
+// derefs/sets must be evaluated, not decomposed.)
+bool TermReady(const Program& prog, TermId id, const Bindings& b) {
+  const Term& t = prog.term(id);
+  switch (t.kind) {
+    case Term::Kind::kVar:
+    case Term::Kind::kConst:
+    case Term::Kind::kRelName:
+    case Term::Kind::kClassName:
+      return true;
+    case Term::Kind::kDeref:
+      return b.count(t.name) > 0;
+    case Term::Kind::kTuple:
+      for (const auto& [attr, child] : t.fields) {
+        if (!TermReady(prog, child, b)) return false;
+      }
+      return true;
+    case Term::Kind::kSet: {
+      std::set<Symbol> vars;
+      prog.CollectVars(id, &vars);
+      for (Symbol v : vars) {
+        if (!b.count(v)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Matches pattern `id` against `value`, binding free variables (recorded in
+// `trail` for undo). A variable binds only to values inside its type's
+// interpretation (valuations are typed, §3.2) -- with union-typed data a
+// pattern position can hold values outside the variable's type, and those
+// must not match. Precondition: TermReady(id). Returns false on mismatch,
+// leaving any partial bindings for the caller to undo.
+bool MatchTerm(const Program& prog, const Rule& rule,
+               TypeMembership* membership, TermId id, ValueId value,
+               Bindings* b, std::vector<Symbol>* trail,
+               const Instance& inst) {
+  const Term& t = prog.term(id);
+  ValueStore& values = inst.universe()->values();
+  switch (t.kind) {
+    case Term::Kind::kVar: {
+      auto it = b->find(t.name);
+      if (it != b->end()) return it->second == value;
+      if (!membership->Contains(rule.var_types.at(t.name), value)) {
+        return false;
+      }
+      b->emplace(t.name, value);
+      trail->push_back(t.name);
+      return true;
+    }
+    case Term::Kind::kConst:
+    case Term::Kind::kRelName:
+    case Term::Kind::kClassName:
+    case Term::Kind::kDeref:
+    case Term::Kind::kSet: {
+      auto v = EvalTerm(prog, id, *b, inst);
+      return v.has_value() && *v == value;
+    }
+    case Term::Kind::kTuple: {
+      const ValueNode& n = values.node(value);
+      if (n.kind != ValueKind::kTuple ||
+          n.fields.size() != t.fields.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < t.fields.size(); ++i) {
+        if (n.fields[i].first != t.fields[i].first) return false;
+        if (!MatchTerm(prog, rule, membership, t.fields[i].second,
+                       n.fields[i].second, b, trail, inst)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void UndoTrail(Bindings* b, std::vector<Symbol>* trail, size_t mark) {
+  while (trail->size() > mark) {
+    b->erase(trail->back());
+    trail->pop_back();
+  }
+}
+
+// The elements of a membership literal's left-hand side, if evaluable:
+// rho(R) for a relation, pi(P) (as oid values) for a class, the elements
+// of a bound set-typed variable or a bound, defined, set-valued x^.
+std::optional<std::vector<ValueId>> ContainerElems(const Program& prog,
+                                                   TermId lhs,
+                                                   const Bindings& b,
+                                                   const Instance& inst) {
+  const Term& t = prog.term(lhs);
+  ValueStore& values = inst.universe()->values();
+  switch (t.kind) {
+    case Term::Kind::kRelName: {
+      const auto& tuples = inst.Relation(t.name);
+      return std::vector<ValueId>(tuples.begin(), tuples.end());
+    }
+    case Term::Kind::kClassName: {
+      std::vector<ValueId> out;
+      for (Oid o : inst.ClassExtent(t.name)) out.push_back(values.OfOid(o));
+      return out;
+    }
+    case Term::Kind::kVar:
+    case Term::Kind::kDeref: {
+      auto v = EvalTerm(prog, lhs, b, inst);
+      if (!v.has_value()) return std::nullopt;
+      const ValueNode& n = values.node(*v);
+      if (n.kind != ValueKind::kSet) return std::vector<ValueId>{};
+      return n.elems;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Valuation enumeration: a backtracking solver over the body literals.
+// ---------------------------------------------------------------------------
+
+class RuleSolver {
+ public:
+  // `delta_literal`/`delta_facts`: when set, body literal `delta_literal`
+  // (a positive membership over a relation) ranges over -- and membership-
+  // checks against -- the sorted `delta_facts` instead of the relation's
+  // full extent (semi-naive evaluation).
+  RuleSolver(const Program& prog, const Rule& rule, const Instance& inst,
+             ExtentEnumerator* extents,
+             size_t delta_literal = static_cast<size_t>(-1),
+             const std::vector<ValueId>* delta_facts = nullptr)
+      : prog_(prog),
+        rule_(rule),
+        inst_(inst),
+        extents_(extents),
+        delta_literal_(delta_literal),
+        delta_facts_(delta_facts),
+        membership_(&inst.universe()->types(), &inst.universe()->values(),
+                    &inst) {
+    done_.assign(rule.body.size(), false);
+    lhs_vars_.resize(rule.body.size());
+    rhs_vars_.resize(rule.body.size());
+    // Precompute each literal's variables once; the solver's inner loops
+    // test boundness constantly.
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.body[i].kind == Literal::Kind::kChoose) {
+        done_[i] = true;  // handled at application time
+        continue;
+      }
+      std::set<Symbol> lv, rv;
+      prog.CollectVars(rule.body[i].lhs, &lv);
+      prog.CollectVars(rule.body[i].rhs, &rv);
+      lhs_vars_[i].assign(lv.begin(), lv.end());
+      rhs_vars_[i].assign(rv.begin(), rv.end());
+    }
+  }
+
+  // Invokes `cb` once per valuation theta of the body variables with
+  // inst |= theta body (the satisfying valuations; the val-dom head filter
+  // is applied by the caller).
+  Status Solve(const std::function<Status(const Bindings&)>& cb) {
+    return Step(cb);
+  }
+
+ private:
+  bool VarsBound(const std::vector<Symbol>& vars) const {
+    for (Symbol v : vars) {
+      if (!bindings_.count(v)) return false;
+    }
+    return true;
+  }
+
+  // Fully checkable literal: both terms evaluable (all vars bound).
+  bool IsCheckable(size_t i) const {
+    return VarsBound(lhs_vars_[i]) && VarsBound(rhs_vars_[i]);
+  }
+
+  // Evaluates a fully-bound literal.
+  bool Check(size_t index, const Literal& lit) const {
+    auto rv = EvalTerm(prog_, lit.rhs, bindings_, inst_);
+    if (!rv.has_value()) return false;
+    if (index == delta_literal_) {
+      // Semi-naive: the delta literal checks against the delta facts.
+      return std::binary_search(delta_facts_->begin(), delta_facts_->end(),
+                                *rv);
+    }
+    auto lv = EvalTerm(prog_, lit.lhs, bindings_, inst_);
+    // A valuation must be defined on both terms (undefined x^ fails both
+    // polarities, §3.2).
+    if (!lv.has_value()) return false;
+    if (lit.kind == Literal::Kind::kEquality) {
+      return (*lv == *rv) == lit.positive;
+    }
+    const ValueNode& ln = inst_.universe()->values().node(*lv);
+    if (ln.kind != ValueKind::kSet) return false;
+    bool in = std::binary_search(ln.elems.begin(), ln.elems.end(), *rv);
+    return in == lit.positive;
+  }
+
+  Status Step(const std::function<Status(const Bindings&)>& cb) {
+    // 1. Process checkable literals first (pure filters, no branching).
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      if (done_[i]) continue;
+      const Literal& lit = rule_.body[i];
+      if (!IsCheckable(i)) continue;
+      if (!Check(i, lit)) return Status::Ok();  // this branch fails
+      done_[i] = true;
+      Status s = Step(cb);
+      done_[i] = false;
+      return s;
+    }
+    // 2. Use a positive literal as a generator.
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      if (done_[i]) continue;
+      const Literal& lit = rule_.body[i];
+      if (!lit.positive) continue;
+      if (lit.kind == Literal::Kind::kMembership) {
+        if (!TermReady(prog_, lit.rhs, bindings_)) continue;
+        std::optional<std::vector<ValueId>> container;
+        if (i == delta_literal_) {
+          container = *delta_facts_;
+        } else {
+          container = ContainerElems(prog_, lit.lhs, bindings_, inst_);
+        }
+        if (!container.has_value()) continue;  // lhs not evaluable yet
+        done_[i] = true;
+        for (ValueId elem : *container) {
+          size_t mark = trail_.size();
+          if (MatchTerm(prog_, rule_, &membership_, lit.rhs, elem,
+                        &bindings_, &trail_, inst_)) {
+            Status s = Step(cb);
+            if (!s.ok()) {
+              done_[i] = false;
+              UndoTrail(&bindings_, &trail_, mark);
+              return s;
+            }
+          }
+          UndoTrail(&bindings_, &trail_, mark);
+        }
+        done_[i] = false;
+        return Status::Ok();
+      }
+      if (lit.kind == Literal::Kind::kEquality) {
+        // One side evaluable, the other a ready pattern: single branch.
+        for (bool flip : {false, true}) {
+          TermId src = flip ? lit.rhs : lit.lhs;
+          TermId dst = flip ? lit.lhs : lit.rhs;
+          const std::vector<Symbol>& src_vars =
+              flip ? rhs_vars_[i] : lhs_vars_[i];
+          if (!VarsBound(src_vars) || !TermReady(prog_, dst, bindings_)) {
+            continue;
+          }
+          auto v = EvalTerm(prog_, src, bindings_, inst_);
+          if (!v.has_value()) return Status::Ok();  // undefined: fail
+          done_[i] = true;
+          size_t mark = trail_.size();
+          Status s = Status::Ok();
+          if (MatchTerm(prog_, rule_, &membership_, dst, *v, &bindings_,
+                        &trail_, inst_)) {
+            s = Step(cb);
+          }
+          UndoTrail(&bindings_, &trail_, mark);
+          done_[i] = false;
+          return s;
+        }
+      }
+    }
+    // 3. No literal is processable: range an unbound variable over its
+    //    type extent (the paper's unrestricted-variable semantics).
+    std::optional<Symbol> unbound;
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      for (const std::vector<Symbol>* vars : {&lhs_vars_[i], &rhs_vars_[i]}) {
+        for (Symbol v : *vars) {
+          if (!bindings_.count(v) && (!unbound || v < *unbound)) unbound = v;
+        }
+      }
+    }
+    if (unbound.has_value()) {
+      TypeId t = rule_.var_types.at(*unbound);
+      IQL_ASSIGN_OR_RETURN(const std::vector<ValueId>* extent,
+                           extents_->Enumerate(t));
+      for (ValueId v : *extent) {
+        bindings_.emplace(*unbound, v);
+        Status s = Step(cb);
+        bindings_.erase(*unbound);
+        IQL_RETURN_IF_ERROR(s);
+      }
+      return Status::Ok();
+    }
+    // 4. Everything processed and bound: emit the valuation.
+    return cb(bindings_);
+  }
+
+  const Program& prog_;
+  const Rule& rule_;
+  const Instance& inst_;
+  ExtentEnumerator* extents_;
+  size_t delta_literal_;
+  const std::vector<ValueId>* delta_facts_;
+  TypeMembership membership_;
+  std::vector<bool> done_;
+  std::vector<std::vector<Symbol>> lhs_vars_;
+  std::vector<std::vector<Symbol>> rhs_vars_;
+  Bindings bindings_;
+  std::vector<Symbol> trail_;
+};
+
+// ---------------------------------------------------------------------------
+// Valuation-domain head filter: "no extension theta-bar of theta satisfies
+// head(r)" (§3.2). Head-only variables range over existing oids.
+// ---------------------------------------------------------------------------
+
+class HeadSatisfiability {
+ public:
+  HeadSatisfiability(const Program& prog, const Rule& rule,
+                     const Instance& inst, bool use_fast_path = true)
+      : prog_(prog),
+        rule_(rule),
+        inst_(inst),
+        use_fast_path_(use_fast_path),
+        membership_(&inst.universe()->types(), &inst.universe()->values(),
+                    &inst) {
+    std::set<Symbol> vars;
+    prog.CollectVars(rule.head.rhs, &vars);
+    rhs_vars_.assign(vars.begin(), vars.end());
+  }
+
+  bool RhsVarsBound(const Bindings& b) const {
+    for (Symbol v : rhs_vars_) {
+      if (!b.count(v)) return false;
+    }
+    return true;
+  }
+
+  // True if some extension of `theta` over the head-only variables (to
+  // *existing* oids of their classes) satisfies the head in `inst`.
+  bool Satisfiable(const Bindings& theta) {
+    Bindings b = theta;
+    std::vector<Symbol> trail;
+    const Literal& head = rule_.head;
+    ValueStore& values = inst_.universe()->values();
+    if (head.kind == Literal::Kind::kMembership) {
+      const Term& lhs = prog_.term(head.lhs);
+      if (lhs.kind == Term::Kind::kDeref && !b.count(lhs.name)) {
+        // x^(t) with x itself head-only: try every existing oid of x's
+        // class.
+        const TypeNode& xt =
+            inst_.universe()->types().node(rule_.var_types.at(lhs.name));
+        for (Oid o : inst_.ClassExtent(xt.class_name)) {
+          b[lhs.name] = values.OfOid(o);
+          if (MembershipSatisfiable(head, &b)) return true;
+          b.erase(lhs.name);
+        }
+        return false;
+      }
+      return MembershipSatisfiable(head, &b);
+    }
+    // Equality head x^ = t.
+    const Term& lhs = prog_.term(head.lhs);
+    IQL_CHECK(lhs.kind == Term::Kind::kDeref);
+    if (!b.count(lhs.name)) {
+      const TypeNode& xt =
+          inst_.universe()->types().node(rule_.var_types.at(lhs.name));
+      for (Oid o : inst_.ClassExtent(xt.class_name)) {
+        b[lhs.name] = values.OfOid(o);
+        if (EqualitySatisfiable(head, &b)) return true;
+        b.erase(lhs.name);
+      }
+      return false;
+    }
+    return EqualitySatisfiable(head, &b);
+  }
+
+ private:
+  bool MembershipSatisfiable(const Literal& head, Bindings* b) {
+    // Fast path: a fully-bound head needs a membership lookup, not a scan
+    // (the common case for rules without invention).
+    if (use_fast_path_ && RhsVarsBound(*b)) {
+      auto rv = EvalTerm(prog_, head.rhs, *b, inst_);
+      if (!rv.has_value()) return false;
+      const Term& lhs = prog_.term(head.lhs);
+      switch (lhs.kind) {
+        case Term::Kind::kRelName:
+          return inst_.RelationContains(lhs.name, *rv);
+        case Term::Kind::kClassName: {
+          const ValueNode& rn = inst_.universe()->values().node(*rv);
+          return rn.kind == ValueKind::kOid &&
+                 inst_.OidInClass(rn.oid, lhs.name);
+        }
+        case Term::Kind::kVar:
+        case Term::Kind::kDeref: {
+          auto lv = EvalTerm(prog_, head.lhs, *b, inst_);
+          if (!lv.has_value()) return false;
+          const ValueNode& ln = inst_.universe()->values().node(*lv);
+          if (ln.kind != ValueKind::kSet) return false;
+          return std::binary_search(ln.elems.begin(), ln.elems.end(), *rv);
+        }
+        default:
+          return false;
+      }
+    }
+    auto container = ContainerElems(prog_, head.lhs, *b, inst_);
+    if (!container.has_value()) return false;
+    std::vector<Symbol> trail;
+    for (ValueId elem : *container) {
+      size_t mark = trail.size();
+      // Head-only variables not under the matched positions (e.g. inside a
+      // deref) make MatchTerm evaluate to nullopt and fail, which is the
+      // conservative direction: the rule fires more often, and the
+      // application layer deduplicates.
+      if (MatchTerm(prog_, rule_, &membership_, head.rhs, elem, b, &trail,
+                    inst_)) {
+        UndoTrail(b, &trail, mark);
+        return true;
+      }
+      UndoTrail(b, &trail, mark);
+    }
+    return false;
+  }
+
+  bool EqualitySatisfiable(const Literal& head, Bindings* b) {
+    auto lv = EvalTerm(prog_, head.lhs, *b, inst_);
+    if (!lv.has_value()) return false;  // nu undefined: no extension
+    std::vector<Symbol> trail;
+    size_t mark = trail.size();
+    bool ok = TermReady(prog_, head.rhs, *b) &&
+              MatchTerm(prog_, rule_, &membership_, head.rhs, *lv, b,
+                        &trail, inst_);
+    UndoTrail(b, &trail, mark);
+    return ok;
+  }
+
+  const Program& prog_;
+  const Rule& rule_;
+  const Instance& inst_;
+  bool use_fast_path_;
+  TypeMembership membership_;
+  std::vector<Symbol> rhs_vars_;
+};
+
+// ---------------------------------------------------------------------------
+// One-step application.
+// ---------------------------------------------------------------------------
+
+struct Derivation {
+  const Rule* rule;
+  Bindings theta;
+};
+
+class StageRunner {
+ public:
+  StageRunner(Universe* universe, const Schema& schema, const Program& prog,
+              const std::vector<Rule>& rules, const EvalOptions& options,
+              EvalStats* stats)
+      : u_(universe),
+        schema_(schema),
+        prog_(prog),
+        rules_(rules),
+        options_(options),
+        stats_(stats),
+        choose_rng_(options.choose_seed) {
+    for (const Rule& rule : rules_) {
+      if (rule.head_negative) has_deletions_ = true;
+    }
+  }
+
+  Status Run(Instance* work) {
+    if (options_.enable_seminaive && EligibleForSemiNaive()) {
+      return RunSemiNaive(work);
+    }
+    for (uint64_t step = 0;; ++step) {
+      if (step >= options_.max_steps_per_stage) {
+        return ResourceExhaustedError(
+            "fixpoint not reached within " +
+            std::to_string(options_.max_steps_per_stage) +
+            " steps (IQL programs may legitimately diverge; see "
+            "Example 3.4.2)");
+      }
+      IQL_ASSIGN_OR_RETURN(std::vector<Derivation> derivations,
+                           ValuationDomain(*work));
+      if (derivations.empty()) return Status::Ok();
+      // Snapshot for net-change detection: with deletions in play, a step
+      // whose insertions and deletions cancel out (J = I) is a fixpoint
+      // even though individual operations fired.
+      std::optional<Instance> before;
+      if (has_deletions_) before = *work;
+      IQL_ASSIGN_OR_RETURN(bool changed, Apply(derivations, work));
+      ++stats_->steps;
+      if (options_.trace != nullptr) {
+        *options_.trace << "stage " << stage_index_ << " step " << step
+                        << ": val-dom " << derivations.size()
+                        << ", facts " << work->GroundFactCount()
+                        << ", invented " << stats_->invented_oids << "\n";
+      }
+      if (!changed) return Status::Ok();
+      if (before.has_value() && work->EqualGroundFacts(*before)) {
+        return Status::Ok();
+      }
+    }
+  }
+
+ private:
+  // Variables bound by pattern matching inside `id`: var and tuple-field
+  // positions. Derefs and set constructors are evaluated, not decomposed,
+  // so their variables are not binding occurrences.
+  void CollectBindableVars(TermId id, std::set<Symbol>* out) const {
+    const Term& t = prog_.term(id);
+    switch (t.kind) {
+      case Term::Kind::kVar:
+        out->insert(t.name);
+        return;
+      case Term::Kind::kTuple:
+        for (const auto& [attr, child] : t.fields) {
+          CollectBindableVars(child, out);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  // Semi-naive eligibility (see EvalOptions::enable_seminaive): relation
+  // heads only, no invention/choose/deletion, Datalog-safe bodies (every
+  // variable bound by a positive relation/class membership pattern, so the
+  // extent fallback never runs and new constants cannot enlarge ranges),
+  // and no negation over a relation derived in this stage.
+  bool EligibleForSemiNaive() const {
+    std::set<Symbol> derived;
+    for (const Rule& rule : rules_) {
+      if (rule.head_negative || rule.has_choose ||
+          !rule.invented_vars.empty()) {
+        return false;
+      }
+      if (rule.head.kind != Literal::Kind::kMembership) return false;
+      const Term& lhs = prog_.term(rule.head.lhs);
+      if (lhs.kind != Term::Kind::kRelName) return false;
+      derived.insert(lhs.name);
+    }
+    for (const Rule& rule : rules_) {
+      std::set<Symbol> bindable;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kMembership || !lit.positive) {
+          continue;
+        }
+        const Term& lhs = prog_.term(lit.lhs);
+        if (lhs.kind == Term::Kind::kRelName ||
+            lhs.kind == Term::Kind::kClassName) {
+          CollectBindableVars(lit.rhs, &bindable);
+        }
+      }
+      std::set<Symbol> body_vars;
+      for (const Literal& lit : rule.body) {
+        prog_.CollectVars(lit, &body_vars);
+        if (lit.kind == Literal::Kind::kMembership && !lit.positive) {
+          const Term& lhs = prog_.term(lit.lhs);
+          if (lhs.kind == Term::Kind::kRelName && derived.count(lhs.name)) {
+            return false;  // negation over an in-stage relation
+          }
+        }
+      }
+      for (Symbol v : body_vars) {
+        if (!bindable.count(v)) return false;
+      }
+    }
+    return true;
+  }
+
+  Status RunSemiNaive(Instance* work) {
+    using Pending = std::vector<std::pair<Symbol, ValueId>>;
+    auto solve_into = [&](const Rule& rule, ExtentEnumerator* extents,
+                          size_t delta_literal,
+                          const std::vector<ValueId>* delta_facts,
+                          Pending* pending) -> Status {
+      Symbol head_rel = prog_.term(rule.head.lhs).name;
+      RuleSolver solver(prog_, rule, *work, extents, delta_literal,
+                        delta_facts);
+      return solver.Solve([&](const Bindings& theta) -> Status {
+        if (++stats_->derivations > options_.max_derivations) {
+          return ResourceExhaustedError("derivation budget exhausted");
+        }
+        auto v = EvalTerm(prog_, rule.head.rhs, theta, *work);
+        if (v.has_value()) pending->emplace_back(head_rel, *v);
+        return Status::Ok();
+      });
+    };
+    auto apply = [&](Pending* pending,
+                     std::map<Symbol, std::vector<ValueId>>* delta)
+        -> Status {
+      for (const auto& [rel, v] : *pending) {
+        if (work->RelationContains(rel, v)) continue;
+        IQL_RETURN_IF_ERROR(work->AddToRelation(rel, v));
+        ++stats_->facts_added;
+        (*delta)[rel].push_back(v);
+      }
+      return Status::Ok();
+    };
+
+    std::map<Symbol, std::vector<ValueId>> delta;
+    {
+      // Round 0: full evaluation of every rule.
+      ExtentEnumerator extents(work, options_.extent_budget);
+      Pending pending;
+      for (const Rule& rule : rules_) {
+        IQL_RETURN_IF_ERROR(solve_into(rule, &extents,
+                                       static_cast<size_t>(-1), nullptr,
+                                       &pending));
+      }
+      IQL_RETURN_IF_ERROR(apply(&pending, &delta));
+      ++stats_->steps;
+    }
+    uint64_t rounds = 0;
+    while (!delta.empty()) {
+      if (++rounds > options_.max_steps_per_stage) {
+        return ResourceExhaustedError("semi-naive round budget exhausted");
+      }
+      for (auto& [rel, facts] : delta) std::sort(facts.begin(), facts.end());
+      ExtentEnumerator extents(work, options_.extent_budget);
+      Pending pending;
+      for (const Rule& rule : rules_) {
+        for (size_t d = 0; d < rule.body.size(); ++d) {
+          const Literal& lit = rule.body[d];
+          if (lit.kind != Literal::Kind::kMembership || !lit.positive) {
+            continue;
+          }
+          const Term& lhs = prog_.term(lit.lhs);
+          if (lhs.kind != Term::Kind::kRelName) continue;
+          auto it = delta.find(lhs.name);
+          if (it == delta.end() || it->second.empty()) continue;
+          IQL_RETURN_IF_ERROR(
+              solve_into(rule, &extents, d, &it->second, &pending));
+        }
+      }
+      std::map<Symbol, std::vector<ValueId>> next;
+      IQL_RETURN_IF_ERROR(apply(&pending, &next));
+      delta = std::move(next);
+      ++stats_->steps;
+      if (options_.trace != nullptr) {
+        *options_.trace << "stage " << stage_index_ << " (semi-naive) round "
+                        << rounds << ": facts "
+                        << work->GroundFactCount() << "\n";
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<Derivation>> ValuationDomain(const Instance& inst) {
+    std::vector<Derivation> out;
+    ExtentEnumerator extents(&inst, options_.extent_budget);
+    for (const Rule& rule : rules_) {
+      HeadSatisfiability head(prog_, rule, inst,
+                              !options_.disable_head_fast_path);
+      // val-dom is a *set* of (r, theta): deduplication matters only for
+      // invention rules (a duplicate theta would mint extra oids); for
+      // ordinary heads, firing twice derives the same fact.
+      bool dedupe = !rule.invented_vars.empty();
+      std::set<Bindings> seen;
+      RuleSolver solver(prog_, rule, inst, &extents);
+      Status s = solver.Solve([&](const Bindings& theta) -> Status {
+        if (++stats_->derivations > options_.max_derivations) {
+          return ResourceExhaustedError("derivation budget exhausted");
+        }
+        // The "no extension satisfies the head" filter applies to
+        // inflationary heads only; a deletion rule (IQL*) is applicable
+        // whenever its body is satisfied (deleting an absent fact is a
+        // no-op caught by net-change detection).
+        if (!rule.head_negative && head.Satisfiable(theta)) {
+          return Status::Ok();  // not in val-dom
+        }
+        if (!dedupe || seen.insert(theta).second) {
+          out.push_back({&rule, theta});
+        }
+        return Status::Ok();
+      });
+      IQL_RETURN_IF_ERROR(s);
+    }
+    return out;
+  }
+
+  // Applies all derivations "in parallel": inventions first (the
+  // valuation-map), then fact derivation, then weak assignment per (*),
+  // then IQL* deletions. Returns whether the instance changed.
+  Result<bool> Apply(const std::vector<Derivation>& derivations,
+                     Instance* work) {
+    ValueStore& values = u_->values();
+    struct PendingAssignment {
+      std::set<ValueId> candidates;
+    };
+    std::vector<std::pair<Symbol, ValueId>> rel_adds;
+    std::vector<std::pair<Symbol, Oid>> oid_adds;  // invented oids
+    std::vector<std::pair<Oid, ValueId>> set_inserts;
+    std::map<Oid, PendingAssignment> assignments;
+    std::set<Oid> invented_this_step;
+    std::vector<std::pair<Symbol, ValueId>> rel_dels;
+    std::vector<Oid> oid_dels;
+    std::vector<std::pair<Oid, ValueId>> set_removals;
+    std::vector<std::pair<Oid, ValueId>> value_retractions;
+
+    for (const Derivation& d : derivations) {
+      const Rule& rule = *d.rule;
+      Bindings b = d.theta;
+      // Valuation-map: bind head-only variables.
+      bool skip = false;
+      for (Symbol var : rule.invented_vars) {
+        const TypeNode& vt = u_->types().node(rule.var_types.at(var));
+        IQL_CHECK(vt.kind == TypeKind::kClass);
+        if (rule.has_choose) {
+          // IQL+ (§4.4): bind to an *existing* oid of the class, chosen
+          // by policy. No candidates: nothing to choose. kRandom is the
+          // N-IQL variant (choice may violate genericity).
+          const auto& extent = work->ClassExtent(vt.class_name);
+          if (extent.empty()) {
+            skip = true;
+            break;
+          }
+          Oid o;
+          switch (options_.choose_policy) {
+            case EvalOptions::ChoosePolicy::kMinOid:
+              o = *extent.begin();
+              break;
+            case EvalOptions::ChoosePolicy::kMaxOid:
+              o = *extent.rbegin();
+              break;
+            case EvalOptions::ChoosePolicy::kRandom: {
+              choose_rng_ = Mix64(choose_rng_ + 0x9e3779b9);
+              size_t index = choose_rng_ % extent.size();
+              auto it = extent.begin();
+              std::advance(it, index);
+              o = *it;
+              break;
+            }
+          }
+          b[var] = values.OfOid(o);
+        } else {
+          if (++stats_->invented_oids > options_.max_invented_oids) {
+            return ResourceExhaustedError(
+                "oid-invention budget exhausted (invention inside a "
+                "recursive loop diverges; see §3.4)");
+          }
+          Oid o = u_->MintOid();
+          oid_adds.emplace_back(vt.class_name, o);
+          invented_this_step.insert(o);
+          b[var] = values.OfOid(o);
+        }
+      }
+      if (skip) continue;
+      // Derive the head fact.
+      const Literal& head = rule.head;
+      const Term& lhs = prog_.term(head.lhs);
+      if (head.kind == Literal::Kind::kEquality) {
+        // x^ = t (or its retraction).
+        auto xv = EvalTerm(prog_, head.lhs, b, *work);
+        auto ov = b.at(lhs.name);
+        Oid o = values.node(ov).oid;
+        auto v = EvalTerm(prog_, head.rhs, b, *work);
+        if (!v.has_value()) continue;  // rhs mentions an undefined x^
+        if (rule.head_negative) {
+          if (xv.has_value() && *xv == *v) value_retractions.emplace_back(o, *v);
+        } else {
+          assignments[o].candidates.insert(*v);
+        }
+        continue;
+      }
+      auto v = EvalTerm(prog_, head.rhs, b, *work);
+      if (!v.has_value()) continue;  // rhs mentions an undefined x^
+      switch (lhs.kind) {
+        case Term::Kind::kRelName:
+          if (rule.head_negative) {
+            rel_dels.emplace_back(lhs.name, *v);
+          } else {
+            rel_adds.emplace_back(lhs.name, *v);
+          }
+          break;
+        case Term::Kind::kClassName: {
+          const ValueNode& n = values.node(*v);
+          if (n.kind != ValueKind::kOid) {
+            return TypeError("class head derived a non-oid value");
+          }
+          if (rule.head_negative) {
+            oid_dels.push_back(n.oid);
+          } else {
+            oid_adds.emplace_back(lhs.name, n.oid);
+          }
+          break;
+        }
+        case Term::Kind::kDeref: {
+          Oid o = values.node(b.at(lhs.name)).oid;
+          if (rule.head_negative) {
+            set_removals.emplace_back(o, *v);
+          } else {
+            set_inserts.emplace_back(o, *v);
+          }
+          break;
+        }
+        default:
+          return InternalError("illegal head shape survived type checking");
+      }
+    }
+
+    // Weak assignment filter (*): only oids with nu undefined at the start
+    // of the step, and a unique candidate value, are assigned.
+    std::vector<std::pair<Oid, ValueId>> applicable_assignments;
+    for (const auto& [o, pending] : assignments) {
+      bool defined_at_start =
+          !invented_this_step.count(o) && work->ValueOf(o).has_value();
+      if (defined_at_start) continue;
+      if (pending.candidates.size() != 1) continue;
+      applicable_assignments.emplace_back(o, *pending.candidates.begin());
+    }
+
+    bool changed = false;
+    for (const auto& [cls, o] : oid_adds) {
+      if (!work->HasOid(o)) {
+        IQL_RETURN_IF_ERROR(work->AddOid(cls, o));
+        changed = true;
+        ++stats_->facts_added;
+      }
+    }
+    for (const auto& [rel, v] : rel_adds) {
+      if (!work->RelationContains(rel, v)) {
+        IQL_RETURN_IF_ERROR(work->AddToRelation(rel, v));
+        changed = true;
+        ++stats_->facts_added;
+      }
+    }
+    for (const auto& [o, v] : set_inserts) {
+      auto current = work->ValueOf(o);
+      if (current.has_value() && values.SetContains(*current, v)) continue;
+      IQL_RETURN_IF_ERROR(work->AddToSetOid(o, v));
+      changed = true;
+      ++stats_->facts_added;
+    }
+    for (const auto& [o, v] : applicable_assignments) {
+      IQL_RETURN_IF_ERROR(work->SetOidValue(o, v));
+      changed = true;
+      ++stats_->facts_added;
+    }
+    // IQL* deletions apply last within the step: a fact both derived and
+    // deleted in the same step ends up deleted.
+    for (const auto& [rel, v] : rel_dels) {
+      if (work->RemoveFromRelation(rel, v)) {
+        changed = true;
+        ++stats_->facts_deleted;
+      }
+    }
+    for (const auto& [o, v] : set_removals) {
+      if (work->RemoveFromSetOid(o, v)) {
+        changed = true;
+        ++stats_->facts_deleted;
+      }
+    }
+    for (const auto& [o, v] : value_retractions) {
+      auto current = work->ValueOf(o);
+      if (current.has_value() && *current == v && work->ClearOidValue(o)) {
+        changed = true;
+        ++stats_->facts_deleted;
+      }
+    }
+    for (Oid o : oid_dels) {
+      size_t n = work->DeleteOidCascade(o);
+      if (n > 0) {
+        changed = true;
+        stats_->facts_deleted += n;
+      }
+    }
+    return changed;
+  }
+
+  Universe* u_;
+  const Schema& schema_;
+  const Program& prog_;
+  const std::vector<Rule>& rules_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+  uint64_t choose_rng_ = 0;
+  bool has_deletions_ = false;
+
+ public:
+  int stage_index_ = 0;
+};
+
+}  // namespace
+
+Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
+                                 Program* program, const Instance& input,
+                                 const EvalOptions& options,
+                                 EvalStats* stats) {
+  if (!program->type_checked) {
+    IQL_RETURN_IF_ERROR(TypeCheck(universe, schema, program));
+  }
+  if (!options.allow_deletions) {
+    for (const Rule* rule : program->AllRules()) {
+      if (rule->head_negative) {
+        return FailedPreconditionError(
+            "deletion rules require EvalOptions::allow_deletions (IQL*, "
+            "§4.5); plain IQL is inflationary");
+      }
+    }
+  }
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Instance work(&schema, universe);
+  IQL_RETURN_IF_ERROR(work.Absorb(input));
+  int stage_index = 0;
+  for (const auto& stage : program->stages) {
+    StageRunner runner(universe, schema, *program, stage, options, stats);
+    runner.stage_index_ = stage_index++;
+    IQL_RETURN_IF_ERROR(runner.Run(&work));
+  }
+  return work;
+}
+
+Result<Instance> RunUnit(Universe* universe, ParsedUnit* unit,
+                         const Instance& input, const EvalOptions& options,
+                         EvalStats* stats) {
+  IQL_ASSIGN_OR_RETURN(
+      Instance full, EvaluateProgram(universe, unit->schema, &unit->program,
+                                     input, options, stats));
+  if (unit->output_names.empty()) return full;
+  IQL_ASSIGN_OR_RETURN(Schema out, unit->schema.Project(unit->output_names));
+  return full.Project(std::make_shared<const Schema>(std::move(out)));
+}
+
+}  // namespace iqlkit

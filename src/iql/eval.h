@@ -1,0 +1,100 @@
+#ifndef IQLKIT_IQL_EVAL_H_
+#define IQLKIT_IQL_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "base/result.h"
+#include "iql/ast.h"
+#include "iql/parser.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// Budgets and policies for the naive inflationary evaluator (§3.2). IQL is
+// computationally complete, so programs can legitimately diverge
+// (Example 3.4.2's R3(y,z) :- R3(x,y)); budgets turn divergence into a
+// RESOURCE_EXHAUSTED error instead of a hang.
+struct EvalOptions {
+  uint64_t max_steps_per_stage = 100000;  // fixpoint iterations
+  uint64_t max_invented_oids = 1 << 20;
+  uint64_t max_derivations = uint64_t{1} << 26;  // (rule, valuation) firings
+  uint64_t extent_budget = uint64_t{1} << 22;    // per-step type extents
+
+  // IQL+ choose policy: which existing oid a choose-rule's head-only
+  // variable is bound to. kMinOid/kMaxOid are deterministic; running a
+  // program under both and checking O-isomorphism of the results is an
+  // effective genericity test (§4.4). kRandom implements N-IQL (the
+  // Remark after Thm 4.4.1): choice may violate genericity, yielding the
+  // nondeterministic-complete language; seeded for reproducibility.
+  enum class ChoosePolicy { kMinOid, kMaxOid, kRandom };
+  ChoosePolicy choose_policy = ChoosePolicy::kMinOid;
+  uint64_t choose_seed = 0;
+
+  // Ablation switch for bench_ablation: disables the bound-head O(log n)
+  // membership fast path in the valuation-domain filter, falling back to
+  // the literal scan-and-match formulation. Semantics are identical.
+  bool disable_head_fast_path = false;
+
+  // Semi-naive (delta-driven) evaluation for *eligible* stages: every rule
+  // head is a positive relation fact, no invention, no choose, no
+  // deletions, and no negation over a relation derived in the same stage.
+  // On such stages new derivations must use at least one fact added in the
+  // previous round, so ranging one body literal over the delta is
+  // complete, and relation inserts are idempotent, so over-derivation is
+  // harmless -- the fixpoint is bit-for-bit the naive one (the
+  // differential test suite cross-checks this). Ineligible stages always
+  // run the paper's naive operator.
+  bool enable_seminaive = true;
+
+  // Permit negative heads (IQL*, §4.5). Off by default: plain IQL is
+  // inflationary, and a deletion rule is rejected at evaluation time.
+  bool allow_deletions = false;
+
+  // When set, a one-line summary of every one-step-operator application
+  // (stage, step, |val-dom|, facts added so far) is streamed here.
+  std::ostream* trace = nullptr;
+};
+
+struct EvalStats {
+  uint64_t steps = 0;         // one-step operator applications
+  uint64_t derivations = 0;   // satisfying (rule, valuation) pairs fired
+  uint64_t invented_oids = 0;
+  uint64_t facts_added = 0;
+  uint64_t facts_deleted = 0;
+};
+
+// Evaluates `program` on `input` under the paper's semantics: per stage,
+// repeat the one-step inflationary operator gamma_1 -- compute the
+// valuation-domain against the step's start instance, pick the (canonical)
+// valuation-map, fire all derivations in parallel, apply weak assignment
+// per condition (*) -- until a fixpoint. Stages (';') compose sequentially.
+//
+// `input` must be an instance over a projection of `schema` sharing
+// `universe`. The result is the fixpoint instance over the full `schema`;
+// project it onto the output schema with Instance::Project.
+//
+// The program is type checked first (its rules' var_types are filled in).
+// Invented oids come from the universe's counter: running the same program
+// from universes with different oid seeds yields O-isomorphic outputs
+// (Theorem 4.1.3), which the test suite verifies.
+Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
+                                 Program* program, const Instance& input,
+                                 const EvalOptions& options = {},
+                                 EvalStats* stats = nullptr);
+
+// Convenience wrapper: parse, type check, evaluate, and project a full
+// source unit (schema + input/output + program). The input instance must
+// be over the unit's input projection.
+Result<Instance> RunUnit(Universe* universe, ParsedUnit* unit,
+                         const Instance& input,
+                         const EvalOptions& options = {},
+                         EvalStats* stats = nullptr);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_EVAL_H_

@@ -1,0 +1,53 @@
+#ifndef IQLKIT_IQL_EXTENT_H_
+#define IQLKIT_IQL_EXTENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "model/instance.h"
+#include "model/type.h"
+
+namespace iqlkit {
+
+// Enumerates the interpretation ⟦t⟧pi of a type restricted to the current
+// instance: the base domain D contributes constants(I) only (the paper's
+// valuation condition that constants in theta-x come from constants(I),
+// §3.2), classes contribute their current extents, sets contribute all
+// finite subsets, tuples cross products, unions set unions.
+//
+// This is how the naive evaluator ranges a variable that no body literal
+// binds -- the unrestricted-variable powerset program of Example 3.4.2 is
+// the canonical (exponential) client, so every step is budget-guarded and
+// overflow surfaces as RESOURCE_EXHAUSTED rather than a hang.
+//
+// Intersections are eliminated first (instances have disjoint oid
+// assignments, so Prop 2.2.1(2) applies).
+//
+// The result is deterministically ordered. One enumerator is built per
+// fixpoint step; it caches per-type results against the step's instance.
+class ExtentEnumerator {
+ public:
+  ExtentEnumerator(const Instance* instance, uint64_t budget)
+      : instance_(instance), budget_(budget) {}
+
+  // All values of ⟦t⟧ w.r.t. the instance. The returned pointer is owned by
+  // the enumerator's cache and stays valid until destruction.
+  Result<const std::vector<ValueId>*> Enumerate(TypeId t);
+
+  uint64_t produced() const { return produced_; }
+
+ private:
+  Result<std::vector<ValueId>> Compute(TypeId t);
+  Status Charge(uint64_t n);
+
+  const Instance* instance_;
+  uint64_t budget_;
+  uint64_t produced_ = 0;
+  std::unordered_map<TypeId, std::vector<ValueId>> cache_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_EXTENT_H_

@@ -1,0 +1,202 @@
+#include "iql/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace iqlkit {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* kKeywords =
+      new std::unordered_map<std::string_view, TokenKind>{
+          {"schema", TokenKind::kKwSchema},
+          {"relation", TokenKind::kKwRelation},
+          {"class", TokenKind::kKwClass},
+          {"program", TokenKind::kKwProgram},
+          {"var", TokenKind::kKwVar},
+          {"input", TokenKind::kKwInput},
+          {"output", TokenKind::kKwOutput},
+          {"choose", TokenKind::kKwChoose},
+          {"empty", TokenKind::kKwEmpty},
+          {"instance", TokenKind::kKwInstance},
+          {"D", TokenKind::kKwBase},
+      };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kTurnstile: return "':-'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kKwSchema: return "'schema'";
+    case TokenKind::kKwRelation: return "'relation'";
+    case TokenKind::kKwClass: return "'class'";
+    case TokenKind::kKwProgram: return "'program'";
+    case TokenKind::kKwVar: return "'var'";
+    case TokenKind::kKwInput: return "'input'";
+    case TokenKind::kKwOutput: return "'output'";
+    case TokenKind::kKwChoose: return "'choose'";
+    case TokenKind::kKwEmpty: return "'empty'";
+    case TokenKind::kKwInstance: return "'instance'";
+    case TokenKind::kKwBase: return "'D'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto error = [&](std::string_view what) {
+    return ParseError(std::string(what) + " at line " +
+                      std::to_string(line) + ", column " +
+                      std::to_string(column));
+  };
+  auto push = [&](TokenKind kind, std::string text, int l, int c) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = l;
+    t.column = c;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    int tl = line, tc = column;
+    // whitespace
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // comments
+    if (c == '#' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) advance();
+      std::string_view word = source.substr(start, i - start);
+      auto kw = Keywords().find(word);
+      if (kw != Keywords().end()) {
+        push(kw->second, std::string(word), tl, tc);
+      } else {
+        push(TokenKind::kIdent, std::string(word), tl, tc);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance();
+      }
+      push(TokenKind::kInt, std::string(source.substr(start, i - start)), tl,
+           tc);
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') return error("unterminated string literal");
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          advance();
+          text.push_back(source[i]);
+          advance();
+          continue;
+        }
+        text.push_back(source[i]);
+        advance();
+      }
+      if (i >= source.size()) return error("unterminated string literal");
+      advance();  // closing quote
+      push(TokenKind::kString, std::move(text), tl, tc);
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "(", tl, tc); advance(); continue;
+      case ')': push(TokenKind::kRParen, ")", tl, tc); advance(); continue;
+      case '[': push(TokenKind::kLBracket, "[", tl, tc); advance(); continue;
+      case ']': push(TokenKind::kRBracket, "]", tl, tc); advance(); continue;
+      case '{': push(TokenKind::kLBrace, "{", tl, tc); advance(); continue;
+      case '}': push(TokenKind::kRBrace, "}", tl, tc); advance(); continue;
+      case ',': push(TokenKind::kComma, ",", tl, tc); advance(); continue;
+      case ';': push(TokenKind::kSemi, ";", tl, tc); advance(); continue;
+      case '.': push(TokenKind::kDot, ".", tl, tc); advance(); continue;
+      case '^': push(TokenKind::kCaret, "^", tl, tc); advance(); continue;
+      case '=': push(TokenKind::kEq, "=", tl, tc); advance(); continue;
+      case '|': push(TokenKind::kPipe, "|", tl, tc); advance(); continue;
+      case '&': push(TokenKind::kAmp, "&", tl, tc); advance(); continue;
+      case '@': push(TokenKind::kAt, "@", tl, tc); advance(); continue;
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          push(TokenKind::kTurnstile, ":-", tl, tc);
+          advance(2);
+        } else {
+          push(TokenKind::kColon, ":", tl, tc);
+          advance();
+        }
+        continue;
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kNeq, "!=", tl, tc);
+          advance(2);
+        } else {
+          push(TokenKind::kBang, "!", tl, tc);
+          advance();
+        }
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof, "", line, column);
+  return tokens;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,69 @@
+#ifndef IQLKIT_IQL_LEXER_H_
+#define IQLKIT_IQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace iqlkit {
+
+// Token kinds of the concrete IQL syntax. Keywords are classified by the
+// lexer; everything else alphanumeric is an identifier (the parser decides
+// whether it names a relation, a class, or a variable).
+enum class TokenKind : uint8_t {
+  kIdent,     // foo, R1, x
+  kString,    // "Adam"
+  kInt,       // 42 (lexed as a constant atom)
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLBrace,    // {
+  kRBrace,    // }
+  kComma,     // ,
+  kColon,     // :
+  kSemi,      // ;
+  kDot,       // .
+  kCaret,     // ^
+  kEq,        // =
+  kNeq,       // !=
+  kBang,      // !
+  kTurnstile, // :-
+  kPipe,      // |
+  kAmp,       // &
+  kAt,        // @ (named oids in instance blocks)
+  // keywords
+  kKwSchema,
+  kKwRelation,
+  kKwClass,
+  kKwProgram,
+  kKwVar,
+  kKwInput,
+  kKwOutput,
+  kKwChoose,
+  kKwEmpty,
+  kKwInstance,
+  kKwBase,    // D
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier / string contents / digits
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes `source`. Comments run from "//" or "#" to end of line.
+// Reports the first lexical error with line/column.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+// Human-readable token name for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_LEXER_H_

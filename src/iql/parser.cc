@@ -1,0 +1,785 @@
+#include "iql/parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "iql/lexer.h"
+
+namespace iqlkit {
+
+Symbol PositionalAttr(Universe* universe, int k) {
+  return universe->Intern("#" + std::to_string(k));
+}
+
+namespace {
+
+// Recursive-descent parser over the token stream. The schema is parsed (or
+// supplied) before any program text, so identifiers inside rules can be
+// classified as relation names, class names, or variables.
+class Parser {
+ public:
+  Parser(Universe* universe, std::vector<Token> tokens)
+      : universe_(universe), tokens_(std::move(tokens)) {}
+
+  Result<ParsedUnit> ParseUnit() {
+    ParsedUnit unit(universe_);
+    bool saw_schema = false;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kKwSchema)) {
+        if (saw_schema) return Error("duplicate schema block");
+        saw_schema = true;
+        Next();
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+        IQL_RETURN_IF_ERROR(ParseSchemaItems(&unit.schema));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      } else if (At(TokenKind::kKwInput) || At(TokenKind::kKwOutput)) {
+        bool input = At(TokenKind::kKwInput);
+        Next();
+        std::vector<std::string>* names =
+            input ? &unit.input_names : &unit.output_names;
+        do {
+          if (!At(TokenKind::kIdent)) return Error("expected name");
+          names->push_back(Cur().text);
+          Next();
+        } while (Accept(TokenKind::kComma));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      } else if (At(TokenKind::kKwProgram)) {
+        if (!saw_schema) return Error("program block before schema block");
+        Next();
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+        IQL_RETURN_IF_ERROR(ParseProgramItems(&unit.schema, &unit.program));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      } else if (At(TokenKind::kKwInstance)) {
+        if (!saw_schema) return Error("instance block before schema block");
+        Next();
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+        IQL_RETURN_IF_ERROR(ParseInstanceItems(&unit));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      } else {
+        return Error(
+            "expected 'schema', 'input', 'output', 'program', or "
+            "'instance'");
+      }
+    }
+    IQL_RETURN_IF_ERROR(unit.schema.Validate());
+    return unit;
+  }
+
+  Result<Schema> ParseSchemaOnly() {
+    Schema schema(universe_);
+    if (Accept(TokenKind::kKwSchema)) {
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+      IQL_RETURN_IF_ERROR(ParseSchemaItems(&schema));
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    } else {
+      IQL_RETURN_IF_ERROR(ParseSchemaItems(&schema));
+    }
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    IQL_RETURN_IF_ERROR(schema.Validate());
+    return schema;
+  }
+
+  Result<Program> ParseProgramOnly(const Schema& schema) {
+    Program program;
+    if (Accept(TokenKind::kKwProgram)) {
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+      IQL_RETURN_IF_ERROR(ParseProgramItems(&schema, &program));
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    } else {
+      IQL_RETURN_IF_ERROR(ParseProgramItems(&schema, &program));
+    }
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return program;
+  }
+
+  Result<TypeId> ParseTypeOnly() {
+    IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return t;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  void Next() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Accept(TokenKind kind) {
+    if (!At(kind)) return false;
+    Next();
+    return true;
+  }
+  Status Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Error("expected " + std::string(TokenKindName(kind)) +
+                   ", found " + std::string(TokenKindName(Cur().kind)));
+    }
+    Next();
+    return Status::Ok();
+  }
+  Status Error(std::string message) const {
+    return ParseError(message + " at line " + std::to_string(Cur().line) +
+                      ", column " + std::to_string(Cur().column));
+  }
+
+  // ---- schema ------------------------------------------------------------
+
+  Status ParseSchemaItems(Schema* schema) {
+    while (At(TokenKind::kKwRelation) || At(TokenKind::kKwClass)) {
+      bool is_relation = At(TokenKind::kKwRelation);
+      Next();
+      if (!At(TokenKind::kIdent)) return Error("expected name");
+      std::string name = Cur().text;
+      Next();
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      IQL_RETURN_IF_ERROR(is_relation ? schema->DeclareRelation(name, t)
+                                      : schema->DeclareClass(name, t));
+    }
+    return Status::Ok();
+  }
+
+  // type := type1 ("|" type1)*
+  Result<TypeId> ParseType() {
+    IQL_ASSIGN_OR_RETURN(TypeId first, ParseType1());
+    std::vector<TypeId> members = {first};
+    while (Accept(TokenKind::kPipe)) {
+      IQL_ASSIGN_OR_RETURN(TypeId next, ParseType1());
+      members.push_back(next);
+    }
+    if (members.size() == 1) return members[0];
+    return universe_->types().Union(std::move(members));
+  }
+
+  // type1 := type2 ("&" type2)*
+  Result<TypeId> ParseType1() {
+    IQL_ASSIGN_OR_RETURN(TypeId first, ParseType2());
+    std::vector<TypeId> members = {first};
+    while (Accept(TokenKind::kAmp)) {
+      IQL_ASSIGN_OR_RETURN(TypeId next, ParseType2());
+      members.push_back(next);
+    }
+    if (members.size() == 1) return members[0];
+    return universe_->types().Intersect(std::move(members));
+  }
+
+  Result<TypeId> ParseType2() {
+    TypePool& types = universe_->types();
+    if (Accept(TokenKind::kKwBase)) return types.Base();
+    if (Accept(TokenKind::kKwEmpty)) return types.Empty();
+    if (At(TokenKind::kIdent)) {
+      TypeId t = types.ClassNamed(Cur().text);
+      Next();
+      return t;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return t;
+    }
+    if (Accept(TokenKind::kLBrace)) {
+      IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return types.Set(t);
+    }
+    if (Accept(TokenKind::kLBracket)) {
+      std::vector<std::pair<Symbol, TypeId>> fields;
+      if (!At(TokenKind::kRBracket)) {
+        // All fields named (IDENT ":" type) or all positional (type).
+        bool named = At(TokenKind::kIdent) &&
+                     Peek(1).kind == TokenKind::kColon;
+        int position = 0;
+        do {
+          if (named) {
+            if (!At(TokenKind::kIdent) ||
+                Peek(1).kind != TokenKind::kColon) {
+              return Error("expected named field 'attr: type'");
+            }
+            Symbol attr = universe_->Intern(Cur().text);
+            Next();
+            Next();  // colon
+            IQL_ASSIGN_OR_RETURN(TypeId ft, ParseType());
+            fields.emplace_back(attr, ft);
+          } else {
+            if (At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kColon) {
+              return Error("cannot mix named and positional tuple fields");
+            }
+            IQL_ASSIGN_OR_RETURN(TypeId ft, ParseType());
+            fields.emplace_back(PositionalAttr(universe_, ++position), ft);
+          }
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      return types.Tuple(std::move(fields));
+    }
+    return Error("expected type");
+  }
+
+  const Token& Peek(size_t ahead) const {
+    size_t j = pos_ + ahead;
+    return j < tokens_.size() ? tokens_[j] : tokens_.back();
+  }
+
+  // ---- program -----------------------------------------------------------
+
+  Status ParseProgramItems(const Schema* schema, Program* program) {
+    schema_ = schema;
+    program->stages.emplace_back();
+    while (true) {
+      if (Accept(TokenKind::kSemi)) {
+        // Stage separator; empty stages are dropped at the end.
+        if (!program->stages.back().empty()) {
+          program->stages.emplace_back();
+        }
+        continue;
+      }
+      if (At(TokenKind::kKwVar)) {
+        Next();
+        do {
+          if (!At(TokenKind::kIdent)) return Error("expected variable name");
+          Symbol var = universe_->Intern(Cur().text);
+          Next();
+          IQL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+          IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+          auto [it, inserted] = program->declared_var_types.emplace(var, t);
+          if (!inserted && it->second != t) {
+            return Error("conflicting declaration for variable '" +
+                         std::string(universe_->Name(var)) + "'");
+          }
+        } while (Accept(TokenKind::kComma));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+        continue;
+      }
+      if (At(TokenKind::kRBrace) || At(TokenKind::kEof)) break;
+      IQL_RETURN_IF_ERROR(ParseRule(program));
+    }
+    if (program->stages.back().empty() && program->stages.size() > 1) {
+      program->stages.pop_back();
+    }
+    return Status::Ok();
+  }
+
+  Status ParseRule(Program* program) {
+    Rule rule;
+    rule.head_negative = Accept(TokenKind::kBang);
+    IQL_ASSIGN_OR_RETURN(rule.head, ParseHeadLiteral(program));
+    if (Accept(TokenKind::kTurnstile)) {
+      do {
+        IQL_ASSIGN_OR_RETURN(Literal lit, ParseBodyLiteral(program));
+        if (lit.kind == Literal::Kind::kChoose) rule.has_choose = true;
+        rule.body.push_back(lit);
+      } while (Accept(TokenKind::kComma));
+    }
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    rule.stage = static_cast<int>(program->stages.size()) - 1;
+    rule.index = static_cast<int>(program->stages.back().size());
+    program->stages.back().push_back(std::move(rule));
+    return Status::Ok();
+  }
+
+  // head := Name "(" args ")" | var "^" "(" term ")" | var "^" "=" term
+  Result<Literal> ParseHeadLiteral(Program* program) {
+    if (!At(TokenKind::kIdent)) return Error("expected head literal");
+    Symbol name = universe_->Intern(Cur().text);
+    Next();
+    Literal lit;
+    if (Accept(TokenKind::kCaret)) {
+      if (Accept(TokenKind::kEq)) {
+        lit.kind = Literal::Kind::kEquality;
+        lit.lhs = program->Deref(name);
+        IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+        return lit;
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      lit.kind = Literal::Kind::kMembership;
+      lit.lhs = program->Deref(name);
+      IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return lit;
+    }
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    IQL_ASSIGN_OR_RETURN(TermId args, ParseCallArgs(program, name));
+    lit.kind = Literal::Kind::kMembership;
+    if (schema_->HasRelation(name)) {
+      lit.lhs = program->RelName(name);
+    } else if (schema_->HasClass(name)) {
+      lit.lhs = program->ClassName(name);
+    } else {
+      return Error("head predicate '" +
+                   std::string(universe_->Name(name)) +
+                   "' is not a declared relation or class");
+    }
+    lit.rhs = args;
+    return lit;
+  }
+
+  // Arguments of Name(...): one argument is direct membership Name(t);
+  // k != 1 arguments are the positional-tuple shorthand of §3.4.
+  Result<TermId> ParseCallArgs(Program* program, Symbol name) {
+    (void)name;
+    std::vector<TermId> args;
+    if (!At(TokenKind::kRParen)) {
+      do {
+        IQL_ASSIGN_OR_RETURN(TermId t, ParseTerm(program));
+        args.push_back(t);
+      } while (Accept(TokenKind::kComma));
+    }
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (args.size() == 1) return args[0];
+    std::vector<std::pair<Symbol, TermId>> fields;
+    fields.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+      fields.emplace_back(PositionalAttr(universe_, static_cast<int>(i + 1)),
+                          args[i]);
+    }
+    return program->TupleTerm(std::move(fields));
+  }
+
+  Result<Literal> ParseBodyLiteral(Program* program) {
+    if (Accept(TokenKind::kKwChoose)) {
+      Literal lit;
+      lit.kind = Literal::Kind::kChoose;
+      return lit;
+    }
+    bool negative = Accept(TokenKind::kBang);
+    // Membership with a name/var/deref left-hand side?
+    if (At(TokenKind::kIdent)) {
+      if (Peek(1).kind == TokenKind::kLParen) {
+        Symbol name = universe_->Intern(Cur().text);
+        Next();
+        Next();  // '('
+        IQL_ASSIGN_OR_RETURN(TermId args, ParseCallArgs(program, name));
+        Literal lit;
+        lit.kind = Literal::Kind::kMembership;
+        lit.positive = !negative;
+        if (schema_->HasRelation(name)) {
+          lit.lhs = program->RelName(name);
+        } else if (schema_->HasClass(name)) {
+          lit.lhs = program->ClassName(name);
+        } else {
+          lit.lhs = program->Var(name);  // set-typed variable, e.g. Y(y)
+        }
+        lit.rhs = args;
+        return lit;
+      }
+      if (Peek(1).kind == TokenKind::kCaret &&
+          Peek(2).kind == TokenKind::kLParen) {
+        Symbol var = universe_->Intern(Cur().text);
+        Next();
+        Next();  // '^'
+        Next();  // '('
+        Literal lit;
+        lit.kind = Literal::Kind::kMembership;
+        lit.positive = !negative;
+        lit.lhs = program->Deref(var);
+        IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return lit;
+      }
+    }
+    if (negative) {
+      return Error("'!' must precede a membership literal (use != for "
+                   "inequality)");
+    }
+    // Otherwise an equality/inequality between two terms.
+    IQL_ASSIGN_OR_RETURN(TermId lhs, ParseTerm(program));
+    Literal lit;
+    lit.kind = Literal::Kind::kEquality;
+    if (Accept(TokenKind::kEq)) {
+      lit.positive = true;
+    } else if (Accept(TokenKind::kNeq)) {
+      lit.positive = false;
+    } else {
+      return Error("expected '=' or '!=' in body literal");
+    }
+    lit.lhs = lhs;
+    IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+    return lit;
+  }
+
+  Result<TermId> ParseTerm(Program* program) {
+    if (At(TokenKind::kString) || At(TokenKind::kInt)) {
+      TermId t = program->Const(universe_->Intern(Cur().text));
+      Next();
+      return t;
+    }
+    if (At(TokenKind::kIdent)) {
+      Symbol name = universe_->Intern(Cur().text);
+      Next();
+      if (Accept(TokenKind::kCaret)) return program->Deref(name);
+      if (schema_->HasRelation(name)) return program->RelName(name);
+      if (schema_->HasClass(name)) return program->ClassName(name);
+      return program->Var(name);
+    }
+    if (Accept(TokenKind::kLBrace)) {
+      std::vector<TermId> elems;
+      if (!At(TokenKind::kRBrace)) {
+        do {
+          IQL_ASSIGN_OR_RETURN(TermId t, ParseTerm(program));
+          elems.push_back(t);
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return program->SetTerm(std::move(elems));
+    }
+    if (Accept(TokenKind::kLBracket)) {
+      std::vector<std::pair<Symbol, TermId>> fields;
+      if (!At(TokenKind::kRBracket)) {
+        bool named = At(TokenKind::kIdent) &&
+                     Peek(1).kind == TokenKind::kColon;
+        int position = 0;
+        do {
+          if (named) {
+            if (!At(TokenKind::kIdent) ||
+                Peek(1).kind != TokenKind::kColon) {
+              return Error("expected named field 'attr: term'");
+            }
+            Symbol attr = universe_->Intern(Cur().text);
+            Next();
+            Next();  // colon
+            IQL_ASSIGN_OR_RETURN(TermId ft, ParseTerm(program));
+            fields.emplace_back(attr, ft);
+          } else {
+            IQL_ASSIGN_OR_RETURN(TermId ft, ParseTerm(program));
+            fields.emplace_back(PositionalAttr(universe_, ++position), ft);
+          }
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      return program->TupleTerm(std::move(fields));
+    }
+    return Error("expected term");
+  }
+
+  // ---- instance blocks ----------------------------------------------------
+
+  Result<Oid> NamedOid(ParsedUnit* unit) {
+    IQL_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    if (!At(TokenKind::kIdent) && !At(TokenKind::kInt)) {
+      return Error("expected an oid label after '@'");
+    }
+    std::string label = Cur().text;
+    Next();
+    auto [it, inserted] = unit->named_oids.emplace(label, Oid{});
+    if (inserted) it->second = universe_->MintOid();
+    return it->second;
+  }
+
+  // value := STRING | INT | '@'label | '[' fields ']' | '{' values '}'
+  Result<ValueId> ParseValue(ParsedUnit* unit) {
+    ValueStore& values = universe_->values();
+    if (At(TokenKind::kString) || At(TokenKind::kInt)) {
+      ValueId v = values.Const(Cur().text);
+      Next();
+      return v;
+    }
+    if (At(TokenKind::kAt)) {
+      IQL_ASSIGN_OR_RETURN(Oid o, NamedOid(unit));
+      return values.OfOid(o);
+    }
+    if (Accept(TokenKind::kLBrace)) {
+      std::vector<ValueId> elems;
+      if (!At(TokenKind::kRBrace)) {
+        do {
+          IQL_ASSIGN_OR_RETURN(ValueId v, ParseValue(unit));
+          elems.push_back(v);
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return values.Set(std::move(elems));
+    }
+    if (Accept(TokenKind::kLBracket)) {
+      std::vector<std::pair<Symbol, ValueId>> fields;
+      if (!At(TokenKind::kRBracket)) {
+        bool named = At(TokenKind::kIdent) &&
+                     Peek(1).kind == TokenKind::kColon;
+        int position = 0;
+        do {
+          if (named) {
+            if (!At(TokenKind::kIdent) ||
+                Peek(1).kind != TokenKind::kColon) {
+              return Error("expected named field 'attr: value'");
+            }
+            Symbol attr = universe_->Intern(Cur().text);
+            Next();
+            Next();  // colon
+            IQL_ASSIGN_OR_RETURN(ValueId fv, ParseValue(unit));
+            fields.emplace_back(attr, fv);
+          } else {
+            IQL_ASSIGN_OR_RETURN(ValueId fv, ParseValue(unit));
+            fields.emplace_back(PositionalAttr(universe_, ++position), fv);
+          }
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      return values.Tuple(std::move(fields));
+    }
+    return Error("expected a ground value");
+  }
+
+  Status ParseInstanceItems(ParsedUnit* unit) {
+    while (!At(TokenKind::kRBrace) && !At(TokenKind::kEof)) {
+      if (At(TokenKind::kAt)) {
+        // @label = value;
+        IQL_ASSIGN_OR_RETURN(Oid o, NamedOid(unit));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+        IQL_ASSIGN_OR_RETURN(ValueId v, ParseValue(unit));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+        ParsedFact fact;
+        fact.kind = ParsedFact::Kind::kOidValue;
+        fact.oid = o;
+        fact.value = v;
+        unit->facts.push_back(fact);
+        continue;
+      }
+      if (!At(TokenKind::kIdent)) {
+        return Error("expected a fact ('Name(...);' or '@oid = value;')");
+      }
+      Symbol name = universe_->Intern(Cur().text);
+      Next();
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      if (unit->schema.HasClass(name)) {
+        IQL_ASSIGN_OR_RETURN(Oid o, NamedOid(unit));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+        ParsedFact fact;
+        fact.kind = ParsedFact::Kind::kClassOid;
+        fact.name = name;
+        fact.oid = o;
+        unit->facts.push_back(fact);
+        continue;
+      }
+      if (!unit->schema.HasRelation(name)) {
+        return Error("'" + std::string(universe_->Name(name)) +
+                     "' is not a declared relation or class");
+      }
+      std::vector<ValueId> args;
+      if (!At(TokenKind::kRParen)) {
+        do {
+          IQL_ASSIGN_OR_RETURN(ValueId v, ParseValue(unit));
+          args.push_back(v);
+        } while (Accept(TokenKind::kComma));
+      }
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      ParsedFact fact;
+      fact.kind = ParsedFact::Kind::kRelation;
+      fact.name = name;
+      if (args.size() == 1) {
+        fact.value = args[0];
+      } else {
+        std::vector<std::pair<Symbol, ValueId>> fields;
+        for (size_t i = 0; i < args.size(); ++i) {
+          fields.emplace_back(
+              PositionalAttr(universe_, static_cast<int>(i + 1)), args[i]);
+        }
+        fact.value = universe_->values().Tuple(std::move(fields));
+      }
+      unit->facts.push_back(fact);
+    }
+    return Status::Ok();
+  }
+
+  Universe* universe_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Schema* schema_ = nullptr;
+};
+
+}  // namespace
+
+Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(universe, std::move(tokens));
+  return parser.ParseUnit();
+}
+
+Result<Program> ParseProgramText(Universe* universe, const Schema& schema,
+                                 std::string_view source) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(universe, std::move(tokens));
+  return parser.ParseProgramOnly(schema);
+}
+
+Result<TypeId> ParseTypeText(Universe* universe, std::string_view source) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(universe, std::move(tokens));
+  return parser.ParseTypeOnly();
+}
+
+Result<Schema> ParseSchemaText(Universe* universe, std::string_view source) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(universe, std::move(tokens));
+  return parser.ParseSchemaOnly();
+}
+
+Status ApplyFacts(const ParsedUnit& unit, Instance* instance) {
+  Universe* u = instance->universe();
+  const ValueStore& values = u->values();
+  for (const ParsedFact& fact : unit.facts) {
+    switch (fact.kind) {
+      case ParsedFact::Kind::kRelation:
+        IQL_RETURN_IF_ERROR(instance->AddToRelation(fact.name, fact.value));
+        break;
+      case ParsedFact::Kind::kClassOid:
+        IQL_RETURN_IF_ERROR(instance->AddOid(fact.name, fact.oid));
+        break;
+      case ParsedFact::Kind::kOidValue: {
+        auto cls = instance->ClassOf(fact.oid);
+        if (!cls.has_value()) {
+          return FailedPreconditionError(
+              "oid value assigned before a class fact declared the oid");
+        }
+        if (instance->schema().IsSetValuedClass(*cls)) {
+          const ValueNode& n = values.node(fact.value);
+          if (n.kind != ValueKind::kSet) {
+            return TypeError("set-valued oid assigned a non-set value");
+          }
+          for (ValueId e : n.elems) {
+            IQL_RETURN_IF_ERROR(instance->AddToSetOid(fact.oid, e));
+          }
+        } else {
+          IQL_RETURN_IF_ERROR(instance->SetOidValue(fact.oid, fact.value));
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [label, oid] : unit.named_oids) {
+    instance->NameOid(oid, label);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool IsIdentLabel(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '\'')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Unique, parseable labels: debug names where possible, "o<raw>"
+// otherwise, with collisions disambiguated by the raw oid.
+using LabelMap = std::map<Oid, std::string>;
+
+LabelMap BuildLabels(const Instance& inst) {
+  LabelMap labels;
+  std::set<std::string> used;
+  for (Symbol p : inst.schema().class_names()) {
+    for (Oid o : inst.ClassExtent(p)) {
+      std::string label = inst.OidLabel(o);
+      if (!label.empty() && label[0] == '@') {
+        label = "o" + std::to_string(o.raw);
+      }
+      if (!IsIdentLabel(label) || used.count(label)) {
+        label = "o" + std::to_string(o.raw);
+      }
+      used.insert(label);
+      labels.emplace(o, std::move(label));
+    }
+  }
+  return labels;
+}
+
+void WriteValue(const Instance& inst, const LabelMap& labels, ValueId v,
+                std::string* out) {
+  Universe* u = inst.universe();
+  const ValueNode& n = u->values().node(v);
+  switch (n.kind) {
+    case ValueKind::kConst: {
+      out->push_back('"');
+      for (char c : u->Name(n.atom)) {
+        if (c == '"' || c == '\\') out->push_back('\\');
+        out->push_back(c);
+      }
+      out->push_back('"');
+      return;
+    }
+    case ValueKind::kOid:
+      out->push_back('@');
+      out->append(labels.at(n.oid));
+      return;
+    case ValueKind::kTuple: {
+      // Positional form when the attributes are exactly #1..#k.
+      bool positional = true;
+      for (size_t i = 0; i < n.fields.size(); ++i) {
+        if (u->Name(n.fields[i].first) != "#" + std::to_string(i + 1)) {
+          positional = false;
+          break;
+        }
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const auto& [attr, child] : n.fields) {
+        if (!first) out->append(", ");
+        first = false;
+        if (!positional) {
+          out->append(u->Name(attr));
+          out->append(": ");
+        }
+        WriteValue(inst, labels, child, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case ValueKind::kSet: {
+      out->push_back('{');
+      bool first = true;
+      for (ValueId child : n.elems) {
+        if (!first) out->append(", ");
+        first = false;
+        WriteValue(inst, labels, child, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteFacts(const Instance& instance) {
+  Universe* u = instance.universe();
+  LabelMap labels = BuildLabels(instance);
+  std::string out = "instance {\n";
+  for (Symbol p : instance.schema().class_names()) {
+    for (Oid o : instance.ClassExtent(p)) {
+      out += "  " + std::string(u->Name(p)) + "(@" + labels.at(o) + ");\n";
+    }
+  }
+  ValueId empty_set = u->values().EmptySet();
+  for (Symbol p : instance.schema().class_names()) {
+    bool set_valued = instance.schema().IsSetValuedClass(p);
+    for (Oid o : instance.ClassExtent(p)) {
+      auto v = instance.ValueOf(o);
+      if (!v.has_value()) continue;
+      if (set_valued && *v == empty_set) continue;  // the default
+      out += "  @" + labels.at(o) + " = ";
+      WriteValue(instance, labels, *v, &out);
+      out += ";\n";
+    }
+  }
+  for (Symbol r : instance.schema().relation_names()) {
+    for (ValueId v : instance.Relation(r)) {
+      out += "  " + std::string(u->Name(r)) + "(";
+      WriteValue(instance, labels, v, &out);
+      out += ");\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,92 @@
+#ifndef IQLKIT_IQL_PARSER_H_
+#define IQLKIT_IQL_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "iql/ast.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// A parsed source unit:
+//
+//   schema {
+//     relation R  : [D, D];                    // positional attrs #1, #2
+//     class    P  : [name: D, succ: {P}];      // named attrs, recursive
+//   }
+//   input R;                                    // projection S_in (§3)
+//   output P;                                   // projection S_out
+//   program {
+//     var x: D, p: P;
+//     R0(x)        :- R(x, y).
+//     R0(x)        :- R(y, x).
+//     ;                                         // stage separator (";")
+//     p^ = [x, y]  :- R9(x, p, q), ...
+//   }
+//
+// Rules use ":-" for the paper's left-arrow, "x^" for x-hat, "!" for
+// negation, "choose" for the IQL+ literal, and "." to end a rule.
+// A ground fact from an `instance { ... }` block:
+//   R(1, 2);                       relation fact (positional shorthand)
+//   P(@adam);                      class membership; names the oid "adam"
+//   @adam = [name: "Adam", ...];   nu-value assignment
+// Named oids (@label) are minted on first use; values may reference them
+// freely (forward references included), so cyclic instances are writable.
+struct ParsedFact {
+  enum class Kind : uint8_t { kRelation, kClassOid, kOidValue };
+  Kind kind = Kind::kRelation;
+  Symbol name = kInvalidSymbol;  // relation / class
+  Oid oid;                       // kClassOid / kOidValue
+  ValueId value = kInvalidValue; // kRelation tuple / kOidValue nu-value
+};
+
+struct ParsedUnit {
+  ParsedUnit(Universe* universe) : schema(universe) {}
+
+  Schema schema;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  Program program;
+  // From `instance { ... }` blocks, in order.
+  std::vector<ParsedFact> facts;
+  std::map<std::string, Oid> named_oids;
+};
+
+// Parses a full unit (schema required; input/output/program optional).
+Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source);
+
+// Parses rule/var items (the inside of a `program { ... }` block, with or
+// without the wrapper) against an existing schema.
+Result<Program> ParseProgramText(Universe* universe, const Schema& schema,
+                                 std::string_view source);
+
+// Parses a single type expression, e.g. "[A: D, B: {P | Q}]".
+Result<TypeId> ParseTypeText(Universe* universe, std::string_view source);
+
+// Parses a schema block (with or without the `schema { ... }` wrapper).
+Result<Schema> ParseSchemaText(Universe* universe, std::string_view source);
+
+// The attribute symbol for position k (1-based) of positional tuples, "#k".
+Symbol PositionalAttr(Universe* universe, int k);
+
+// Applies a unit's parsed facts to `instance` (which must be over the
+// unit's schema or a projection of it containing every mentioned name).
+// Set-valued oids accept set literals (applied elementwise on top of the
+// default empty set). Labels registered in named_oids become debug names.
+Status ApplyFacts(const ParsedUnit& unit, Instance* instance);
+
+// Serializes an instance as an `instance { ... }` block that ApplyFacts
+// reads back into an O-isomorphic instance: class facts first (named
+// after the oids' debug labels where printable), then nu-values, then
+// relation facts (always in the one-argument form `R(<value>);`).
+std::string WriteFacts(const Instance& instance);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_PARSER_H_

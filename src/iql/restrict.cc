@@ -1,0 +1,201 @@
+#include "iql/restrict.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+// Shared closure for Definitions 5.1 and 5.2; `base_case` decides which
+// variables start out restricted.
+template <typename BaseCaseFn>
+bool AllBodyVarsRestricted(const Program& program, const Rule& rule,
+                           const BaseCaseFn& base_case) {
+  std::set<Symbol> body_vars;
+  for (const Literal& lit : rule.body) program.CollectVars(lit, &body_vars);
+  std::set<Symbol> restricted;
+  for (Symbol v : body_vars) {
+    if (base_case(rule.var_types.at(v))) restricted.insert(v);
+  }
+  auto all_restricted = [&](TermId t) {
+    std::set<Symbol> vars;
+    program.CollectVars(t, &vars);
+    for (Symbol v : vars) {
+      if (!restricted.count(v)) return false;
+    }
+    return true;
+  };
+  auto mark = [&](TermId t, bool* changed) {
+    std::set<Symbol> vars;
+    program.CollectVars(t, &vars);
+    for (Symbol v : vars) {
+      if (restricted.insert(v).second) *changed = true;
+    }
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& lit : rule.body) {
+      if (!lit.positive || lit.kind == Literal::Kind::kChoose) continue;
+      if (lit.kind == Literal::Kind::kMembership) {
+        if (all_restricted(lit.lhs)) mark(lit.rhs, &changed);
+      } else {  // equality: closure runs in both directions
+        if (all_restricted(lit.lhs)) mark(lit.rhs, &changed);
+        if (all_restricted(lit.rhs)) mark(lit.lhs, &changed);
+      }
+    }
+  }
+  return restricted.size() == body_vars.size();
+}
+
+// The head predicate node ("leftmost symbol"): the relation or class name
+// of a membership head, or the class of x for x^-heads.
+Symbol HeadNode(Universe* universe, const Program& program,
+                const Rule& rule) {
+  const Term& lhs = program.term(rule.head.lhs);
+  if (lhs.kind == Term::Kind::kRelName ||
+      lhs.kind == Term::Kind::kClassName) {
+    return lhs.name;
+  }
+  IQL_CHECK(lhs.kind == Term::Kind::kDeref);
+  const TypeNode& t = universe->types().node(rule.var_types.at(lhs.name));
+  IQL_CHECK(t.kind == TypeKind::kClass);
+  return t.class_name;
+}
+
+}  // namespace
+
+bool IsPtimeRestrictedRule(Universe* universe, const Program& program,
+                           const Rule& rule) {
+  TypePool& types = universe->types();
+  return AllBodyVarsRestricted(program, rule, [&](TypeId t) {
+    return !types.ContainsSet(t);  // Def 5.1 (1): set-free type
+  });
+}
+
+bool IsRangeRestrictedRule(Universe* universe, const Program& program,
+                           const Rule& rule) {
+  TypePool& types = universe->types();
+  return AllBodyVarsRestricted(program, rule, [&](TypeId t) {
+    return types.node(t).kind == TypeKind::kClass;  // Def 5.2 (1)
+  });
+}
+
+bool IsInventionFreeStage(const std::vector<Rule>& stage) {
+  for (const Rule& rule : stage) {
+    if (!rule.invented_vars.empty()) return false;
+  }
+  return true;
+}
+
+bool IsRecursionFreeStage(Universe* universe, const Program& program,
+                          const std::vector<Rule>& stage) {
+  // Build G(Gamma) and test acyclicity by DFS.
+  std::map<Symbol, std::set<Symbol>> edges;
+  for (const Rule& rule : stage) {
+    // Sources: predicate names in the body and classes in the types of
+    // body variables.
+    std::set<Symbol> sources;
+    std::set<Symbol> body_vars;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kChoose) continue;
+      program.CollectVars(lit, &body_vars);
+      for (TermId t : {lit.lhs, lit.rhs}) {
+        // Walk the term for predicate names.
+        std::vector<TermId> stack = {t};
+        while (!stack.empty()) {
+          const Term& term = program.term(stack.back());
+          stack.pop_back();
+          if (term.kind == Term::Kind::kRelName ||
+              term.kind == Term::Kind::kClassName) {
+            sources.insert(term.name);
+          }
+          for (const auto& [attr, child] : term.fields) {
+            stack.push_back(child);
+          }
+          for (TermId child : term.elems) stack.push_back(child);
+        }
+      }
+    }
+    for (Symbol v : body_vars) {
+      universe->types().CollectClasses(rule.var_types.at(v), &sources);
+    }
+    // Targets: the head predicate and the classes of invented variables.
+    std::set<Symbol> targets = {HeadNode(universe, program, rule)};
+    for (Symbol v : rule.invented_vars) {
+      const TypeNode& t = universe->types().node(rule.var_types.at(v));
+      targets.insert(t.class_name);
+    }
+    for (Symbol src : sources) {
+      for (Symbol dst : targets) edges[src].insert(dst);
+    }
+  }
+  // DFS cycle detection.
+  std::map<Symbol, int> state;  // 0 unseen, 1 on stack, 2 done
+  std::function<bool(Symbol)> has_cycle = [&](Symbol n) -> bool {
+    int& s = state[n];
+    if (s == 1) return true;
+    if (s == 2) return false;
+    s = 1;
+    auto it = edges.find(n);
+    if (it != edges.end()) {
+      for (Symbol next : it->second) {
+        if (has_cycle(next)) return true;
+      }
+    }
+    s = 2;
+    return false;
+  };
+  for (const auto& [n, outs] : edges) {
+    if (has_cycle(n)) return false;
+  }
+  return true;
+}
+
+RestrictionReport AnalyzeRestrictions(Universe* universe,
+                                      const Schema& schema,
+                                      const Program& program) {
+  (void)schema;
+  IQL_CHECK(program.type_checked)
+      << "AnalyzeRestrictions requires a type-checked program";
+  RestrictionReport report;
+  const SymbolTable& syms = universe->symbols();
+  for (const auto& stage : program.stages) {
+    bool stage_pr = true;
+    bool stage_rr = true;
+    for (const Rule& rule : stage) {
+      if (!IsPtimeRestrictedRule(universe, program, rule)) {
+        stage_pr = false;
+        report.ptime_restricted = false;
+        report.notes.push_back("not ptime-restricted: " +
+                               program.RuleToString(rule, syms));
+      }
+      if (!IsRangeRestrictedRule(universe, program, rule)) {
+        stage_rr = false;
+        report.range_restricted = false;
+        report.notes.push_back("not range-restricted: " +
+                               program.RuleToString(rule, syms));
+      }
+    }
+    bool inv_free = IsInventionFreeStage(stage);
+    bool rec_free = IsRecursionFreeStage(universe, program, stage);
+    if (!inv_free) report.invention_free = false;
+    if (!rec_free) report.recursion_free = false;
+    bool controlled = rec_free || inv_free;
+    if (!controlled) {
+      report.notes.push_back(
+          "stage has recursion through oid invention (neither "
+          "recursion-free nor invention-free)");
+    }
+    if (!(stage_pr && controlled)) report.in_iql_pr = false;
+    if (!(stage_rr && controlled)) report.in_iql_rr = false;
+  }
+  return report;
+}
+
+}  // namespace iqlkit

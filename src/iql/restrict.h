@@ -1,0 +1,65 @@
+#ifndef IQLKIT_IQL_RESTRICT_H_
+#define IQLKIT_IQL_RESTRICT_H_
+
+#include <string>
+#include <vector>
+
+#include "iql/ast.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// Results of the §5 syntactic analyses on a type-checked program.
+//
+//   IQLrr  subset-of  IQLpr  subset-of  IQL        (Definition 5.3)
+//
+// A program is in IQLpr (IQLrr) if each stage is ptime-restricted
+// (range-restricted) and either recursion-free or invention-free; such
+// programs have PTIME data complexity (Theorem 5.4).
+struct RestrictionReport {
+  // Per Definitions 5.1 / 5.2, across all rules.
+  bool ptime_restricted = true;
+  bool range_restricted = true;
+  // No rule has head-only variables / the dependency graph G(Gamma) of each
+  // stage is acyclic.
+  bool invention_free = true;
+  bool recursion_free = true;
+  // Definition 5.3 verdicts.
+  bool in_iql_pr = true;
+  bool in_iql_rr = true;
+  // Human-readable explanations for each failed property.
+  std::vector<std::string> notes;
+};
+
+// Analyzes a type-checked program (TypeCheck must have run, so that
+// var_types and invented_vars are filled).
+RestrictionReport AnalyzeRestrictions(Universe* universe,
+                                      const Schema& schema,
+                                      const Program& program);
+
+// Definition 5.1: every body variable is ptime-restricted. Base case:
+// variables whose type contains no set constructor; closure: through
+// positive literals t1(t2), t1 = t2, t2 = t1 whose t1-side variables are
+// all restricted.
+bool IsPtimeRestrictedRule(Universe* universe, const Program& program,
+                           const Rule& rule);
+
+// Definition 5.2: like 5.1 but the base case is variables of class type.
+bool IsRangeRestrictedRule(Universe* universe, const Program& program,
+                           const Rule& rule);
+
+// A stage is invention-free if no rule has a head-only variable.
+bool IsInventionFreeStage(const std::vector<Rule>& stage);
+
+// A stage is recursion-free if its dependency graph G(Gamma) is acyclic
+// (§5): nodes are relation/class names; there is an arc n -> n' when some
+// rule mentions n in its body (as a predicate, or as a class in the type of
+// a body variable) and n' is the rule's head predicate, or n' is the class
+// of an invented head-only variable.
+bool IsRecursionFreeStage(Universe* universe, const Program& program,
+                          const std::vector<Rule>& stage);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_RESTRICT_H_

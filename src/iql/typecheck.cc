@@ -1,0 +1,528 @@
+#include "iql/typecheck.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+bool AssignableType(TypePool* pool, TypeId actual, TypeId expected) {
+  if (actual == expected) return true;
+  const TypeNode& an = pool->node(actual);
+  const TypeNode& en = pool->node(expected);
+  if (an.kind == TypeKind::kEmpty) return true;
+  // Unions: every member of the actual must fit; any member of the expected
+  // may receive.
+  if (an.kind == TypeKind::kUnion) {
+    for (TypeId m : an.children) {
+      if (!AssignableType(pool, m, expected)) return false;
+    }
+    return true;
+  }
+  if (en.kind == TypeKind::kUnion) {
+    for (TypeId m : en.children) {
+      if (AssignableType(pool, actual, m)) return true;
+    }
+    return false;
+  }
+  // An intersection is contained in each of its members.
+  if (an.kind == TypeKind::kIntersect) {
+    for (TypeId m : an.children) {
+      if (AssignableType(pool, m, expected)) return true;
+    }
+    return false;
+  }
+  if (en.kind == TypeKind::kIntersect) {
+    for (TypeId m : en.children) {
+      if (!AssignableType(pool, actual, m)) return false;
+    }
+    return true;
+  }
+  if (an.kind != en.kind) return false;
+  switch (an.kind) {
+    case TypeKind::kBase:
+      return true;
+    case TypeKind::kClass:
+      return an.class_name == en.class_name;
+    case TypeKind::kSet:
+      return AssignableType(pool, an.children[0], en.children[0]);
+    case TypeKind::kTuple: {
+      if (an.fields.size() != en.fields.size()) return false;
+      for (size_t i = 0; i < an.fields.size(); ++i) {
+        if (an.fields[i].first != en.fields[i].first ||
+            !AssignableType(pool, an.fields[i].second,
+                            en.fields[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TypeKind::kEmpty:
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect:
+      break;  // handled above
+  }
+  return false;
+}
+
+namespace {
+
+// Per-rule checking context.
+class RuleChecker {
+ public:
+  RuleChecker(Universe* universe, const Schema& schema,
+              const Program& program, Rule* rule)
+      : u_(universe),
+        types_(&universe->types()),
+        schema_(schema),
+        program_(program),
+        rule_(rule) {}
+
+  Status Check() {
+    // Seed with program-wide declarations, restricted to this rule's vars.
+    std::set<Symbol> vars;
+    program_.CollectVars(rule_->head, &vars);
+    for (const Literal& lit : rule_->body) program_.CollectVars(lit, &vars);
+    for (Symbol v : vars) {
+      auto it = program_.declared_var_types.find(v);
+      if (it != program_.declared_var_types.end()) {
+        rule_->var_types[v] = it->second;
+      }
+    }
+    // Propagate expected types until fixpoint.
+    bool changed = true;
+    int guard = 0;
+    while (changed) {
+      changed = false;
+      IQL_CHECK(++guard < 1000) << "type inference did not converge";
+      for (const Literal& lit : rule_->body) {
+        IQL_RETURN_IF_ERROR(InferLiteral(lit, &changed));
+      }
+      IQL_RETURN_IF_ERROR(InferLiteral(rule_->head, &changed));
+    }
+    for (Symbol v : vars) {
+      if (!rule_->var_types.count(v)) {
+        return TypeError("cannot infer a type for variable '" +
+                         std::string(u_->Name(v)) + "' in rule \"" +
+                         program_.RuleToString(*rule_, u_->symbols()) +
+                         "\"; declare it with 'var " +
+                         std::string(u_->Name(v)) + ": <type>;'");
+      }
+    }
+    // Head-only variables must have class type (§3.1 condition (3)).
+    std::set<Symbol> body_vars;
+    for (const Literal& lit : rule_->body) {
+      program_.CollectVars(lit, &body_vars);
+    }
+    std::set<Symbol> head_vars;
+    program_.CollectVars(rule_->head, &head_vars);
+    rule_->invented_vars.clear();
+    for (Symbol v : head_vars) {
+      if (body_vars.count(v)) continue;
+      TypeId t = rule_->var_types[v];
+      if (types_->node(t).kind != TypeKind::kClass) {
+        return TypeError(
+            "variable '" + std::string(u_->Name(v)) +
+            "' occurs only in the head and must have a class type "
+            "(§3.1 condition (3)); it has type " + types_->ToString(t));
+      }
+      rule_->invented_vars.push_back(v);
+    }
+    if (rule_->head_negative && !rule_->invented_vars.empty()) {
+      return TypeError(
+          "a deletion rule (negative head, IQL* §4.5) cannot invent oids; "
+          "every head variable must occur in the body");
+    }
+    // Head must be a fact of a legal shape and well-typed.
+    IQL_RETURN_IF_ERROR(CheckHeadShape());
+    // All literals must be typed (with coercion in body equalities).
+    for (const Literal& lit : rule_->body) {
+      IQL_RETURN_IF_ERROR(CheckLiteral(lit, /*is_head=*/false));
+    }
+    IQL_RETURN_IF_ERROR(CheckLiteral(rule_->head, /*is_head=*/true));
+    return Status::Ok();
+  }
+
+ private:
+  const Term& term(TermId id) const { return program_.term(id); }
+
+  Status RuleError(const std::string& message) const {
+    return TypeError(message + " in rule \"" +
+                     program_.RuleToString(*rule_, u_->symbols()) + "\"");
+  }
+
+  // ---- inference ---------------------------------------------------------
+
+  Status SetVarType(Symbol var, TypeId t, bool* changed) {
+    auto [it, inserted] = rule_->var_types.emplace(var, t);
+    if (inserted) {
+      *changed = true;
+      return Status::Ok();
+    }
+    // Refine monotonically: a strictly narrower inferred type (e.g. the
+    // class type from ta(y) against the union (instructor | ta) from a
+    // relation column) replaces the wider one. Anything else is left
+    // alone -- it may be a coercion site, checked later -- and explicit
+    // declarations are narrowings of themselves, so they stick.
+    if (it->second != t && AssignableType(types_, t, it->second) &&
+        !AssignableType(types_, it->second, t)) {
+      it->second = t;
+      *changed = true;
+    }
+    return Status::Ok();
+  }
+
+  // Pushes an expected type into a term's free variables, where the shape
+  // determines them unambiguously.
+  Status PropagateExpected(TermId id, TypeId expected, bool* changed) {
+    const Term& t = term(id);
+    const TypeNode& en = types_->node(expected);
+    switch (t.kind) {
+      case Term::Kind::kVar:
+        return SetVarType(t.name, expected, changed);
+      case Term::Kind::kConst:
+      case Term::Kind::kRelName:
+      case Term::Kind::kClassName:
+      case Term::Kind::kDeref:
+        return Status::Ok();
+      case Term::Kind::kTuple: {
+        const TypeNode* match = &en;
+        if (en.kind == TypeKind::kUnion) {
+          // Use the unique union member whose attribute set matches.
+          match = nullptr;
+          for (TypeId m : en.children) {
+            const TypeNode& mn = types_->node(m);
+            if (mn.kind != TypeKind::kTuple ||
+                mn.fields.size() != t.fields.size()) {
+              continue;
+            }
+            bool attrs_match = true;
+            for (size_t i = 0; i < mn.fields.size(); ++i) {
+              if (mn.fields[i].first != t.fields[i].first) {
+                attrs_match = false;
+                break;
+              }
+            }
+            if (attrs_match) {
+              if (match != nullptr) return Status::Ok();  // ambiguous
+              match = &mn;
+            }
+          }
+          if (match == nullptr) return Status::Ok();
+        }
+        if (match->kind != TypeKind::kTuple ||
+            match->fields.size() != t.fields.size()) {
+          return Status::Ok();  // shape mismatch surfaces in checking
+        }
+        for (size_t i = 0; i < t.fields.size(); ++i) {
+          if (match->fields[i].first != t.fields[i].first) continue;
+          IQL_RETURN_IF_ERROR(PropagateExpected(
+              t.fields[i].second, match->fields[i].second, changed));
+        }
+        return Status::Ok();
+      }
+      case Term::Kind::kSet: {
+        if (en.kind != TypeKind::kSet) return Status::Ok();
+        for (TermId child : t.elems) {
+          IQL_RETURN_IF_ERROR(
+              PropagateExpected(child, en.children[0], changed));
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  // The element type of a membership literal's left-hand side, if already
+  // determinable: T(R) for R, P for P, the element type of a set-typed
+  // variable, T(P)'s element type for x^ with x: P.
+  std::optional<TypeId> MembershipElementType(TermId lhs) {
+    const Term& t = term(lhs);
+    switch (t.kind) {
+      case Term::Kind::kRelName:
+        return schema_.RelationType(t.name);
+      case Term::Kind::kClassName:
+        return types_->Class(t.name);
+      case Term::Kind::kVar: {
+        auto it = rule_->var_types.find(t.name);
+        if (it == rule_->var_types.end()) return std::nullopt;
+        const TypeNode& n = types_->node(it->second);
+        if (n.kind != TypeKind::kSet) return std::nullopt;
+        return n.children[0];
+      }
+      case Term::Kind::kDeref: {
+        auto it = rule_->var_types.find(t.name);
+        if (it == rule_->var_types.end()) return std::nullopt;
+        const TypeNode& n = types_->node(it->second);
+        if (n.kind != TypeKind::kClass) return std::nullopt;
+        TypeId value_type = schema_.ClassType(n.class_name);
+        if (value_type == kInvalidType) return std::nullopt;
+        const TypeNode& vn = types_->node(value_type);
+        if (vn.kind != TypeKind::kSet) return std::nullopt;
+        return vn.children[0];
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // The full type of a term if all its variables are typed.
+  std::optional<TypeId> TryTermType(TermId id) {
+    const Term& t = term(id);
+    switch (t.kind) {
+      case Term::Kind::kVar: {
+        auto it = rule_->var_types.find(t.name);
+        if (it == rule_->var_types.end()) return std::nullopt;
+        return it->second;
+      }
+      case Term::Kind::kConst:
+        return types_->Base();
+      case Term::Kind::kRelName:
+        return types_->Set(schema_.RelationType(t.name));
+      case Term::Kind::kClassName:
+        return types_->Set(types_->Class(t.name));
+      case Term::Kind::kDeref: {
+        auto it = rule_->var_types.find(t.name);
+        if (it == rule_->var_types.end()) return std::nullopt;
+        const TypeNode& n = types_->node(it->second);
+        if (n.kind != TypeKind::kClass) return std::nullopt;
+        TypeId value_type = schema_.ClassType(n.class_name);
+        if (value_type == kInvalidType) return std::nullopt;
+        return value_type;
+      }
+      case Term::Kind::kTuple: {
+        std::vector<std::pair<Symbol, TypeId>> fields;
+        for (const auto& [attr, child] : t.fields) {
+          auto ft = TryTermType(child);
+          if (!ft.has_value()) return std::nullopt;
+          fields.emplace_back(attr, *ft);
+        }
+        return types_->Tuple(std::move(fields));
+      }
+      case Term::Kind::kSet: {
+        std::vector<TypeId> members;
+        for (TermId child : t.elems) {
+          auto et = TryTermType(child);
+          if (!et.has_value()) return std::nullopt;
+          members.push_back(*et);
+        }
+        if (members.empty()) return types_->Set(types_->Empty());
+        return types_->Set(types_->Union(std::move(members)));
+      }
+    }
+    return std::nullopt;
+  }
+
+  Status InferLiteral(const Literal& lit, bool* changed) {
+    switch (lit.kind) {
+      case Literal::Kind::kChoose:
+        return Status::Ok();
+      case Literal::Kind::kMembership: {
+        auto elem = MembershipElementType(lit.lhs);
+        if (elem.has_value()) {
+          IQL_RETURN_IF_ERROR(PropagateExpected(lit.rhs, *elem, changed));
+        }
+        return Status::Ok();
+      }
+      case Literal::Kind::kEquality: {
+        auto lt = TryTermType(lit.lhs);
+        auto rt = TryTermType(lit.rhs);
+        if (lt.has_value() && !rt.has_value()) {
+          IQL_RETURN_IF_ERROR(PropagateExpected(lit.rhs, *lt, changed));
+        } else if (rt.has_value() && !lt.has_value()) {
+          IQL_RETURN_IF_ERROR(PropagateExpected(lit.lhs, *rt, changed));
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ---- checking ----------------------------------------------------------
+
+  Status CheckHeadShape() {
+    const Literal& head = rule_->head;
+    if (head.kind == Literal::Kind::kChoose) {
+      return RuleError("'choose' cannot be a head");
+    }
+    const Term& lhs = term(head.lhs);
+    if (head.kind == Literal::Kind::kEquality) {
+      // x^ = t with x of a non-set-valued class.
+      if (lhs.kind != Term::Kind::kDeref) {
+        return RuleError("an equality head must have the form x^ = t");
+      }
+      TypeId xt = rule_->var_types[lhs.name];
+      const TypeNode& xn = types_->node(xt);
+      if (xn.kind != TypeKind::kClass) {
+        return RuleError("'" + std::string(u_->Name(lhs.name)) +
+                         "^' requires a class-typed variable");
+      }
+      if (schema_.IsSetValuedClass(xn.class_name)) {
+        return RuleError(
+            "head 'x^ = t' requires a non-set-valued class; use x^(t) for "
+            "set accretion");
+      }
+      return Status::Ok();
+    }
+    // Membership head: R(t), P(t), or x^(t).
+    switch (lhs.kind) {
+      case Term::Kind::kRelName:
+      case Term::Kind::kClassName:
+        return Status::Ok();
+      case Term::Kind::kDeref: {
+        TypeId xt = rule_->var_types[lhs.name];
+        const TypeNode& xn = types_->node(xt);
+        if (xn.kind != TypeKind::kClass ||
+            !schema_.IsSetValuedClass(xn.class_name)) {
+          return RuleError(
+              "head 'x^(t)' requires x to range over a set-valued class");
+        }
+        return Status::Ok();
+      }
+      default:
+        return RuleError(
+            "a head must be R(t), P(t), x^(t), or x^ = t (§3.1)");
+    }
+  }
+
+  Status CheckLiteral(const Literal& lit, bool is_head) {
+    switch (lit.kind) {
+      case Literal::Kind::kChoose:
+        return Status::Ok();
+      case Literal::Kind::kMembership: {
+        auto elem = MembershipElementType(lit.lhs);
+        if (!elem.has_value()) {
+          return RuleError("left-hand side of membership '" +
+                           program_.LiteralToString(lit, u_->symbols()) +
+                           "' is not set-typed");
+        }
+        auto rt = TryTermType(lit.rhs);
+        if (!rt.has_value()) {
+          return RuleError("cannot type term in '" +
+                           program_.LiteralToString(lit, u_->symbols()) +
+                           "'");
+        }
+        if (!AssignableType(types_, *rt, *elem)) {
+          return RuleError("type mismatch in '" +
+                           program_.LiteralToString(lit, u_->symbols()) +
+                           "': element type is " + types_->ToString(*elem) +
+                           " but term has type " + types_->ToString(*rt));
+        }
+        return Status::Ok();
+      }
+      case Literal::Kind::kEquality: {
+        auto lt = TryTermType(lit.lhs);
+        auto rt = TryTermType(lit.rhs);
+        if (!lt.has_value() || !rt.has_value()) {
+          return RuleError("cannot type equality '" +
+                           program_.LiteralToString(lit, u_->symbols()) +
+                           "'");
+        }
+        bool ok = is_head
+                      ? AssignableType(types_, *rt, *lt)
+                      : AssignableType(types_, *rt, *lt) ||
+                            AssignableType(types_, *lt, *rt);
+        if (!ok) {
+          return RuleError("incompatible types in '" +
+                           program_.LiteralToString(lit, u_->symbols()) +
+                           "': " + types_->ToString(*lt) + " vs " +
+                           types_->ToString(*rt));
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  Universe* u_;
+  TypePool* types_;
+  const Schema& schema_;
+  const Program& program_;
+  Rule* rule_;
+};
+
+}  // namespace
+
+Status TypeCheck(Universe* universe, const Schema& schema,
+                 Program* program) {
+  // Predicate names must be declared.
+  for (const Term& t : program->terms) {
+    if (t.kind == Term::Kind::kRelName && !schema.HasRelation(t.name)) {
+      return TypeError("undeclared relation '" +
+                       std::string(universe->Name(t.name)) + "'");
+    }
+    if (t.kind == Term::Kind::kClassName && !schema.HasClass(t.name)) {
+      return TypeError("undeclared class '" +
+                       std::string(universe->Name(t.name)) + "'");
+    }
+  }
+  for (auto& stage : program->stages) {
+    for (Rule& rule : stage) {
+      RuleChecker checker(universe, schema, *program, &rule);
+      IQL_RETURN_IF_ERROR(checker.Check());
+    }
+  }
+  program->type_checked = true;
+  return Status::Ok();
+}
+
+Result<TypeId> TermType(Universe* universe, const Schema& schema,
+                        const Rule& rule, const Program& program,
+                        TermId id) {
+  TypePool& types = universe->types();
+  const Term& t = program.term(id);
+  switch (t.kind) {
+    case Term::Kind::kVar: {
+      auto it = rule.var_types.find(t.name);
+      if (it == rule.var_types.end()) {
+        return TypeError("untyped variable '" +
+                         std::string(universe->Name(t.name)) + "'");
+      }
+      return it->second;
+    }
+    case Term::Kind::kConst:
+      return types.Base();
+    case Term::Kind::kRelName:
+      return types.Set(schema.RelationType(t.name));
+    case Term::Kind::kClassName:
+      return types.Set(types.Class(t.name));
+    case Term::Kind::kDeref: {
+      auto it = rule.var_types.find(t.name);
+      if (it == rule.var_types.end()) {
+        return TypeError("untyped variable '" +
+                         std::string(universe->Name(t.name)) + "'");
+      }
+      const TypeNode& n = types.node(it->second);
+      if (n.kind != TypeKind::kClass) {
+        return TypeError("dereference of non-class-typed variable");
+      }
+      return schema.ClassType(n.class_name);
+    }
+    case Term::Kind::kTuple: {
+      std::vector<std::pair<Symbol, TypeId>> fields;
+      for (const auto& [attr, child] : t.fields) {
+        IQL_ASSIGN_OR_RETURN(TypeId ft,
+                             TermType(universe, schema, rule, program,
+                                      child));
+        fields.emplace_back(attr, ft);
+      }
+      return types.Tuple(std::move(fields));
+    }
+    case Term::Kind::kSet: {
+      std::vector<TypeId> members;
+      for (TermId child : t.elems) {
+        IQL_ASSIGN_OR_RETURN(TypeId et,
+                             TermType(universe, schema, rule, program,
+                                      child));
+        members.push_back(et);
+      }
+      if (members.empty()) return types.Set(types.Empty());
+      return types.Set(types.Union(std::move(members)));
+    }
+  }
+  return InternalError("unknown term kind");
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,41 @@
+#ifndef IQLKIT_IQL_TYPECHECK_H_
+#define IQLKIT_IQL_TYPECHECK_H_
+
+#include "base/result.h"
+#include "base/status.h"
+#include "iql/ast.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// Structural assignability `actual <= expected`:
+//   - the empty type is assignable to everything;
+//   - a type is assignable to any union containing it (the paper's
+//     body-equality coercion, §3.1 condition (2), applied uniformly);
+//   - tuples are assignable fieldwise on identical attribute sets, sets
+//     elementwise (this covers the polymorphic empty set: {empty} <= {t}).
+// Sound: Assignable(a, e) implies ⟦a⟧ is a subset of ⟦e⟧ for every oid
+// assignment.
+bool AssignableType(TypePool* pool, TypeId actual, TypeId expected);
+
+// Checks an IQL program against a schema per §3.1 and fills in each rule's
+// `var_types` (declared types plus inference) and `invented_vars` (head-only
+// variables, which must have class type). Verifies:
+//   - every head is a fact: R(t), P(t), x^(t) with x of a set-valued class,
+//     or x^ = t with x of a non-set class;
+//   - every literal is typed (with union coercion on equalities);
+//   - head-only variables have class type (§3.1 rule condition (3));
+//   - all predicate names are declared in the schema.
+// Variables the checker cannot infer must be declared with `var x: t;`.
+Status TypeCheck(Universe* universe, const Schema& schema, Program* program);
+
+// The type of `term` under `rule.var_types` (§3.1 term typing). The rule
+// must already be type checked.
+Result<TypeId> TermType(Universe* universe, const Schema& schema,
+                        const Rule& rule, const Program& program,
+                        TermId term);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_IQL_TYPECHECK_H_

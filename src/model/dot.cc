@@ -1,0 +1,99 @@
+#include "model/dot.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace iqlkit {
+
+namespace {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Emits edges from `from_node` to every oid mentioned in `v`, labelled by
+// the access path, and returns a scalar rendering with oids elided.
+void EmitValueEdges(const Instance& inst, const std::string& from_node,
+                    ValueId v, const std::string& path,
+                    std::ostringstream* out) {
+  const ValueStore& values = inst.universe()->values();
+  const ValueNode& n = values.node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      return;
+    case ValueKind::kOid:
+      *out << "  " << from_node << " -> oid" << n.oid.raw << " [label=\""
+           << Escape(path) << "\"];\n";
+      return;
+    case ValueKind::kTuple:
+      for (const auto& [attr, child] : n.fields) {
+        std::string name(inst.universe()->Name(attr));
+        EmitValueEdges(inst, from_node, child,
+                       path.empty() ? name : path + "." + name, out);
+      }
+      return;
+    case ValueKind::kSet: {
+      int i = 0;
+      for (ValueId child : n.elems) {
+        EmitValueEdges(inst, from_node, child, path + "{}",
+                       out);
+        (void)i;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string InstanceToDot(const Instance& instance,
+                          std::string_view graph_name) {
+  const ValueStore& values = instance.universe()->values();
+  std::ostringstream out;
+  out << "digraph \"" << Escape(graph_name) << "\" {\n"
+      << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  // Oid nodes, grouped per class.
+  for (Symbol p : instance.schema().class_names()) {
+    for (Oid o : instance.ClassExtent(p)) {
+      out << "  oid" << o.raw << " [label=\""
+          << Escape(instance.OidLabel(o)) << " : "
+          << Escape(instance.universe()->Name(p)) << "\"";
+      if (!instance.ValueOf(o).has_value()) {
+        out << ", style=dashed";  // undefined nu: incomplete information
+      }
+      out << "];\n";
+    }
+  }
+  // nu edges.
+  for (Symbol p : instance.schema().class_names()) {
+    for (Oid o : instance.ClassExtent(p)) {
+      auto v = instance.ValueOf(o);
+      if (!v.has_value()) continue;
+      EmitValueEdges(instance, "oid" + std::to_string(o.raw), *v, "",
+                     &out);
+    }
+  }
+  // Relation facts as ellipse nodes with edges to mentioned oids.
+  int fact_id = 0;
+  for (Symbol r : instance.schema().relation_names()) {
+    for (ValueId v : instance.Relation(r)) {
+      std::string node = "fact" + std::to_string(fact_id++);
+      out << "  " << node << " [shape=ellipse, label=\""
+          << Escape(instance.universe()->Name(r)) << " "
+          << Escape(values.ToString(
+                 v, [&](Oid o) { return instance.OidLabel(o); }))
+          << "\"];\n";
+      EmitValueEdges(instance, node, v, "", &out);
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace iqlkit

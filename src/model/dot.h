@@ -1,0 +1,22 @@
+#ifndef IQLKIT_MODEL_DOT_H_
+#define IQLKIT_MODEL_DOT_H_
+
+#include <string>
+
+#include "model/instance.h"
+
+namespace iqlkit {
+
+// Renders an instance as a Graphviz digraph: one node per oid (labelled
+// with its class and debug name), arrows for oid references inside
+// nu-values (labelled with the tuple-attribute path), and record nodes
+// for relation tuples. Cyclic instances come out as cyclic graphs --
+// the picture the paper draws informally for Example 1.2.
+//
+//   dot -Tsvg out.dot -o out.svg
+std::string InstanceToDot(const Instance& instance,
+                          std::string_view graph_name = "instance");
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_DOT_H_

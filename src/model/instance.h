@@ -1,0 +1,162 @@
+#ifndef IQLKIT_MODEL_INSTANCE_H_
+#define IQLKIT_MODEL_INSTANCE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "model/oid.h"
+#include "model/schema.h"
+#include "model/type_algebra.h"
+#include "model/universe.h"
+#include "model/value.h"
+
+namespace iqlkit {
+
+// An instance I = (rho, pi, nu) of a schema (Definition 2.3.2):
+//   rho : relation name -> finite set of o-values,
+//   pi  : class name    -> finite set of oids (pairwise disjoint),
+//   nu  : oid -> o-value, partial; total on set-valued classes, where an
+//         oid with no recorded value denotes the empty set (Remark 2.3.3).
+//
+// Disjointness of pi is enforced structurally: each oid records the single
+// class it belongs to, and AddOid rejects a second class.
+//
+// Instances are cheap-ish to copy (sets of 32/64-bit ids); the evaluator
+// copies its working instance only at stage boundaries.
+class Instance : public ClassResolver {
+ public:
+  // Non-owning: `schema` must outlive the instance.
+  Instance(const Schema* schema, Universe* universe)
+      : schema_(schema, [](const Schema*) {}), universe_(universe) {}
+  // Shared ownership: used when an instance must carry its schema around
+  // (e.g. projections onto freshly built output schemas).
+  Instance(std::shared_ptr<const Schema> schema, Universe* universe)
+      : schema_(std::move(schema)), universe_(universe) {}
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+  Universe* universe() const { return universe_; }
+
+  // ---- construction ------------------------------------------------------
+
+  Status AddToRelation(Symbol relation, ValueId v);
+  Status AddToRelation(std::string_view relation, ValueId v);
+
+  // Mints a fresh oid (from the universe counter) and places it in class P.
+  // For a set-valued class the oid's value defaults to the empty set.
+  Result<Oid> CreateOid(Symbol cls);
+  Result<Oid> CreateOid(std::string_view cls);
+
+  // Places an existing oid into class P; rejects oids already classed.
+  Status AddOid(Symbol cls, Oid o);
+
+  // Defines nu(o) = v. Rejects unknown oids and redefinition (the paper's
+  // weak assignment never overwrites; see evaluator condition (*)).
+  Status SetOidValue(Oid o, ValueId v);
+
+  // For a set-valued oid: nu(o) := nu(o) union {elem}.
+  Status AddToSetOid(Oid o, ValueId elem);
+
+  // Attaches a debug label used by printers ("adam" instead of "@7").
+  void NameOid(Oid o, std::string_view name);
+
+  // ---- deletion (IQL*, §4.5) ----------------------------------------------
+
+  // Removes a tuple from a relation (no-op if absent). Returns true if a
+  // fact was removed.
+  bool RemoveFromRelation(Symbol relation, ValueId v);
+
+  // Removes an element from a set-valued oid's value. Returns true if
+  // removed.
+  bool RemoveFromSetOid(Oid o, ValueId elem);
+
+  // Makes nu(o) undefined again (no-op for set-valued oids, whose nu is
+  // total; their value resets to the empty set instead).
+  bool ClearOidValue(Oid o);
+
+  // Deletes an oid: removes it from its class and erases every fact whose
+  // value mentions it -- relation tuples are dropped, set elements removed,
+  // and non-set oids whose value mentions it are deleted in cascade (the
+  // paper's update-propagation remark, §4.5). Returns the number of oids
+  // deleted (0 if unknown).
+  size_t DeleteOidCascade(Oid o);
+
+  // ---- access -------------------------------------------------------------
+
+  // Extent of a relation / class; empty if the name has no tuples yet.
+  const std::set<ValueId>& Relation(Symbol name) const;
+  const std::set<Oid>& ClassExtent(Symbol name) const;
+  bool RelationContains(Symbol name, ValueId v) const;
+
+  // nu(o); nullopt when undefined. Unknown oids are an internal error.
+  std::optional<ValueId> ValueOf(Oid o) const;
+  // The unique class containing o; nullopt for oids not in this instance.
+  std::optional<Symbol> ClassOf(Oid o) const;
+  bool HasOid(Oid o) const { return class_of_.count(o) > 0; }
+
+  // ClassResolver (disjoint assignment): exact class membership.
+  bool OidInClass(Oid o, Symbol cls) const override;
+
+  // All oids / constants occurring in the instance (objects(I),
+  // constants(I), §2.3).
+  std::set<Oid> Objects() const;
+  std::set<Symbol> ConstantAtoms() const;
+
+  // Printable label for an oid: its debug name, else "@<raw>".
+  std::string OidLabel(Oid o) const;
+
+  // ---- semantics ----------------------------------------------------------
+
+  // Checks conditions (1)-(3) of Definition 2.3.2 plus oid-closure: every
+  // oid occurring in a relation value or a nu-value belongs to some class.
+  Status Validate() const;
+
+  // Projection I[S'] onto a projection schema (§3). `sub` must use the same
+  // universe and only names declared in this instance's schema.
+  Instance Project(const Schema* sub) const;
+  Instance Project(std::shared_ptr<const Schema> sub) const;
+
+  // Copies every fact of `src` into this instance: relations, class
+  // extents, nu-values, and debug names. `src`'s schema must be a subset of
+  // this schema (a projection), over the same universe. Conflicting class
+  // memberships or nu-values are errors.
+  Status Absorb(const Instance& src);
+
+  // Exact ground-fact equality (same universe required). This is equality
+  // of ground-facts(I) (§2.3), *not* equality up to O-isomorphism; for the
+  // latter see transform/isomorphism.h.
+  bool EqualGroundFacts(const Instance& other) const;
+
+  // Total number of ground facts (for budget accounting and reporting).
+  size_t GroundFactCount() const;
+
+  // Renders the instance in the paper's notation (pi, rho, nu sections).
+  std::string ToString() const;
+
+  // Renders ground-facts(I) in the paper's logic-programming notation
+  // (§2.3): one line per fact --
+  //   R(v).   P(o).   o^(v).   o^ = v.
+  // (set-valued oids contribute one o^(v) line per element).
+  std::string GroundFactsToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  Universe* universe_;
+  std::map<Symbol, std::set<ValueId>> relations_;
+  std::map<Symbol, std::set<Oid>> classes_;
+  std::unordered_map<Oid, ValueId, OidHash> nu_;
+  std::unordered_map<Oid, Symbol, OidHash> class_of_;
+  std::unordered_map<Oid, std::string, OidHash> oid_names_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_INSTANCE_H_

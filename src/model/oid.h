@@ -1,0 +1,30 @@
+#ifndef IQLKIT_MODEL_OID_H_
+#define IQLKIT_MODEL_OID_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "base/hash.h"
+
+namespace iqlkit {
+
+// An object identity (oid): an atomic, uninterpreted element of the
+// countable set O (paper §2.1). The only observable structure on oids is
+// equality; the raw integer exists so the implementation can mint fresh
+// ones and order them deterministically. Query results are defined only up
+// to renaming of oids (O-isomorphism, paper §4.1), and the test suite
+// verifies that programs do not depend on the raw values.
+struct Oid {
+  uint64_t raw = 0;
+
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+};
+
+struct OidHash {
+  size_t operator()(Oid o) const { return static_cast<size_t>(Mix64(o.raw)); }
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_OID_H_

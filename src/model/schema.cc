@@ -1,0 +1,105 @@
+#include "model/schema.h"
+
+#include <set>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+Status Schema::DeclareRelation(std::string_view name, TypeId type) {
+  Symbol sym = universe_->Intern(name);
+  if (HasName(sym)) {
+    return AlreadyExistsError("name already declared: " + std::string(name));
+  }
+  relation_types_.emplace(sym, type);
+  relation_order_.push_back(sym);
+  return Status::Ok();
+}
+
+Status Schema::DeclareClass(std::string_view name, TypeId type) {
+  Symbol sym = universe_->Intern(name);
+  if (HasName(sym)) {
+    return AlreadyExistsError("name already declared: " + std::string(name));
+  }
+  class_types_.emplace(sym, type);
+  class_order_.push_back(sym);
+  return Status::Ok();
+}
+
+TypeId Schema::RelationType(Symbol name) const {
+  auto it = relation_types_.find(name);
+  return it == relation_types_.end() ? kInvalidType : it->second;
+}
+
+TypeId Schema::ClassType(Symbol name) const {
+  auto it = class_types_.find(name);
+  return it == class_types_.end() ? kInvalidType : it->second;
+}
+
+bool Schema::IsSetValuedClass(Symbol name) const {
+  TypeId t = ClassType(name);
+  if (t == kInvalidType) return false;
+  return universe_->types().node(t).kind == TypeKind::kSet;
+}
+
+Status Schema::Validate() const {
+  const TypePool& types = universe_->types();
+  auto check_refs = [&](Symbol owner, TypeId t) -> Status {
+    std::set<Symbol> referenced;
+    types.CollectClasses(t, &referenced);
+    for (Symbol cls : referenced) {
+      if (!HasClass(cls)) {
+        return TypeError("type of '" + std::string(universe_->Name(owner)) +
+                         "' references undeclared class '" +
+                         std::string(universe_->Name(cls)) + "'");
+      }
+    }
+    return Status::Ok();
+  };
+  for (Symbol r : relation_order_) {
+    IQL_RETURN_IF_ERROR(check_refs(r, RelationType(r)));
+  }
+  for (Symbol p : class_order_) {
+    IQL_RETURN_IF_ERROR(check_refs(p, ClassType(p)));
+  }
+  return Status::Ok();
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  Schema sub(universe_);
+  for (const std::string& name : names) {
+    Symbol sym = universe_->symbols().Find(name);
+    if (sym == kInvalidSymbol || !HasName(sym)) {
+      return NotFoundError("projection name not in schema: " + name);
+    }
+    if (HasRelation(sym)) {
+      IQL_RETURN_IF_ERROR(sub.DeclareRelation(name, RelationType(sym)));
+    } else {
+      IQL_RETURN_IF_ERROR(sub.DeclareClass(name, ClassType(sym)));
+    }
+  }
+  IQL_RETURN_IF_ERROR(sub.Validate());
+  return sub;
+}
+
+std::string Schema::ToString() const {
+  const TypePool& types = universe_->types();
+  std::string out;
+  for (Symbol r : relation_order_) {
+    out += "relation ";
+    out += universe_->Name(r);
+    out += " : ";
+    out += types.ToString(RelationType(r));
+    out += ";\n";
+  }
+  for (Symbol p : class_order_) {
+    out += "class ";
+    out += universe_->Name(p);
+    out += " : ";
+    out += types.ToString(ClassType(p));
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace iqlkit

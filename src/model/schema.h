@@ -1,0 +1,77 @@
+#ifndef IQLKIT_MODEL_SCHEMA_H_
+#define IQLKIT_MODEL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "model/type.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// A database schema S = (R, P, T) (Definition 2.3.1): finite sets of
+// relation names and class names plus a type expression for each.
+// Relations denote duplicate-free sets of o-values of type T(R); classes
+// denote disjoint finite sets of oids whose nu-values have type T(P).
+//
+// Relation and class names share one namespace (both occur as predicate
+// symbols in IQL rules), so declaring "R" as both is an error.
+class Schema {
+ public:
+  explicit Schema(Universe* universe) : universe_(universe) {}
+
+  Status DeclareRelation(std::string_view name, TypeId type);
+  Status DeclareClass(std::string_view name, TypeId type);
+
+  bool HasRelation(Symbol name) const {
+    return relation_types_.count(name) > 0;
+  }
+  bool HasClass(Symbol name) const { return class_types_.count(name) > 0; }
+  bool HasName(Symbol name) const {
+    return HasRelation(name) || HasClass(name);
+  }
+
+  // Type of a declared relation/class; kInvalidType if undeclared.
+  TypeId RelationType(Symbol name) const;
+  TypeId ClassType(Symbol name) const;
+
+  // True if T(P) = {t} for some t ("set-valued class", §2.3): nu must be
+  // total on p(P) and undefined values default to the empty set.
+  bool IsSetValuedClass(Symbol name) const;
+
+  // Declaration order, for deterministic printing and iteration.
+  const std::vector<Symbol>& relation_names() const {
+    return relation_order_;
+  }
+  const std::vector<Symbol>& class_names() const { return class_order_; }
+
+  Universe* universe() const { return universe_; }
+
+  // Checks that every class name referenced inside a declared type is
+  // itself declared (types refer to base domains or class names, never to
+  // relation names, §2.2).
+  Status Validate() const;
+
+  // Projection of a schema onto a subset of its names (§3). Fails if a kept
+  // class type references a dropped class.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  // Renders the schema in the paper's declaration syntax.
+  std::string ToString() const;
+
+ private:
+  Universe* universe_;
+  std::unordered_map<Symbol, TypeId> relation_types_;
+  std::unordered_map<Symbol, TypeId> class_types_;
+  std::vector<Symbol> relation_order_;
+  std::vector<Symbol> class_order_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_SCHEMA_H_

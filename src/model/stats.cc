@@ -1,0 +1,81 @@
+#include "model/stats.h"
+
+#include <algorithm>
+#include <set>
+
+namespace iqlkit {
+
+size_t ValueBranchingFactor(const ValueStore& values, ValueId v) {
+  const ValueNode& n = values.node(v);
+  size_t best = 0;
+  switch (n.kind) {
+    case ValueKind::kConst:
+    case ValueKind::kOid:
+      return 0;
+    case ValueKind::kTuple:
+      best = n.fields.size();
+      for (const auto& [attr, child] : n.fields) {
+        best = std::max(best, ValueBranchingFactor(values, child));
+      }
+      return best;
+    case ValueKind::kSet:
+      best = n.elems.size();
+      for (ValueId child : n.elems) {
+        best = std::max(best, ValueBranchingFactor(values, child));
+      }
+      return best;
+  }
+  return best;
+}
+
+size_t ValueDepth(const ValueStore& values, ValueId v) {
+  const ValueNode& n = values.node(v);
+  size_t best = 0;
+  for (const auto& [attr, child] : n.fields) {
+    best = std::max(best, ValueDepth(values, child));
+  }
+  for (ValueId child : n.elems) {
+    best = std::max(best, ValueDepth(values, child));
+  }
+  return best + 1;
+}
+
+InstanceStats ComputeInstanceStats(const Instance& instance) {
+  const ValueStore& values = instance.universe()->values();
+  InstanceStats stats;
+  stats.ground_facts = instance.GroundFactCount();
+  stats.objects = instance.Objects().size();
+  stats.constants = instance.ConstantAtoms().size();
+
+  std::set<ValueId> roots;
+  for (Symbol r : instance.schema().relation_names()) {
+    for (ValueId v : instance.Relation(r)) roots.insert(v);
+  }
+  for (Symbol p : instance.schema().class_names()) {
+    for (Oid o : instance.ClassExtent(p)) {
+      auto v = instance.ValueOf(o);
+      if (v.has_value()) roots.insert(*v);
+    }
+  }
+  // Count distinct reachable DAG nodes.
+  std::set<ValueId> seen;
+  std::vector<ValueId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    ValueId v = stack.back();
+    stack.pop_back();
+    if (!seen.insert(v).second) continue;
+    const ValueNode& n = values.node(v);
+    for (const auto& [attr, child] : n.fields) stack.push_back(child);
+    for (ValueId child : n.elems) stack.push_back(child);
+  }
+  stats.distinct_values = seen.size();
+  for (ValueId v : roots) {
+    stats.branching_factor =
+        std::max(stats.branching_factor, ValueBranchingFactor(values, v));
+    stats.max_value_depth =
+        std::max(stats.max_value_depth, ValueDepth(values, v));
+  }
+  return stats;
+}
+
+}  // namespace iqlkit

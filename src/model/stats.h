@@ -1,0 +1,34 @@
+#ifndef IQLKIT_MODEL_STATS_H_
+#define IQLKIT_MODEL_STATS_H_
+
+#include <cstddef>
+
+#include "model/instance.h"
+
+namespace iqlkit {
+
+// Structural measurements of an instance, in the terms §5 reasons with.
+struct InstanceStats {
+  size_t ground_facts = 0;     // |ground-facts(I)|
+  size_t objects = 0;          // |objects(I)|
+  size_t constants = 0;        // |constants(I)|
+  size_t distinct_values = 0;  // o-value DAG nodes reachable from facts
+  // Lemma 5.7's branching factor: the maximum outdegree of a node in the
+  // finite-tree representation of any o-value in o-values(I). Invention-
+  // free ptime-restricted programs cannot push it past max(input
+  // branching, rule size), which bounds their output polynomially.
+  size_t branching_factor = 0;
+  size_t max_value_depth = 0;  // deepest o-value tree
+};
+
+InstanceStats ComputeInstanceStats(const Instance& instance);
+
+// The branching factor of a single o-value (max outdegree over its tree).
+size_t ValueBranchingFactor(const ValueStore& values, ValueId v);
+
+// The depth of a single o-value tree (leaves have depth 1).
+size_t ValueDepth(const ValueStore& values, ValueId v);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_STATS_H_

@@ -1,0 +1,284 @@
+#include "model/type.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+uint64_t HashNode(const TypeNode& n) {
+  uint64_t h = Mix64(static_cast<uint64_t>(n.kind) + 0x51u);
+  switch (n.kind) {
+    case TypeKind::kEmpty:
+    case TypeKind::kBase:
+      break;
+    case TypeKind::kClass:
+      h = HashCombine(h, n.class_name);
+      break;
+    case TypeKind::kTuple:
+      for (const auto& [attr, child] : n.fields) {
+        h = HashCombine(h, attr);
+        h = HashCombine(h, child);
+      }
+      break;
+    case TypeKind::kSet:
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect:
+      h = HashRange(n.children.begin(), n.children.end(), h);
+      break;
+  }
+  return h;
+}
+
+bool SameNode(const TypeNode& a, const TypeNode& b) {
+  return a.kind == b.kind && a.class_name == b.class_name &&
+         a.fields == b.fields && a.children == b.children;
+}
+
+}  // namespace
+
+TypeId TypePool::InternNode(TypeNode node) {
+  uint64_t h = HashNode(node);
+  auto [begin, end] = index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (SameNode(nodes_[it->second], node)) return it->second;
+  }
+  IQL_CHECK(nodes_.size() < kInvalidType) << "type pool overflow";
+  TypeId id = static_cast<TypeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_.emplace(h, id);
+  return id;
+}
+
+TypeId TypePool::Empty() {
+  TypeNode n;
+  n.kind = TypeKind::kEmpty;
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::Base() {
+  TypeNode n;
+  n.kind = TypeKind::kBase;
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::Class(Symbol name) {
+  TypeNode n;
+  n.kind = TypeKind::kClass;
+  n.class_name = name;
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::ClassNamed(std::string_view name) {
+  return Class(symbols_->Intern(name));
+}
+
+TypeId TypePool::Tuple(std::vector<std::pair<Symbol, TypeId>> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    IQL_CHECK(fields[i - 1].first != fields[i].first)
+        << "duplicate tuple-type attribute "
+        << symbols_->name(fields[i].first);
+  }
+  // [..., A: {}, ...] has empty interpretation under every assignment.
+  for (const auto& [attr, child] : fields) {
+    if (node(child).kind == TypeKind::kEmpty) return Empty();
+  }
+  TypeNode n;
+  n.kind = TypeKind::kTuple;
+  n.fields = std::move(fields);
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::Set(TypeId elem) {
+  // Note: {<empty>} is *not* empty -- it contains the empty set (§2.2).
+  TypeNode n;
+  n.kind = TypeKind::kSet;
+  n.children = {elem};
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::Union(std::vector<TypeId> members) {
+  std::vector<TypeId> flat;
+  for (TypeId m : members) {
+    const TypeNode& mn = node(m);
+    if (mn.kind == TypeKind::kEmpty) continue;  // {} | t == t
+    if (mn.kind == TypeKind::kUnion) {
+      flat.insert(flat.end(), mn.children.begin(), mn.children.end());
+    } else {
+      flat.push_back(m);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (flat.empty()) return Empty();
+  if (flat.size() == 1) return flat[0];
+  TypeNode n;
+  n.kind = TypeKind::kUnion;
+  n.children = std::move(flat);
+  return InternNode(std::move(n));
+}
+
+TypeId TypePool::Intersect(std::vector<TypeId> members) {
+  std::vector<TypeId> flat;
+  for (TypeId m : members) {
+    const TypeNode& mn = node(m);
+    if (mn.kind == TypeKind::kEmpty) return Empty();  // {} & t == {}
+    if (mn.kind == TypeKind::kIntersect) {
+      flat.insert(flat.end(), mn.children.begin(), mn.children.end());
+    } else {
+      flat.push_back(m);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  IQL_CHECK(!flat.empty()) << "empty intersection has no interpretation";
+  if (flat.size() == 1) return flat[0];
+  TypeNode n;
+  n.kind = TypeKind::kIntersect;
+  n.children = std::move(flat);
+  return InternNode(std::move(n));
+}
+
+const TypeNode& TypePool::node(TypeId id) const {
+  IQL_CHECK(id < nodes_.size()) << "invalid TypeId " << id;
+  return nodes_[id];
+}
+
+void TypePool::CollectClasses(TypeId t, std::set<Symbol>* out) const {
+  const TypeNode& n = node(t);
+  switch (n.kind) {
+    case TypeKind::kEmpty:
+    case TypeKind::kBase:
+      return;
+    case TypeKind::kClass:
+      out->insert(n.class_name);
+      return;
+    case TypeKind::kTuple:
+      for (const auto& [attr, child] : n.fields) CollectClasses(child, out);
+      return;
+    case TypeKind::kSet:
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect:
+      for (TypeId child : n.children) CollectClasses(child, out);
+      return;
+  }
+}
+
+bool TypePool::IsIntersectionFree(TypeId t) const {
+  const TypeNode& n = node(t);
+  if (n.kind == TypeKind::kIntersect) return false;
+  for (const auto& [attr, child] : n.fields) {
+    if (!IsIntersectionFree(child)) return false;
+  }
+  for (TypeId child : n.children) {
+    if (!IsIntersectionFree(child)) return false;
+  }
+  return true;
+}
+
+bool TypePool::IsIntersectionReduced(TypeId t) const {
+  const TypeNode& n = node(t);
+  if (n.kind == TypeKind::kIntersect) {
+    // Below an intersection node, only class names / D / other
+    // intersections may occur.
+    for (TypeId child : n.children) {
+      const TypeNode& cn = node(child);
+      if (cn.kind == TypeKind::kTuple || cn.kind == TypeKind::kSet ||
+          cn.kind == TypeKind::kUnion) {
+        return false;
+      }
+      if (!IsIntersectionReduced(child)) return false;
+    }
+    return true;
+  }
+  for (const auto& [attr, child] : n.fields) {
+    if (!IsIntersectionReduced(child)) return false;
+  }
+  for (TypeId child : n.children) {
+    if (!IsIntersectionReduced(child)) return false;
+  }
+  return true;
+}
+
+bool TypePool::ContainsSet(TypeId t) const {
+  const TypeNode& n = node(t);
+  if (n.kind == TypeKind::kSet) return true;
+  for (const auto& [attr, child] : n.fields) {
+    if (ContainsSet(child)) return true;
+  }
+  for (TypeId child : n.children) {
+    if (ContainsSet(child)) return true;
+  }
+  return false;
+}
+
+std::string TypePool::ToString(TypeId t) const {
+  std::string out;
+  AppendString(t, &out);
+  return out;
+}
+
+void TypePool::AppendString(TypeId t, std::string* out) const {
+  const TypeNode& n = node(t);
+  switch (n.kind) {
+    case TypeKind::kEmpty:
+      out->append("empty");
+      return;
+    case TypeKind::kBase:
+      out->append("D");
+      return;
+    case TypeKind::kClass:
+      out->append(symbols_->name(n.class_name));
+      return;
+    case TypeKind::kTuple: {
+      // Tuples over the positional attributes #1..#k print positionally
+      // (the "#" spelling is internal; "#" starts a comment in sources).
+      bool positional = true;
+      for (size_t i = 0; i < n.fields.size(); ++i) {
+        if (symbols_->name(n.fields[i].first) !=
+            "#" + std::to_string(i + 1)) {
+          positional = false;
+          break;
+        }
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const auto& [attr, child] : n.fields) {
+        if (!first) out->append(", ");
+        first = false;
+        if (!positional) {
+          out->append(symbols_->name(attr));
+          out->append(": ");
+        }
+        AppendString(child, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case TypeKind::kSet:
+      out->push_back('{');
+      AppendString(n.children[0], out);
+      out->push_back('}');
+      return;
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect: {
+      const char* sep = n.kind == TypeKind::kUnion ? " | " : " & ";
+      out->push_back('(');
+      bool first = true;
+      for (TypeId child : n.children) {
+        if (!first) out->append(sep);
+        first = false;
+        AppendString(child, out);
+      }
+      out->push_back(')');
+      return;
+    }
+  }
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,98 @@
+#ifndef IQLKIT_MODEL_TYPE_H_
+#define IQLKIT_MODEL_TYPE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/interner.h"
+
+namespace iqlkit {
+
+// Handle to an interned type expression inside a TypePool.
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidType = 0xFFFFFFFFu;
+
+// The type-expression constructors of §2.2:
+//   t ::= {}(empty) | D | P | [A1:t,...,Ak:t] | {t} | (t | t) | (t & t)
+enum class TypeKind : uint8_t {
+  kEmpty,      // the empty type, interpretation {}
+  kBase,       // D, the single base domain of constants
+  kClass,      // a class name P; interpretation pi(P), a set of oids
+  kTuple,      // [A1: t1, ..., Ak: tk]
+  kSet,        // {t}
+  kUnion,      // n-ary, canonicalized (flattened, sorted, deduplicated)
+  kIntersect,  // n-ary, canonicalized
+};
+
+struct TypeNode {
+  TypeKind kind = TypeKind::kEmpty;
+  Symbol class_name = kInvalidSymbol;              // kClass
+  std::vector<std::pair<Symbol, TypeId>> fields;   // kTuple (sorted by attr)
+  std::vector<TypeId> children;                    // kSet(1)/kUnion/kIntersect
+};
+
+// Hash-consed store of type expressions. Construction canonicalizes on the
+// fly with rewrites that are sound for *every* oid assignment pi:
+//   - unions flatten, sort, deduplicate, and drop empty members;
+//     a singleton union collapses; the empty union is the empty type;
+//   - intersections flatten, sort, deduplicate; any empty member collapses
+//     the whole intersection to empty; a singleton collapses;
+//   - a tuple with an empty-typed field is the empty type
+//     (the paper notes [A1: {}] and {} are equivalent, §2.2).
+// Deeper, assignment-sensitive rewrites (Prop 2.2.1) live in
+// model/type_algebra.h.
+class TypePool {
+ public:
+  explicit TypePool(SymbolTable* symbols) : symbols_(symbols) {}
+  TypePool(const TypePool&) = delete;
+  TypePool& operator=(const TypePool&) = delete;
+
+  TypeId Empty();
+  TypeId Base();
+  TypeId Class(Symbol name);
+  TypeId ClassNamed(std::string_view name);
+  TypeId Tuple(std::vector<std::pair<Symbol, TypeId>> fields);
+  TypeId EmptyTuple() { return Tuple({}); }
+  TypeId Set(TypeId elem);
+  TypeId Union(std::vector<TypeId> members);
+  TypeId Union2(TypeId a, TypeId b) { return Union({a, b}); }
+  TypeId Intersect(std::vector<TypeId> members);
+  TypeId Intersect2(TypeId a, TypeId b) { return Intersect({a, b}); }
+
+  const TypeNode& node(TypeId id) const;
+  size_t size() const { return nodes_.size(); }
+  SymbolTable* symbols() const { return symbols_; }
+
+  // Collects all class names referenced by `t` (transitively).
+  void CollectClasses(TypeId t, std::set<Symbol>* out) const;
+
+  // True if the parse tree of `t` contains no intersection node.
+  bool IsIntersectionFree(TypeId t) const;
+  // True if no intersection node is an ancestor of a tuple, set, or union
+  // node ("intersection reduced", §2.2).
+  bool IsIntersectionReduced(TypeId t) const;
+  // True if the parse tree of `t` contains a set node (used by the §5
+  // ptime-restriction analysis, which keys on set-free types).
+  bool ContainsSet(TypeId t) const;
+
+  // Renders `t` in the paper's notation: D, P, [A: t, ...], {t},
+  // (t1 | t2), (t1 & t2), {} for empty.
+  std::string ToString(TypeId t) const;
+
+ private:
+  TypeId InternNode(TypeNode node);
+  void AppendString(TypeId t, std::string* out) const;
+
+  SymbolTable* symbols_;
+  std::vector<TypeNode> nodes_;
+  std::unordered_multimap<uint64_t, TypeId> index_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_TYPE_H_

@@ -1,0 +1,51 @@
+#ifndef IQLKIT_MODEL_UNIVERSE_H_
+#define IQLKIT_MODEL_UNIVERSE_H_
+
+#include <cstdint>
+
+#include "base/interner.h"
+#include "model/oid.h"
+#include "model/type.h"
+#include "model/value.h"
+
+namespace iqlkit {
+
+// Owns the shared, append-only catalogs every other structure references:
+// the symbol table (names, attributes, constants), the o-value store, the
+// type pool, and the fresh-oid counter. Schemas, instances, programs, and
+// evaluators all borrow a Universe; keeping one per logical "database"
+// makes ValueId/TypeId equality meaningful across them.
+class Universe {
+ public:
+  // `first_oid` seeds the fresh-oid counter. Determinacy tests (Thm 4.1.3)
+  // run the same program from two different seeds and assert the outputs
+  // are O-isomorphic.
+  explicit Universe(uint64_t first_oid = 1)
+      : values_(&symbols_), types_(&symbols_), next_oid_(first_oid) {}
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  ValueStore& values() { return values_; }
+  const ValueStore& values() const { return values_; }
+  TypePool& types() { return types_; }
+  const TypePool& types() const { return types_; }
+
+  // Mints an oid never returned before from this universe.
+  Oid MintOid() { return Oid{next_oid_++}; }
+  uint64_t next_oid_raw() const { return next_oid_; }
+
+  Symbol Intern(std::string_view s) { return symbols_.Intern(s); }
+  std::string_view Name(Symbol s) const { return symbols_.name(s); }
+
+ private:
+  SymbolTable symbols_;
+  ValueStore values_;
+  TypePool types_;
+  uint64_t next_oid_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_UNIVERSE_H_

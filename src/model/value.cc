@@ -1,0 +1,184 @@
+#include "model/value.h"
+
+#include <algorithm>
+#include <string>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+uint64_t HashNode(const ValueNode& n) {
+  uint64_t h = Mix64(static_cast<uint64_t>(n.kind) + 1);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      h = HashCombine(h, n.atom);
+      break;
+    case ValueKind::kOid:
+      h = HashCombine(h, n.oid.raw);
+      break;
+    case ValueKind::kTuple:
+      for (const auto& [attr, child] : n.fields) {
+        h = HashCombine(h, attr);
+        h = HashCombine(h, child);
+      }
+      break;
+    case ValueKind::kSet:
+      h = HashRange(n.elems.begin(), n.elems.end(), h);
+      break;
+  }
+  return h;
+}
+
+bool SameNode(const ValueNode& a, const ValueNode& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ValueKind::kConst:
+      return a.atom == b.atom;
+    case ValueKind::kOid:
+      return a.oid == b.oid;
+    case ValueKind::kTuple:
+      return a.fields == b.fields;
+    case ValueKind::kSet:
+      return a.elems == b.elems;
+  }
+  return false;
+}
+
+}  // namespace
+
+ValueId ValueStore::InternNode(ValueNode node) {
+  uint64_t h = HashNode(node);
+  auto [begin, end] = index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (SameNode(nodes_[it->second], node)) return it->second;
+  }
+  IQL_CHECK(nodes_.size() < kInvalidValue) << "value store overflow";
+  ValueId id = static_cast<ValueId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_.emplace(h, id);
+  return id;
+}
+
+ValueId ValueStore::Const(std::string_view atom) {
+  return ConstSymbol(symbols_->Intern(atom));
+}
+
+ValueId ValueStore::ConstSymbol(Symbol atom) {
+  ValueNode n;
+  n.kind = ValueKind::kConst;
+  n.atom = atom;
+  return InternNode(std::move(n));
+}
+
+ValueId ValueStore::ConstInt(int64_t value) {
+  return Const(std::to_string(value));
+}
+
+ValueId ValueStore::OfOid(Oid o) {
+  ValueNode n;
+  n.kind = ValueKind::kOid;
+  n.oid = o;
+  return InternNode(std::move(n));
+}
+
+ValueId ValueStore::Tuple(std::vector<std::pair<Symbol, ValueId>> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    IQL_CHECK(fields[i - 1].first != fields[i].first)
+        << "duplicate tuple attribute "
+        << symbols_->name(fields[i].first);
+  }
+  ValueNode n;
+  n.kind = ValueKind::kTuple;
+  n.fields = std::move(fields);
+  return InternNode(std::move(n));
+}
+
+ValueId ValueStore::EmptyTuple() { return Tuple({}); }
+
+ValueId ValueStore::Set(std::vector<ValueId> elems) {
+  std::sort(elems.begin(), elems.end());
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  ValueNode n;
+  n.kind = ValueKind::kSet;
+  n.elems = std::move(elems);
+  return InternNode(std::move(n));
+}
+
+ValueId ValueStore::EmptySet() { return Set({}); }
+
+ValueId ValueStore::SetInsert(ValueId base, ValueId elem) {
+  const ValueNode& n = node(base);
+  IQL_CHECK(n.kind == ValueKind::kSet) << "SetInsert on non-set";
+  if (std::binary_search(n.elems.begin(), n.elems.end(), elem)) return base;
+  std::vector<ValueId> elems = n.elems;
+  elems.push_back(elem);
+  return Set(std::move(elems));
+}
+
+ValueId ValueStore::SetUnion(ValueId a, ValueId b) {
+  const ValueNode& na = node(a);
+  const ValueNode& nb = node(b);
+  IQL_CHECK(na.kind == ValueKind::kSet && nb.kind == ValueKind::kSet)
+      << "SetUnion on non-set";
+  std::vector<ValueId> elems;
+  elems.reserve(na.elems.size() + nb.elems.size());
+  std::set_union(na.elems.begin(), na.elems.end(), nb.elems.begin(),
+                 nb.elems.end(), std::back_inserter(elems));
+  return Set(std::move(elems));
+}
+
+bool ValueStore::SetContains(ValueId set, ValueId elem) const {
+  const ValueNode& n = node(set);
+  IQL_CHECK(n.kind == ValueKind::kSet) << "SetContains on non-set";
+  return std::binary_search(n.elems.begin(), n.elems.end(), elem);
+}
+
+const ValueNode& ValueStore::node(ValueId id) const {
+  IQL_CHECK(id < nodes_.size()) << "invalid ValueId " << id;
+  return nodes_[id];
+}
+
+void ValueStore::CollectOids(ValueId v, std::set<Oid>* out) const {
+  const ValueNode& n = node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      return;
+    case ValueKind::kOid:
+      out->insert(n.oid);
+      return;
+    case ValueKind::kTuple:
+      for (const auto& [attr, child] : n.fields) CollectOids(child, out);
+      return;
+    case ValueKind::kSet:
+      for (ValueId child : n.elems) CollectOids(child, out);
+      return;
+  }
+}
+
+void ValueStore::CollectConsts(ValueId v, std::set<Symbol>* out) const {
+  const ValueNode& n = node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      out->insert(n.atom);
+      return;
+    case ValueKind::kOid:
+      return;
+    case ValueKind::kTuple:
+      for (const auto& [attr, child] : n.fields) CollectConsts(child, out);
+      return;
+    case ValueKind::kSet:
+      for (ValueId child : n.elems) CollectConsts(child, out);
+      return;
+  }
+}
+
+std::string ValueStore::ToString(ValueId v) const {
+  return ToString(v, [](Oid o) { return "@" + std::to_string(o.raw); });
+}
+
+}  // namespace iqlkit

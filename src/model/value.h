@@ -1,0 +1,208 @@
+#ifndef IQLKIT_MODEL_VALUE_H_
+#define IQLKIT_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/interner.h"
+#include "model/oid.h"
+
+namespace iqlkit {
+
+// Handle to an interned o-value inside a ValueStore.
+using ValueId = uint32_t;
+inline constexpr ValueId kInvalidValue = 0xFFFFFFFFu;
+
+// The four o-value constructors of Definition 2.1.1: constants d in D,
+// oids o in O, finite tuples [A1: v1, ..., Ak: vk], and finite sets
+// {v1, ..., vk}.
+enum class ValueKind : uint8_t { kConst, kOid, kTuple, kSet };
+
+// One interned o-value node. Tuples keep fields sorted by attribute symbol;
+// sets keep elements sorted by ValueId with duplicates removed, realizing
+// the paper's duplicate-free tree representation of o-values (§2.1).
+struct ValueNode {
+  ValueKind kind = ValueKind::kConst;
+  Symbol atom = kInvalidSymbol;                     // kConst
+  Oid oid;                                          // kOid
+  std::vector<std::pair<Symbol, ValueId>> fields;   // kTuple
+  std::vector<ValueId> elems;                       // kSet
+};
+
+// Hash-consed store of o-values. Every distinct o-value is materialized at
+// most once, so *structural equality of o-values is equality of ValueIds*.
+// This is what makes set semantics (duplicate elimination in relations and
+// set values) and the evaluator's fixpoint test O(1) per fact.
+//
+// o-values are finite trees (Def 2.1.1); cyclic data is representable only
+// through oids plus the instance's nu mapping, exactly as in the paper.
+class ValueStore {
+ public:
+  explicit ValueStore(SymbolTable* symbols) : symbols_(symbols) {}
+  ValueStore(const ValueStore&) = delete;
+  ValueStore& operator=(const ValueStore&) = delete;
+
+  // Leaf constructors.
+  ValueId Const(std::string_view atom);
+  ValueId ConstSymbol(Symbol atom);
+  ValueId ConstInt(int64_t n);
+  ValueId OfOid(Oid o);
+
+  // Tuple constructor. Fields are sorted by attribute symbol; duplicate
+  // attributes are an internal error (callers validate user input first).
+  ValueId Tuple(std::vector<std::pair<Symbol, ValueId>> fields);
+  ValueId EmptyTuple();
+
+  // Set constructor. Sorts and deduplicates elements.
+  ValueId Set(std::vector<ValueId> elems);
+  ValueId EmptySet();
+
+  // Returns the set `base` with `elem` inserted (interned fresh if needed).
+  ValueId SetInsert(ValueId base, ValueId elem);
+  // Returns the union of two set values.
+  ValueId SetUnion(ValueId a, ValueId b);
+  bool SetContains(ValueId set, ValueId elem) const;
+
+  const ValueNode& node(ValueId id) const;
+  size_t size() const { return nodes_.size(); }
+  SymbolTable* symbols() const { return symbols_; }
+
+  // Collects, transitively, all oids / constant atoms inside `v`.
+  void CollectOids(ValueId v, std::set<Oid>* out) const;
+  void CollectConsts(ValueId v, std::set<Symbol>* out) const;
+
+  // Structurally rewrites every oid leaf through `rename`; used to apply
+  // O-isomorphisms (paper §4.1).
+  template <typename Fn>
+  ValueId RewriteOids(ValueId v, const Fn& rename);
+
+  // Rewrites oid leaves and constant atoms simultaneously (DO-isomorphisms).
+  template <typename OidFn, typename ConstFn>
+  ValueId Rewrite(ValueId v, const OidFn& rename_oid,
+                  const ConstFn& rename_const);
+
+  // Renders the o-value in the paper's notation, e.g.
+  //   [name: "Adam", children: {@3, @4}]
+  // Oids print as @<raw> unless `oid_name` provides a label.
+  std::string ToString(ValueId v) const;
+  template <typename OidNameFn>
+  std::string ToString(ValueId v, const OidNameFn& oid_name) const;
+
+ private:
+  ValueId InternNode(ValueNode node);
+  template <typename OidNameFn>
+  void AppendString(ValueId v, const OidNameFn& oid_name,
+                    std::string* out) const;
+
+  SymbolTable* symbols_;
+  std::vector<ValueNode> nodes_;
+  // hash -> candidate ids; content compared on collision.
+  std::unordered_multimap<uint64_t, ValueId> index_;
+};
+
+// -- template implementations --------------------------------------------
+
+template <typename Fn>
+ValueId ValueStore::RewriteOids(ValueId v, const Fn& rename) {
+  const ValueNode& n = node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      return v;
+    case ValueKind::kOid:
+      return OfOid(rename(n.oid));
+    case ValueKind::kTuple: {
+      std::vector<std::pair<Symbol, ValueId>> fields = n.fields;
+      for (auto& [attr, child] : fields) child = RewriteOids(child, rename);
+      return Tuple(std::move(fields));
+    }
+    case ValueKind::kSet: {
+      std::vector<ValueId> elems = n.elems;
+      for (ValueId& child : elems) child = RewriteOids(child, rename);
+      return Set(std::move(elems));
+    }
+  }
+  return v;
+}
+
+template <typename OidFn, typename ConstFn>
+ValueId ValueStore::Rewrite(ValueId v, const OidFn& rename_oid,
+                            const ConstFn& rename_const) {
+  const ValueNode& n = node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      return ConstSymbol(rename_const(n.atom));
+    case ValueKind::kOid:
+      return OfOid(rename_oid(n.oid));
+    case ValueKind::kTuple: {
+      std::vector<std::pair<Symbol, ValueId>> fields = n.fields;
+      for (auto& [attr, child] : fields) {
+        child = Rewrite(child, rename_oid, rename_const);
+      }
+      return Tuple(std::move(fields));
+    }
+    case ValueKind::kSet: {
+      std::vector<ValueId> elems = n.elems;
+      for (ValueId& child : elems) {
+        child = Rewrite(child, rename_oid, rename_const);
+      }
+      return Set(std::move(elems));
+    }
+  }
+  return v;
+}
+
+template <typename OidNameFn>
+std::string ValueStore::ToString(ValueId v, const OidNameFn& oid_name) const {
+  std::string out;
+  AppendString(v, oid_name, &out);
+  return out;
+}
+
+template <typename OidNameFn>
+void ValueStore::AppendString(ValueId v, const OidNameFn& oid_name,
+                              std::string* out) const {
+  const ValueNode& n = node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      out->push_back('"');
+      out->append(symbols_->name(n.atom));
+      out->push_back('"');
+      return;
+    case ValueKind::kOid:
+      out->append(oid_name(n.oid));
+      return;
+    case ValueKind::kTuple: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& [attr, child] : n.fields) {
+        if (!first) out->append(", ");
+        first = false;
+        out->append(symbols_->name(attr));
+        out->append(": ");
+        AppendString(child, oid_name, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case ValueKind::kSet: {
+      out->push_back('{');
+      bool first = true;
+      for (ValueId child : n.elems) {
+        if (!first) out->append(", ");
+        first = false;
+        AppendString(child, oid_name, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_MODEL_VALUE_H_

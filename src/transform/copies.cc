@@ -1,0 +1,158 @@
+#include "transform/copies.h"
+
+#include <map>
+#include <set>
+
+#include "base/logging.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit {
+
+Result<Schema> SchemaForCopies(Universe* universe, const Schema& base,
+                               std::string_view copies_rel) {
+  TypePool& types = universe->types();
+  Schema out(universe);
+  for (Symbol r : base.relation_names()) {
+    IQL_RETURN_IF_ERROR(
+        out.DeclareRelation(universe->Name(r), base.RelationType(r)));
+  }
+  std::vector<TypeId> classes;
+  for (Symbol p : base.class_names()) {
+    IQL_RETURN_IF_ERROR(
+        out.DeclareClass(universe->Name(p), base.ClassType(p)));
+    classes.push_back(types.Class(p));
+  }
+  if (classes.empty()) {
+    return InvalidArgumentError(
+        "schema-for-copies needs at least one class (Def 4.2.3 registers "
+        "per-copy oid sets)");
+  }
+  IQL_RETURN_IF_ERROR(out.DeclareRelation(
+      copies_rel, types.Set(types.Union(std::move(classes)))));
+  IQL_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<Instance> MakeCopies(const Instance& instance,
+                            std::shared_ptr<const Schema> copies_schema,
+                            int n) {
+  Universe* u = instance.universe();
+  ValueStore& values = u->values();
+  Symbol copies_rel = kInvalidSymbol;
+  for (Symbol r : copies_schema->relation_names()) {
+    if (!instance.schema().HasRelation(r)) {
+      if (copies_rel != kInvalidSymbol) {
+        return InvalidArgumentError(
+            "copies schema adds more than one new relation");
+      }
+      copies_rel = r;
+    }
+  }
+  if (copies_rel == kInvalidSymbol) {
+    return InvalidArgumentError("copies schema lacks the copies relation");
+  }
+  Instance out(std::move(copies_schema), u);
+  for (int k = 0; k < n; ++k) {
+    // Fresh renaming for this copy.
+    std::map<Oid, Oid> renaming;
+    for (Oid o : instance.Objects()) renaming[o] = u->MintOid();
+    Instance copy = RenameOids(
+        instance, [&](Oid o) { return renaming.at(o); });
+    IQL_RETURN_IF_ERROR(out.Absorb(copy));
+    std::vector<ValueId> members;
+    members.reserve(renaming.size());
+    for (const auto& [from, to] : renaming) {
+      members.push_back(values.OfOid(to));
+    }
+    IQL_RETURN_IF_ERROR(
+        out.AddToRelation(copies_rel, values.Set(std::move(members))));
+  }
+  return out;
+}
+
+Result<std::vector<Instance>> SplitCopies(
+    const Instance& with_copies, std::shared_ptr<const Schema> base_schema,
+    std::string_view copies_rel_name) {
+  Universe* u = with_copies.universe();
+  const ValueStore& values = u->values();
+  Symbol copies_rel = u->symbols().Find(copies_rel_name);
+  if (copies_rel == kInvalidSymbol ||
+      !with_copies.schema().HasRelation(copies_rel)) {
+    return NotFoundError("no copies relation in instance");
+  }
+  std::vector<Instance> out;
+  std::set<Oid> seen;
+  for (ValueId reg : with_copies.Relation(copies_rel)) {
+    const ValueNode& n = values.node(reg);
+    if (n.kind != ValueKind::kSet) {
+      return TypeError("copies registration is not a set");
+    }
+    std::set<Oid> members;
+    for (ValueId e : n.elems) {
+      const ValueNode& en = values.node(e);
+      if (en.kind != ValueKind::kOid) {
+        return TypeError("copies registration contains a non-oid");
+      }
+      if (!seen.insert(en.oid).second) {
+        return InvalidArgumentError(
+            "copies' oid sets must be pairwise disjoint (Def 4.2.3)");
+      }
+      members.insert(en.oid);
+    }
+    Instance copy(base_schema, u);
+    for (Symbol p : base_schema->class_names()) {
+      for (Oid o : with_copies.ClassExtent(p)) {
+        if (!members.count(o)) continue;
+        IQL_RETURN_IF_ERROR(copy.AddOid(p, o));
+        auto v = with_copies.ValueOf(o);
+        if (v.has_value()) {
+          if (base_schema->IsSetValuedClass(p)) {
+            for (ValueId e : values.node(*v).elems) {
+              IQL_RETURN_IF_ERROR(copy.AddToSetOid(o, e));
+            }
+          } else {
+            IQL_RETURN_IF_ERROR(copy.SetOidValue(o, *v));
+          }
+        }
+      }
+    }
+    for (Symbol r : base_schema->relation_names()) {
+      for (ValueId v : with_copies.Relation(r)) {
+        std::set<Oid> in_fact;
+        values.CollectOids(v, &in_fact);
+        bool mine = true;
+        for (Oid o : in_fact) {
+          if (!members.count(o)) {
+            mine = false;
+            break;
+          }
+        }
+        // Oid-free facts are shared by every copy.
+        if (mine) IQL_RETURN_IF_ERROR(copy.AddToRelation(r, v));
+      }
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+Result<Instance> EliminateCopies(const Instance& with_copies,
+                                 std::shared_ptr<const Schema> base_schema,
+                                 std::string_view copies_rel) {
+  IQL_ASSIGN_OR_RETURN(
+      std::vector<Instance> copies,
+      SplitCopies(with_copies, std::move(base_schema), copies_rel));
+  if (copies.empty()) {
+    return NotFoundError("no copies registered");
+  }
+  for (size_t i = 1; i < copies.size(); ++i) {
+    if (!OIsomorphic(copies[0], copies[i])) {
+      return FailedPreconditionError(
+          "registered copies are not pairwise O-isomorphic; refusing to "
+          "eliminate (Thm 4.2.4's invariant is violated)");
+    }
+  }
+  return std::move(copies[0]);
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,52 @@
+#ifndef IQLKIT_TRANSFORM_COPIES_H_
+#define IQLKIT_TRANSFORM_COPIES_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// Definition 4.2.3: the machinery behind "IQL is complete up to copy
+// elimination" (Theorem 4.2.4). A complete program can construct finitely
+// many O-isomorphic copies of the answer, separated by recording each
+// copy's oid set in a distinguished relation; what it cannot always do is
+// pick one (Theorem 4.3.1) -- that takes choose (IQL+) or an order.
+
+// The schema-for-copies S-bar: S plus a relation `copies_rel` of type
+// {P1 | ... | Pn} whose tuples are the per-copy oid sets.
+Result<Schema> SchemaForCopies(Universe* universe, const Schema& base,
+                               std::string_view copies_rel = "Copies");
+
+// Builds an instance with `n` copies of `instance` (each an O-isomorphic
+// renaming with fresh oids) over `copies_schema`, registering the copies'
+// oid sets. `instance` must have at least one oid-bearing class for the
+// registration to be meaningful; oid-free instances produce n identical
+// (shared) fact sets and empty registrations.
+Result<Instance> MakeCopies(const Instance& instance,
+                            std::shared_ptr<const Schema> copies_schema,
+                            int n);
+
+// Splits an instance-with-copies back into its member instances over
+// `base_schema`, using the registered oid sets: each copy receives the
+// class members and nu-values of its oids, the relation facts whose oids
+// all lie in its set, and every oid-free fact (those are shared).
+Result<std::vector<Instance>> SplitCopies(
+    const Instance& with_copies, std::shared_ptr<const Schema> base_schema,
+    std::string_view copies_rel = "Copies");
+
+// Copy elimination where it is expressible: returns one copy, after
+// verifying that all registered copies are pairwise O-isomorphic (the
+// invariant Theorem 4.2.4 guarantees).
+Result<Instance> EliminateCopies(
+    const Instance& with_copies, std::shared_ptr<const Schema> base_schema,
+    std::string_view copies_rel = "Copies");
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_TRANSFORM_COPIES_H_

@@ -1,0 +1,233 @@
+#include "transform/isomorphism.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+using ColorMap = std::unordered_map<Oid, uint64_t, OidHash>;
+
+// Hashes an o-value's structure with oids replaced by their current colors
+// (so isomorphic values under a color-respecting bijection hash equally).
+uint64_t HashValueColored(const ValueStore& values, ValueId v,
+                          const ColorMap& colors) {
+  const ValueNode& n = values.node(v);
+  switch (n.kind) {
+    case ValueKind::kConst:
+      return HashCombine(0x11, n.atom);
+    case ValueKind::kOid: {
+      auto it = colors.find(n.oid);
+      return HashCombine(0x22, it == colors.end() ? 0 : it->second);
+    }
+    case ValueKind::kTuple: {
+      uint64_t h = 0x33;
+      for (const auto& [attr, child] : n.fields) {
+        h = HashCombine(h, attr);
+        h = HashCombine(h, HashValueColored(values, child, colors));
+      }
+      return h;
+    }
+    case ValueKind::kSet: {
+      // Order-independent: sort the child hashes.
+      std::vector<uint64_t> hs;
+      hs.reserve(n.elems.size());
+      for (ValueId child : n.elems) {
+        hs.push_back(HashValueColored(values, child, colors));
+      }
+      std::sort(hs.begin(), hs.end());
+      return HashRange(hs.begin(), hs.end(), 0x44);
+    }
+  }
+  return 0;
+}
+
+// Iterated color refinement over an instance's oids.
+ColorMap RefineColors(const Instance& inst) {
+  const ValueStore& values = inst.universe()->values();
+  ColorMap colors;
+  std::set<Oid> oids = inst.Objects();
+  for (Oid o : oids) {
+    auto cls = inst.ClassOf(o);
+    colors[o] = Mix64(cls.has_value() ? *cls + 1 : 0);
+  }
+  size_t rounds = oids.size() + 1;
+  for (size_t round = 0; round < rounds; ++round) {
+    // Occurrence signatures from relation facts.
+    ColorMap occurrence;
+    for (Symbol r : inst.schema().relation_names()) {
+      for (ValueId v : inst.Relation(r)) {
+        uint64_t fact_hash =
+            HashCombine(Mix64(r + 17), HashValueColored(values, v, colors));
+        std::set<Oid> in_fact;
+        values.CollectOids(v, &in_fact);
+        for (Oid o : in_fact) {
+          // Commutative combine: a multiset signature over facts.
+          occurrence[o] += Mix64(fact_hash);
+        }
+      }
+    }
+    ColorMap next;
+    for (Oid o : oids) {
+      uint64_t h = colors[o];
+      auto nu = inst.ValueOf(o);
+      h = HashCombine(h, nu.has_value()
+                             ? HashValueColored(values, *nu, colors)
+                             : 0x99);
+      auto occ = occurrence.find(o);
+      h = HashCombine(h, occ == occurrence.end() ? 0 : occ->second);
+      next[o] = h;
+    }
+    // Stop when the partition no longer refines (count distinct colors).
+    std::set<uint64_t> old_classes, new_classes;
+    for (Oid o : oids) {
+      old_classes.insert(colors[o]);
+      new_classes.insert(next[o]);
+    }
+    bool stable = new_classes.size() == old_classes.size();
+    colors = std::move(next);
+    if (stable && round > 0) break;
+  }
+  return colors;
+}
+
+// Verifies that `map` (a full oid bijection a->b) maps a's ground facts
+// exactly onto b's.
+bool VerifyMapping(const Instance& a, const Instance& b,
+                   const std::map<Oid, Oid>& map) {
+  ValueStore& values = a.universe()->values();
+  auto rename = [&](Oid o) {
+    auto it = map.find(o);
+    IQL_CHECK(it != map.end()) << "incomplete oid mapping";
+    return it->second;
+  };
+  for (Symbol p : a.schema().class_names()) {
+    const auto& ax = a.ClassExtent(p);
+    const auto& bx = b.ClassExtent(p);
+    if (ax.size() != bx.size()) return false;
+    for (Oid o : ax) {
+      Oid img = rename(o);
+      if (!bx.count(img)) return false;
+      auto av = a.ValueOf(o);
+      auto bv = b.ValueOf(img);
+      if (av.has_value() != bv.has_value()) return false;
+      if (av.has_value() && values.RewriteOids(*av, rename) != *bv) {
+        return false;
+      }
+    }
+  }
+  for (Symbol r : a.schema().relation_names()) {
+    const auto& ar = a.Relation(r);
+    const auto& br = b.Relation(r);
+    if (ar.size() != br.size()) return false;
+    for (ValueId v : ar) {
+      if (!br.count(values.RewriteOids(v, rename))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::map<Oid, Oid>> FindOIsomorphism(const Instance& a,
+                                                   const Instance& b) {
+  IQL_CHECK(a.universe() == b.universe())
+      << "isomorphism search requires a shared universe";
+  // Schema compatibility and cardinality pre-checks.
+  if (a.schema().relation_names() != b.schema().relation_names() ||
+      a.schema().class_names() != b.schema().class_names()) {
+    return std::nullopt;
+  }
+  std::set<Oid> a_oids = a.Objects();
+  std::set<Oid> b_oids = b.Objects();
+  if (a_oids.size() != b_oids.size()) return std::nullopt;
+  for (Symbol p : a.schema().class_names()) {
+    if (a.ClassExtent(p).size() != b.ClassExtent(p).size()) {
+      return std::nullopt;
+    }
+  }
+  for (Symbol r : a.schema().relation_names()) {
+    if (a.Relation(r).size() != b.Relation(r).size()) return std::nullopt;
+  }
+  ColorMap ca = RefineColors(a);
+  ColorMap cb = RefineColors(b);
+  // Candidate sets by color.
+  std::unordered_map<uint64_t, std::vector<Oid>> by_color_b;
+  for (Oid o : b_oids) by_color_b[cb[o]].push_back(o);
+  std::vector<Oid> order(a_oids.begin(), a_oids.end());
+  // Assign scarce colors first.
+  std::stable_sort(order.begin(), order.end(), [&](Oid x, Oid y) {
+    return by_color_b[ca[x]].size() < by_color_b[ca[y]].size();
+  });
+  std::map<Oid, Oid> mapping;
+  std::set<Oid> used;
+  std::function<bool(size_t)> assign = [&](size_t i) -> bool {
+    if (i == order.size()) return VerifyMapping(a, b, mapping);
+    Oid o = order[i];
+    auto it = by_color_b.find(ca[o]);
+    if (it == by_color_b.end()) return false;
+    for (Oid cand : it->second) {
+      if (used.count(cand)) continue;
+      if (a.ClassOf(o) != b.ClassOf(cand)) continue;
+      if (a.ValueOf(o).has_value() != b.ValueOf(cand).has_value()) continue;
+      mapping[o] = cand;
+      used.insert(cand);
+      if (assign(i + 1)) return true;
+      mapping.erase(o);
+      used.erase(cand);
+    }
+    return false;
+  };
+  if (!assign(0)) return std::nullopt;
+  return mapping;
+}
+
+bool OIsomorphic(const Instance& a, const Instance& b) {
+  return FindOIsomorphism(a, b).has_value();
+}
+
+Instance RenameInstance(const Instance& instance,
+                        const std::function<Oid(Oid)>& oid_map,
+                        const std::function<Symbol(Symbol)>& const_map) {
+  Universe* u = instance.universe();
+  ValueStore& values = u->values();
+  Instance out(instance.schema_ptr(), u);
+  for (Symbol p : instance.schema().class_names()) {
+    for (Oid o : instance.ClassExtent(p)) {
+      Oid img = oid_map(o);
+      IQL_CHECK(out.AddOid(p, img).ok());
+      auto v = instance.ValueOf(o);
+      if (v.has_value()) {
+        ValueId w = values.Rewrite(*v, oid_map, const_map);
+        if (instance.schema().IsSetValuedClass(p)) {
+          // Set-valued oids default to {} on AddOid; write elementwise.
+          for (ValueId e : values.node(w).elems) {
+            IQL_CHECK(out.AddToSetOid(img, e).ok());
+          }
+        } else {
+          IQL_CHECK(out.SetOidValue(img, w).ok());
+        }
+      }
+    }
+  }
+  for (Symbol r : instance.schema().relation_names()) {
+    for (ValueId v : instance.Relation(r)) {
+      IQL_CHECK(out.AddToRelation(r, values.Rewrite(v, oid_map, const_map))
+                    .ok());
+    }
+  }
+  return out;
+}
+
+Instance RenameOids(const Instance& instance,
+                    const std::function<Oid(Oid)>& oid_map) {
+  return RenameInstance(instance, oid_map, [](Symbol s) { return s; });
+}
+
+}  // namespace iqlkit

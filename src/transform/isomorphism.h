@@ -1,0 +1,44 @@
+#ifndef IQLKIT_TRANSFORM_ISOMORPHISM_H_
+#define IQLKIT_TRANSFORM_ISOMORPHISM_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "model/instance.h"
+#include "model/oid.h"
+
+namespace iqlkit {
+
+// O-isomorphism (§4.1): a bijection over oids (constants fixed pointwise)
+// mapping one instance's ground facts exactly onto another's. Two
+// O-isomorphic instances "contain the same information" -- IQL's outputs
+// are defined only up to such renaming (Theorem 4.1.3), so the test suite
+// uses this to verify determinacy.
+//
+// Both instances must be over schemas with the same names and share a
+// universe. The search colors oids by iterated structural refinement
+// (class, nu-value shape, relation occurrences -- a 1-WL style partition),
+// then backtracks over color-compatible assignments and verifies the full
+// ground-fact mapping. Exponential in the worst case (graph isomorphism),
+// fine at test scale.
+std::optional<std::map<Oid, Oid>> FindOIsomorphism(const Instance& a,
+                                                   const Instance& b);
+
+bool OIsomorphic(const Instance& a, const Instance& b);
+
+// Applies a DO-renaming (oids and constants) to an instance, producing an
+// instance over the same schema. `oid_map` must be injective on the
+// instance's oids; `const_map` on its constant atoms. Identity by default.
+// Used to exercise genericity (Definition 4.1.1 condition (3)).
+Instance RenameInstance(const Instance& instance,
+                        const std::function<Oid(Oid)>& oid_map,
+                        const std::function<Symbol(Symbol)>& const_map);
+
+// Convenience: renames only oids.
+Instance RenameOids(const Instance& instance,
+                    const std::function<Oid(Oid)>& oid_map);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_TRANSFORM_ISOMORPHISM_H_

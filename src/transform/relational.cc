@@ -1,0 +1,283 @@
+#include "transform/relational.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+struct Vocab {
+  Symbol node_cls, const_node, tuple_node, tuple_field, set_node, set_elem,
+      ref_node, object_in, nu_value, rel_fact;
+
+  static Vocab Lookup(Universe* u) {
+    Vocab v;
+    v.node_cls = u->Intern("Node");
+    v.const_node = u->Intern("ConstNode");
+    v.tuple_node = u->Intern("TupleNode");
+    v.tuple_field = u->Intern("TupleField");
+    v.set_node = u->Intern("SetNode");
+    v.set_elem = u->Intern("SetElem");
+    v.ref_node = u->Intern("RefNode");
+    v.object_in = u->Intern("ObjectIn");
+    v.nu_value = u->Intern("NuValue");
+    v.rel_fact = u->Intern("RelFact");
+    return v;
+  }
+};
+
+ValueId Pair(Universe* u, ValueId a, ValueId b) {
+  return u->values().Tuple(
+      {{u->Intern("#1"), a}, {u->Intern("#2"), b}});
+}
+
+ValueId Triple(Universe* u, ValueId a, ValueId b, ValueId c) {
+  return u->values().Tuple(
+      {{u->Intern("#1"), a}, {u->Intern("#2"), b}, {u->Intern("#3"), c}});
+}
+
+}  // namespace
+
+Result<Schema> RelationalVocabulary(Universe* u) {
+  TypePool& t = u->types();
+  TypeId d = t.Base();
+  TypeId node = t.ClassNamed("Node");
+  Schema s(u);
+  IQL_RETURN_IF_ERROR(s.DeclareClass("Node", d));
+  auto rel2 = [&](std::string_view name, TypeId a, TypeId b) {
+    return s.DeclareRelation(
+        name, t.Tuple({{u->Intern("#1"), a}, {u->Intern("#2"), b}}));
+  };
+  IQL_RETURN_IF_ERROR(rel2("ConstNode", node, d));
+  IQL_RETURN_IF_ERROR(s.DeclareRelation("TupleNode", node));
+  IQL_RETURN_IF_ERROR(s.DeclareRelation(
+      "TupleField", t.Tuple({{u->Intern("#1"), node},
+                             {u->Intern("#2"), d},
+                             {u->Intern("#3"), node}})));
+  IQL_RETURN_IF_ERROR(s.DeclareRelation("SetNode", node));
+  IQL_RETURN_IF_ERROR(rel2("SetElem", node, node));
+  IQL_RETURN_IF_ERROR(rel2("RefNode", node, node));
+  IQL_RETURN_IF_ERROR(rel2("ObjectIn", d, node));
+  IQL_RETURN_IF_ERROR(rel2("NuValue", node, node));
+  IQL_RETURN_IF_ERROR(rel2("RelFact", d, node));
+  IQL_RETURN_IF_ERROR(s.Validate());
+  return s;
+}
+
+Result<Instance> EncodeRelational(const Instance& instance,
+                                  std::shared_ptr<const Schema> vocabulary) {
+  Universe* u = instance.universe();
+  ValueStore& values = u->values();
+  Vocab vocab = Vocab::Lookup(u);
+  Instance out(std::move(vocabulary), u);
+
+  // One surrogate per source object.
+  std::map<Oid, Oid> object_node;
+  for (Oid o : instance.Objects()) {
+    IQL_ASSIGN_OR_RETURN(Oid node, out.CreateOid(vocab.node_cls));
+    object_node.emplace(o, node);
+  }
+  // One surrogate per distinct non-oid value node, shared via memo.
+  std::map<ValueId, Oid> value_node;
+  std::function<Result<Oid>(ValueId)> encode_value =
+      [&](ValueId v) -> Result<Oid> {
+    auto memo = value_node.find(v);
+    if (memo != value_node.end()) return memo->second;
+    IQL_ASSIGN_OR_RETURN(Oid node, out.CreateOid(vocab.node_cls));
+    value_node.emplace(v, node);
+    ValueId node_val = values.OfOid(node);
+    const ValueNode& n = values.node(v);
+    switch (n.kind) {
+      case ValueKind::kConst:
+        IQL_RETURN_IF_ERROR(out.AddToRelation(
+            vocab.const_node,
+            Pair(u, node_val, values.ConstSymbol(n.atom))));
+        break;
+      case ValueKind::kOid:
+        IQL_RETURN_IF_ERROR(out.AddToRelation(
+            vocab.ref_node,
+            Pair(u, node_val, values.OfOid(object_node.at(n.oid)))));
+        break;
+      case ValueKind::kTuple: {
+        IQL_RETURN_IF_ERROR(out.AddToRelation(vocab.tuple_node, node_val));
+        for (const auto& [attr, child] : n.fields) {
+          IQL_ASSIGN_OR_RETURN(Oid child_node, encode_value(child));
+          IQL_RETURN_IF_ERROR(out.AddToRelation(
+              vocab.tuple_field,
+              Triple(u, node_val, values.ConstSymbol(attr),
+                     values.OfOid(child_node))));
+        }
+        break;
+      }
+      case ValueKind::kSet: {
+        IQL_RETURN_IF_ERROR(out.AddToRelation(vocab.set_node, node_val));
+        for (ValueId child : n.elems) {
+          IQL_ASSIGN_OR_RETURN(Oid child_node, encode_value(child));
+          IQL_RETURN_IF_ERROR(out.AddToRelation(
+              vocab.set_elem,
+              Pair(u, node_val, values.OfOid(child_node))));
+        }
+        break;
+      }
+    }
+    return node;
+  };
+
+  for (Symbol p : instance.schema().class_names()) {
+    ValueId class_name = values.ConstSymbol(p);
+    for (Oid o : instance.ClassExtent(p)) {
+      ValueId node_val = values.OfOid(object_node.at(o));
+      IQL_RETURN_IF_ERROR(out.AddToRelation(
+          vocab.object_in, Pair(u, class_name, node_val)));
+      auto v = instance.ValueOf(o);
+      if (v.has_value()) {
+        IQL_ASSIGN_OR_RETURN(Oid vn, encode_value(*v));
+        IQL_RETURN_IF_ERROR(out.AddToRelation(
+            vocab.nu_value, Pair(u, node_val, values.OfOid(vn))));
+      }
+    }
+  }
+  for (Symbol r : instance.schema().relation_names()) {
+    ValueId rel_name = values.ConstSymbol(r);
+    for (ValueId v : instance.Relation(r)) {
+      IQL_ASSIGN_OR_RETURN(Oid vn, encode_value(v));
+      IQL_RETURN_IF_ERROR(out.AddToRelation(
+          vocab.rel_fact, Pair(u, rel_name, values.OfOid(vn))));
+    }
+  }
+  return out;
+}
+
+Result<Instance> DecodeRelational(
+    const Instance& encoded, std::shared_ptr<const Schema> original_schema) {
+  Universe* u = encoded.universe();
+  ValueStore& values = u->values();
+  Vocab vocab = Vocab::Lookup(u);
+  const Schema* schema = original_schema.get();
+  Instance out(std::move(original_schema), u);
+
+  auto pair_of = [&](ValueId v) {
+    const ValueNode& n = values.node(v);
+    IQL_CHECK(n.kind == ValueKind::kTuple && n.fields.size() == 2);
+    return std::make_pair(n.fields[0].second, n.fields[1].second);
+  };
+  auto oid_of = [&](ValueId v) {
+    const ValueNode& n = values.node(v);
+    IQL_CHECK(n.kind == ValueKind::kOid);
+    return n.oid;
+  };
+
+  // Index the encoding.
+  std::map<Oid, Symbol> const_nodes;        // node -> atom
+  std::set<Oid> tuple_nodes, set_nodes;
+  std::map<Oid, std::vector<std::pair<Symbol, Oid>>> tuple_fields;
+  std::map<Oid, std::vector<Oid>> set_elems;
+  std::map<Oid, Oid> ref_nodes;             // node -> object node
+  std::map<Oid, std::pair<Symbol, Oid>> objects;  // obj node -> (class, fresh oid)
+  std::map<Oid, Oid> nu_values;             // obj node -> value node
+  for (ValueId v : encoded.Relation(vocab.const_node)) {
+    auto [a, b] = pair_of(v);
+    const_nodes[oid_of(a)] = values.node(b).atom;
+  }
+  for (ValueId v : encoded.Relation(vocab.tuple_node)) {
+    tuple_nodes.insert(oid_of(v));
+  }
+  for (ValueId v : encoded.Relation(vocab.set_node)) {
+    set_nodes.insert(oid_of(v));
+  }
+  for (ValueId v : encoded.Relation(vocab.tuple_field)) {
+    const ValueNode& n = values.node(v);
+    IQL_CHECK(n.fields.size() == 3);
+    tuple_fields[oid_of(n.fields[0].second)].emplace_back(
+        values.node(n.fields[1].second).atom, oid_of(n.fields[2].second));
+  }
+  for (ValueId v : encoded.Relation(vocab.set_elem)) {
+    auto [a, b] = pair_of(v);
+    set_elems[oid_of(a)].push_back(oid_of(b));
+  }
+  for (ValueId v : encoded.Relation(vocab.ref_node)) {
+    auto [a, b] = pair_of(v);
+    ref_nodes[oid_of(a)] = oid_of(b);
+  }
+  for (ValueId v : encoded.Relation(vocab.object_in)) {
+    auto [a, b] = pair_of(v);
+    Symbol cls = values.node(a).atom;
+    if (!schema->HasClass(cls)) {
+      return NotFoundError("encoded class not in target schema");
+    }
+    IQL_ASSIGN_OR_RETURN(Oid fresh, out.CreateOid(cls));
+    objects.emplace(oid_of(b), std::make_pair(cls, fresh));
+  }
+  for (ValueId v : encoded.Relation(vocab.nu_value)) {
+    auto [a, b] = pair_of(v);
+    nu_values[oid_of(a)] = oid_of(b);
+  }
+
+  // Rebuild values bottom-up (value nodes are finite trees over object
+  // references, so plain recursion with memoization terminates).
+  std::map<Oid, ValueId> decoded;
+  std::function<Result<ValueId>(Oid)> decode = [&](Oid node)
+      -> Result<ValueId> {
+    auto memo = decoded.find(node);
+    if (memo != decoded.end()) return memo->second;
+    ValueId result;
+    if (auto c = const_nodes.find(node); c != const_nodes.end()) {
+      result = values.ConstSymbol(c->second);
+    } else if (auto r = ref_nodes.find(node); r != ref_nodes.end()) {
+      auto obj = objects.find(r->second);
+      if (obj == objects.end()) {
+        return InvalidArgumentError("RefNode to an unregistered object");
+      }
+      result = values.OfOid(obj->second.second);
+    } else if (tuple_nodes.count(node)) {
+      std::vector<std::pair<Symbol, ValueId>> fields;
+      for (const auto& [attr, child] : tuple_fields[node]) {
+        IQL_ASSIGN_OR_RETURN(ValueId cv, decode(child));
+        fields.emplace_back(attr, cv);
+      }
+      result = values.Tuple(std::move(fields));
+    } else if (set_nodes.count(node)) {
+      std::vector<ValueId> elems;
+      for (Oid child : set_elems[node]) {
+        IQL_ASSIGN_OR_RETURN(ValueId cv, decode(child));
+        elems.push_back(cv);
+      }
+      result = values.Set(std::move(elems));
+    } else {
+      return InvalidArgumentError("value node with no kind fact");
+    }
+    decoded.emplace(node, result);
+    return result;
+  };
+
+  for (const auto& [node, cls_oid] : objects) {
+    auto nv = nu_values.find(node);
+    if (nv == nu_values.end()) continue;
+    IQL_ASSIGN_OR_RETURN(ValueId v, decode(nv->second));
+    const auto& [cls, fresh] = cls_oid;
+    if (schema->IsSetValuedClass(cls)) {
+      for (ValueId e : values.node(v).elems) {
+        IQL_RETURN_IF_ERROR(out.AddToSetOid(fresh, e));
+      }
+    } else {
+      IQL_RETURN_IF_ERROR(out.SetOidValue(fresh, v));
+    }
+  }
+  for (ValueId v : encoded.Relation(vocab.rel_fact)) {
+    auto [a, b] = pair_of(v);
+    Symbol rel = values.node(a).atom;
+    if (!schema->HasRelation(rel)) {
+      return NotFoundError("encoded relation not in target schema");
+    }
+    IQL_ASSIGN_OR_RETURN(ValueId fact, decode(oid_of(b)));
+    IQL_RETURN_IF_ERROR(out.AddToRelation(rel, fact));
+  }
+  return out;
+}
+
+}  // namespace iqlkit

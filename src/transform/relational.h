@@ -1,0 +1,53 @@
+#ifndef IQLKIT_TRANSFORM_RELATIONAL_H_
+#define IQLKIT_TRANSFORM_RELATIONAL_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// The flattening behind Proposition 4.2.2: any instance over any schema
+// can be encoded in a fixed *relational-style* vocabulary by inventing
+// surrogate oids for the structured o-values ("oids are invented to denote
+// more structured o-values ... an obvious representation of ground
+// facts"). This makes the yes/no-completeness argument executable and
+// doubles as a generic, schema-independent serialization of instances.
+//
+// The fixed vocabulary (class/relation names as D-constants, one
+// surrogate class):
+//
+//   class    Node      : D                     (surrogates; nu undefined)
+//   relation ConstNode : [Node, D]             value node -> its constant
+//   relation TupleNode : Node                  value node is a tuple
+//   relation TupleField: [Node, D, Node]       (tuple, attr name, child)
+//   relation SetNode   : Node                  value node is a set
+//   relation SetElem   : [Node, Node]          (set, element)
+//   relation RefNode   : [Node, Node]          value node -> object node
+//   relation ObjectIn  : [D, Node]             (class name, object node)
+//   relation NuValue   : [Node, Node]          (object node, value node)
+//   relation RelFact   : [D, Node]             (relation name, value node)
+//
+// Value nodes are shared per distinct o-value (the hash-consing carries
+// over), so the encoding is linear in the instance's DAG size.
+
+// The fixed flattening vocabulary.
+Result<Schema> RelationalVocabulary(Universe* universe);
+
+// Encodes `instance` over the vocabulary. Invents one surrogate per
+// object and per distinct non-oid o-value node.
+Result<Instance> EncodeRelational(const Instance& instance,
+                                  std::shared_ptr<const Schema> vocabulary);
+
+// Rebuilds an instance over `original_schema` from its encoding,
+// minting fresh oids for the objects: Decode(Encode(I)) is O-isomorphic
+// to I.
+Result<Instance> DecodeRelational(
+    const Instance& encoded, std::shared_ptr<const Schema> original_schema);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_TRANSFORM_RELATIONAL_H_

@@ -1,0 +1,206 @@
+#include "transform/turing.h"
+
+#include <map>
+
+#include "base/logging.h"
+#include "iql/parser.h"
+
+namespace iqlkit {
+
+std::string TuringSimulatorSource() {
+  // One machine step per invented time point. The stage is a single
+  // inflationary fixpoint: facts about a new time point keep arriving
+  // (state, head, written symbol, copied tape) and the next step's
+  // invention fires only once they suffice to satisfy its body. The
+  // val-dom head filter guarantees one NextT successor and at most one
+  // left/right tape extension per cell, with no negation at all.
+  return R"(
+    schema {
+      class T : D;                      # time points
+      class Cell : D;                   # tape cells
+      relation Trans : [D, D, D, D, D]; # q, read, q', write, move(L/R)
+      relation Accepting : D;
+      relation RightOf : [Cell, Cell];
+      relation StateAt : [T, D];
+      relation HeadAt  : [T, Cell];
+      relation TapeAt  : [T, Cell, D];
+      relation InitedCell : Cell;       # cells that already have a symbol
+      relation NextT  : [T, T];
+      relation Accept : T;
+    }
+    input Trans, Accepting, T, Cell, RightOf, StateAt, HeadAt, TapeAt,
+          InitedCell;
+    program {
+      # A step happens whenever a transition applies: invent the next
+      # time point (once per t, by the val-dom head filter).
+      NextT(t, t2) :-
+          StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, m).
+
+      # The new configuration: state, written symbol, untouched tape.
+      StateAt(t2, q2) :-
+          NextT(t, t2), StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, m).
+      TapeAt(t2, c, a2) :-
+          NextT(t, t2), StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, m).
+      TapeAt(t2, d, s) :-
+          NextT(t, t2), HeadAt(t, c), TapeAt(t, d, s), d != c.
+
+      # Head movement along the cell chain.
+      HeadAt(t2, d) :-
+          NextT(t, t2), StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, "R"), RightOf(c, d).
+      HeadAt(t2, d) :-
+          NextT(t, t2), StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, "L"), RightOf(d, c).
+
+      # Tape extension on demand: a move off either end invents a fresh
+      # cell. The val-dom head filter on RightOf(c, .) / RightOf(., c)
+      # blocks the invention whenever the neighbour already exists, so
+      # interior cells never grow extra neighbours and each end extends
+      # at most once per visit.
+      RightOf(c, e) :-
+          StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, "R").
+      RightOf(e, c) :-
+          StateAt(t, q), HeadAt(t, c), TapeAt(t, c, a),
+          Trans(q, a, q2, a2, "L").
+
+      # A freshly invented cell is blank at the time the head arrives;
+      # the loader seeds InitedCell for the input cells, and a visited
+      # cell stays initialized forever, so no written symbol is ever
+      # shadowed by a late blank.
+      TapeAt(t, d, "B") :- HeadAt(t, d), !InitedCell(d).
+      InitedCell(d) :- HeadAt(t, d).
+
+      Accept(t) :- StateAt(t, q), Accepting(q).
+    }
+  )";
+}
+
+Result<TuringResult> RunTuringMachine(Universe* u, const TuringMachine& tm,
+                                      const std::vector<std::string>& word,
+                                      const EvalOptions& options) {
+  auto unit = ParseUnit(u, TuringSimulatorSource());
+  IQL_RETURN_IF_ERROR(unit.status());
+  IQL_ASSIGN_OR_RETURN(Schema in_schema,
+                       unit->schema.Project(unit->input_names));
+  auto in_ptr = std::make_shared<const Schema>(std::move(in_schema));
+  Instance input(in_ptr, u);
+  ValueStore& v = u->values();
+  auto pair = [&](ValueId a, ValueId b) {
+    return v.Tuple({{PositionalAttr(u, 1), a}, {PositionalAttr(u, 2), b}});
+  };
+
+  for (const auto& t : tm.transitions) {
+    if (t.move != 'L' && t.move != 'R') {
+      return InvalidArgumentError("moves must be L or R");
+    }
+    IQL_RETURN_IF_ERROR(input.AddToRelation(
+        "Trans",
+        v.Tuple({{PositionalAttr(u, 1), v.Const(t.state)},
+                 {PositionalAttr(u, 2), v.Const(t.read)},
+                 {PositionalAttr(u, 3), v.Const(t.next_state)},
+                 {PositionalAttr(u, 4), v.Const(t.write)},
+                 {PositionalAttr(u, 5),
+                  v.Const(t.move == 'L' ? "L" : "R")}})));
+  }
+  for (const std::string& q : tm.accepting_states) {
+    IQL_RETURN_IF_ERROR(input.AddToRelation("Accepting", v.Const(q)));
+  }
+  // Initial configuration: time t0, one cell per input symbol (at least
+  // one blank cell for the empty word), head on the leftmost cell.
+  IQL_ASSIGN_OR_RETURN(Oid t0, input.CreateOid("T"));
+  std::vector<Oid> cells;
+  size_t n = word.empty() ? 1 : word.size();
+  for (size_t i = 0; i < n; ++i) {
+    IQL_ASSIGN_OR_RETURN(Oid c, input.CreateOid("Cell"));
+    cells.push_back(c);
+  }
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    IQL_RETURN_IF_ERROR(input.AddToRelation(
+        "RightOf", pair(v.OfOid(cells[i]), v.OfOid(cells[i + 1]))));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    IQL_RETURN_IF_ERROR(input.AddToRelation(
+        "TapeAt",
+        v.Tuple({{PositionalAttr(u, 1), v.OfOid(t0)},
+                 {PositionalAttr(u, 2), v.OfOid(cells[i])},
+                 {PositionalAttr(u, 3),
+                  v.Const(word.empty() ? "B" : word[i])}})));
+  }
+  IQL_RETURN_IF_ERROR(input.AddToRelation(
+      "StateAt", pair(v.OfOid(t0), v.Const(tm.start_state))));
+  IQL_RETURN_IF_ERROR(
+      input.AddToRelation("HeadAt", pair(v.OfOid(t0), v.OfOid(cells[0]))));
+  for (Oid c : cells) {
+    IQL_RETURN_IF_ERROR(input.AddToRelation("InitedCell", v.OfOid(c)));
+  }
+
+  IQL_ASSIGN_OR_RETURN(Instance out,
+                       EvaluateProgram(u, unit->schema, &unit->program,
+                                       input, options));
+
+  // Decode the run.
+  TuringResult result;
+  result.accepted = !out.Relation(u->Intern("Accept")).empty();
+  result.steps = out.Relation(u->Intern("NextT")).size();
+  // The final time point: the unique T-oid with no NextT successor.
+  std::map<Oid, Oid> next;
+  for (ValueId nf : out.Relation(u->Intern("NextT"))) {
+    const ValueNode& node = v.node(nf);
+    next.emplace(v.node(node.fields[0].second).oid,
+                 v.node(node.fields[1].second).oid);
+  }
+  Oid last = t0;
+  while (next.count(last)) last = next.at(last);
+  // Reconstruct the cell chain left-to-right.
+  std::map<Oid, Oid> right;
+  std::set<Oid> has_left;
+  for (ValueId rf : out.Relation(u->Intern("RightOf"))) {
+    const ValueNode& node = v.node(rf);
+    Oid a = v.node(node.fields[0].second).oid;
+    Oid b = v.node(node.fields[1].second).oid;
+    right.emplace(a, b);
+    has_left.insert(b);
+  }
+  Oid leftmost = cells[0];
+  // Walk left from the initial leftmost cell to any invented extension.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& [a, b] : right) {
+      if (b == leftmost) {
+        leftmost = a;
+        moved = true;
+        break;
+      }
+    }
+  }
+  (void)has_left;
+  // Symbols at the final time.
+  std::map<Oid, std::string> symbol;
+  for (ValueId tf : out.Relation(u->Intern("TapeAt"))) {
+    const ValueNode& node = v.node(tf);
+    if (v.node(node.fields[0].second).oid != last) continue;
+    symbol[v.node(node.fields[1].second).oid] =
+        std::string(u->Name(v.node(node.fields[2].second).atom));
+  }
+  std::vector<std::string> tape;
+  for (Oid c = leftmost;;) {
+    auto it = symbol.find(c);
+    tape.push_back(it == symbol.end() ? "B" : it->second);
+    auto r = right.find(c);
+    if (r == right.end()) break;
+    c = r->second;
+  }
+  // Trim blanks at both ends.
+  size_t begin = 0, end = tape.size();
+  while (begin < end && tape[begin] == "B") ++begin;
+  while (end > begin && tape[end - 1] == "B") --end;
+  result.final_tape.assign(tape.begin() + begin, tape.begin() + end);
+  return result;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,61 @@
+#ifndef IQLKIT_TRANSFORM_TURING_H_
+#define IQLKIT_TRANSFORM_TURING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "iql/eval.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+
+// The constructive heart of IQL's completeness (Prop 4.2.2 and the
+// Chandra-Harel tradition the paper builds on): arbitrary computations
+// simulate in IQL because oid invention manufactures unbounded structure.
+// This module compiles a deterministic Turing machine into a fixed IQL
+// program in which
+//   - *time points* are invented oids (one fresh T-oid per executed step,
+//     chained by NextT -- the inflationary counter of the completeness
+//     proofs), and
+//   - *tape cells* are invented oids (the tape extends on demand in both
+//     directions, exactly the "unbounded structured terms" the paper
+//     credits invention with).
+// A halting machine reaches the IQL fixpoint; a diverging machine hits
+// the evaluator's budgets -- computational completeness means divergence
+// is expressible too.
+struct TuringMachine {
+  struct Transition {
+    std::string state;
+    std::string read;        // tape symbol (the blank is "B")
+    std::string next_state;
+    std::string write;
+    char move;               // 'L' or 'R'
+  };
+
+  std::string start_state;
+  std::vector<std::string> accepting_states;
+  std::vector<Transition> transitions;
+};
+
+struct TuringResult {
+  bool accepted = false;
+  size_t steps = 0;                     // executed machine steps
+  std::vector<std::string> final_tape;  // blank-trimmed, left to right
+};
+
+// The fixed simulator source (schema + rules); independent of the machine,
+// which arrives as Trans/Accepting facts.
+std::string TuringSimulatorSource();
+
+// Runs `tm` on `word` via the IQL simulator. The word may be empty (the
+// head starts on a single blank cell). Budgets come from `options`; a
+// non-halting machine surfaces as RESOURCE_EXHAUSTED.
+Result<TuringResult> RunTuringMachine(Universe* universe,
+                                      const TuringMachine& tm,
+                                      const std::vector<std::string>& word,
+                                      const EvalOptions& options = {});
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_TRANSFORM_TURING_H_

@@ -1,0 +1,213 @@
+#include "vmodel/bisim.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+std::vector<uint32_t> BisimulationBlocks(const TermGraph& graph) {
+  size_t n = graph.size();
+  std::vector<uint32_t> block(n, 0);
+  // Initial partition: by node kind and constant atom; placeholders are
+  // singletons (distinct unknowns).
+  {
+    std::map<std::tuple<int, Symbol, size_t>, uint32_t> index;
+    uint32_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const RNode& node = graph.node(static_cast<RNodeId>(i));
+      std::tuple<int, Symbol, size_t> key;
+      if (node.kind == RNodeKind::kPlaceholder) {
+        key = {0, kInvalidSymbol, i};  // unique per node
+      } else if (node.kind == RNodeKind::kConst) {
+        key = {1, node.atom, 0};
+      } else if (node.kind == RNodeKind::kTuple) {
+        key = {2, kInvalidSymbol, 0};
+      } else {
+        key = {3, kInvalidSymbol, 0};
+      }
+      auto [it, inserted] = index.emplace(key, next);
+      if (inserted) ++next;
+      block[i] = it->second;
+    }
+  }
+  // Refine: split blocks by child-block signatures until stable.
+  while (true) {
+    using Signature =
+        std::tuple<uint32_t,                                   // old block
+                   std::vector<std::pair<Symbol, uint32_t>>,   // tuple sig
+                   std::vector<uint32_t>>;                     // set sig
+    std::map<Signature, uint32_t> index;
+    std::vector<uint32_t> next_block(n);
+    uint32_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const RNode& node = graph.node(static_cast<RNodeId>(i));
+      Signature sig;
+      std::get<0>(sig) = block[i];
+      if (node.kind == RNodeKind::kTuple) {
+        auto& fields = std::get<1>(sig);
+        fields.reserve(node.fields.size());
+        for (const auto& [attr, child] : node.fields) {
+          fields.emplace_back(attr, block[child]);
+        }
+      } else if (node.kind == RNodeKind::kSet) {
+        auto& elems = std::get<2>(sig);
+        elems.reserve(node.elems.size());
+        for (RNodeId child : node.elems) elems.push_back(block[child]);
+        std::sort(elems.begin(), elems.end());
+        elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+      }
+      auto [it, inserted] = index.emplace(std::move(sig), next);
+      if (inserted) ++next;
+      next_block[i] = it->second;
+    }
+    std::set<uint32_t> before(block.begin(), block.end());
+    std::set<uint32_t> after(next_block.begin(), next_block.end());
+    bool stable = before.size() == after.size();
+    block = std::move(next_block);
+    if (stable) break;
+  }
+  return block;
+}
+
+bool Bisimilar(const TermGraph& graph, RNodeId a, RNodeId b) {
+  std::vector<uint32_t> block = BisimulationBlocks(graph);
+  return block[a] == block[b];
+}
+
+TermGraph QuotientGraph(const TermGraph& graph,
+                        std::vector<RNodeId>* node_map) {
+  std::vector<uint32_t> block = BisimulationBlocks(graph);
+  TermGraph out(graph.symbols());
+  std::map<uint32_t, RNodeId> block_node;
+  node_map->assign(graph.size(), kInvalidRNode);
+  // First pass: allocate one placeholder per block.
+  for (size_t i = 0; i < graph.size(); ++i) {
+    auto [it, inserted] = block_node.emplace(block[i], kInvalidRNode);
+    if (inserted) it->second = out.AddPlaceholder();
+    (*node_map)[i] = it->second;
+  }
+  // Second pass: fill each block's node from any representative.
+  std::set<RNodeId> filled;
+  for (size_t i = 0; i < graph.size(); ++i) {
+    RNodeId target = (*node_map)[i];
+    if (!filled.insert(target).second) continue;
+    const RNode& node = graph.node(static_cast<RNodeId>(i));
+    switch (node.kind) {
+      case RNodeKind::kPlaceholder:
+        break;  // stays a placeholder
+      case RNodeKind::kConst:
+        IQL_CHECK(out.FillConst(target, node.atom).ok());
+        break;
+      case RNodeKind::kTuple: {
+        std::vector<std::pair<Symbol, RNodeId>> fields;
+        fields.reserve(node.fields.size());
+        for (const auto& [attr, child] : node.fields) {
+          fields.emplace_back(attr, (*node_map)[child]);
+        }
+        IQL_CHECK(out.FillTuple(target, std::move(fields)).ok());
+        break;
+      }
+      case RNodeKind::kSet: {
+        std::vector<RNodeId> elems;
+        for (RNodeId child : node.elems) elems.push_back((*node_map)[child]);
+        std::sort(elems.begin(), elems.end());
+        elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+        IQL_CHECK(out.FillSet(target, std::move(elems)).ok());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+RNodeId Unfold(TermGraph* dst, const TermGraph& src, RNodeId root,
+               int depth) {
+  const RNode& node = src.node(root);
+  if (node.kind == RNodeKind::kPlaceholder || depth <= 0) {
+    return dst->AddPlaceholder();
+  }
+  switch (node.kind) {
+    case RNodeKind::kConst:
+      return dst->AddConst(dst->symbols() == src.symbols()
+                               ? node.atom
+                               : dst->symbols()->Intern(
+                                     src.symbols()->name(node.atom)));
+    case RNodeKind::kTuple: {
+      std::vector<std::pair<Symbol, RNodeId>> fields;
+      for (const auto& [attr, child] : node.fields) {
+        Symbol a = dst->symbols() == src.symbols()
+                       ? attr
+                       : dst->symbols()->Intern(src.symbols()->name(attr));
+        fields.emplace_back(a, Unfold(dst, src, child, depth - 1));
+      }
+      return dst->AddTuple(std::move(fields));
+    }
+    case RNodeKind::kSet: {
+      std::vector<RNodeId> elems;
+      for (RNodeId child : node.elems) {
+        elems.push_back(Unfold(dst, src, child, depth - 1));
+      }
+      return dst->AddSet(std::move(elems));
+    }
+    case RNodeKind::kPlaceholder:
+      break;
+  }
+  return dst->AddPlaceholder();
+}
+
+}  // namespace
+
+TermGraph UnfoldToDepth(const TermGraph& graph, RNodeId root, int depth,
+                        RNodeId* out_root) {
+  TermGraph out(graph.symbols());
+  *out_root = Unfold(&out, graph, root, depth);
+  return out;
+}
+
+RNodeId CopySubgraph(TermGraph* dst, const TermGraph& src, RNodeId root,
+                     std::map<RNodeId, RNodeId>* copied) {
+  auto it = copied->find(root);
+  if (it != copied->end()) return it->second;
+  RNodeId target = dst->AddPlaceholder();
+  copied->emplace(root, target);
+  const RNode& node = src.node(root);
+  switch (node.kind) {
+    case RNodeKind::kPlaceholder:
+      break;
+    case RNodeKind::kConst: {
+      Symbol atom = dst->symbols() == src.symbols()
+                        ? node.atom
+                        : dst->symbols()->Intern(
+                              src.symbols()->name(node.atom));
+      IQL_CHECK(dst->FillConst(target, atom).ok());
+      break;
+    }
+    case RNodeKind::kTuple: {
+      std::vector<std::pair<Symbol, RNodeId>> fields;
+      for (const auto& [attr, child] : node.fields) {
+        Symbol a = dst->symbols() == src.symbols()
+                       ? attr
+                       : dst->symbols()->Intern(src.symbols()->name(attr));
+        fields.emplace_back(a, CopySubgraph(dst, src, child, copied));
+      }
+      IQL_CHECK(dst->FillTuple(target, std::move(fields)).ok());
+      break;
+    }
+    case RNodeKind::kSet: {
+      std::vector<RNodeId> elems;
+      for (RNodeId child : node.elems) {
+        elems.push_back(CopySubgraph(dst, src, child, copied));
+      }
+      IQL_CHECK(dst->FillSet(target, std::move(elems)).ok());
+      break;
+    }
+  }
+  return target;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,42 @@
+#ifndef IQLKIT_VMODEL_BISIM_H_
+#define IQLKIT_VMODEL_BISIM_H_
+
+#include <map>
+#include <vector>
+
+#include "vmodel/rtree.h"
+
+namespace iqlkit {
+
+// Equality of pure values is bisimilarity of their term-graph nodes: two
+// nodes are bisimilar iff their infinite unfoldings are the same tree
+// (with set children compared as sets). Computed by partition refinement
+// to the coarsest stable partition. Exact (signature-based, no hashing).
+//
+// Placeholder nodes are never bisimilar to anything (not even each other):
+// they denote unknown values.
+std::vector<uint32_t> BisimulationBlocks(const TermGraph& graph);
+
+bool Bisimilar(const TermGraph& graph, RNodeId a, RNodeId b);
+
+// The quotient graph: one node per bisimulation block reachable from any
+// node (duplicate elimination for pure values). `node_map[old] = new`.
+TermGraph QuotientGraph(const TermGraph& graph,
+                        std::vector<RNodeId>* node_map);
+
+// Deep-copies the subgraph reachable from `root` in `src` into `dst`
+// (cycles preserved). `copied` caches already-copied nodes across calls.
+RNodeId CopySubgraph(TermGraph* dst, const TermGraph& src, RNodeId root,
+                     std::map<RNodeId, RNodeId>* copied);
+
+// The finite unfolding of `root` to `depth` levels: the prefix of the
+// (possibly infinite) tree the node denotes, rendered as an *acyclic*
+// term graph whose frontier nodes beyond the depth become placeholders.
+// Two nodes are bisimilar iff their unfoldings agree at every depth
+// (Courcelle); the test suite checks the finite direction.
+TermGraph UnfoldToDepth(const TermGraph& graph, RNodeId root, int depth,
+                        RNodeId* out_root);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_VMODEL_BISIM_H_

@@ -1,0 +1,285 @@
+#include "vmodel/encode.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+namespace {
+
+bool IsVType(const TypePool& pool, TypeId t) {
+  const TypeNode& n = pool.node(t);
+  switch (n.kind) {
+    case TypeKind::kBase:
+    case TypeKind::kClass:
+      return true;
+    case TypeKind::kEmpty:
+    case TypeKind::kUnion:
+    case TypeKind::kIntersect:
+      return false;
+    case TypeKind::kTuple:
+      for (const auto& [attr, child] : n.fields) {
+        if (!IsVType(pool, child)) return false;
+      }
+      return true;
+    case TypeKind::kSet:
+      return IsVType(pool, n.children[0]);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateVSchema(const Schema& schema) {
+  if (!schema.relation_names().empty()) {
+    return InvalidArgumentError(
+        "a v-schema has class names only (§7: compare (P, T) with "
+        "(empty, P, T))");
+  }
+  const TypePool& pool = schema.universe()->types();
+  for (Symbol cls : schema.class_names()) {
+    TypeId t = schema.ClassType(cls);
+    if (pool.node(t).kind == TypeKind::kClass) {
+      return InvalidArgumentError(
+          "T(P) must not be a bare class name (Def 7.1.1 condition (1))");
+    }
+    if (!IsVType(pool, t)) {
+      return InvalidArgumentError(
+          "v-schema types use base, class, set, and tuple constructors "
+          "only (§7.1)");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<VInstance> Psi(const Instance& instance) {
+  Universe* u = instance.universe();
+  const ValueStore& values = u->values();
+  VInstance out(&u->symbols());
+  // One placeholder per oid; wire value structure to them.
+  std::map<Oid, RNodeId> oid_node;
+  std::set<Oid> oids = instance.Objects();
+  for (Oid o : oids) oid_node[o] = out.graph.AddPlaceholder();
+
+  // Translates an o-value tree into graph nodes (oid leaves resolve to
+  // their placeholder nodes).
+  std::function<Result<RNodeId>(ValueId)> translate =
+      [&](ValueId v) -> Result<RNodeId> {
+    const ValueNode& n = values.node(v);
+    switch (n.kind) {
+      case ValueKind::kConst:
+        return out.graph.AddConst(n.atom);
+      case ValueKind::kOid:
+        return oid_node.at(n.oid);
+      case ValueKind::kTuple: {
+        std::vector<std::pair<Symbol, RNodeId>> fields;
+        for (const auto& [attr, child] : n.fields) {
+          IQL_ASSIGN_OR_RETURN(RNodeId c, translate(child));
+          fields.emplace_back(attr, c);
+        }
+        return out.graph.AddTuple(std::move(fields));
+      }
+      case ValueKind::kSet: {
+        std::vector<RNodeId> elems;
+        for (ValueId child : n.elems) {
+          IQL_ASSIGN_OR_RETURN(RNodeId c, translate(child));
+          elems.push_back(c);
+        }
+        return out.graph.AddSet(std::move(elems));
+      }
+    }
+    return InternalError("unknown value kind");
+  };
+
+  for (Oid o : oids) {
+    auto v = instance.ValueOf(o);
+    if (!v.has_value()) {
+      return FailedPreconditionError(
+          "psi requires nu to be total (§7 considers instances with nu "
+          "defined on every oid)");
+    }
+    const ValueNode& n = values.node(*v);
+    RNodeId target = oid_node.at(o);
+    switch (n.kind) {
+      case ValueKind::kOid:
+        return FailedPreconditionError(
+            "nu(o) is itself an oid: T(P) would be a bare class name, "
+            "excluded by Def 7.1.1 (1)");
+      case ValueKind::kConst:
+        IQL_RETURN_IF_ERROR(out.graph.FillConst(target, n.atom));
+        break;
+      case ValueKind::kTuple: {
+        std::vector<std::pair<Symbol, RNodeId>> fields;
+        for (const auto& [attr, child] : n.fields) {
+          IQL_ASSIGN_OR_RETURN(RNodeId c, translate(child));
+          fields.emplace_back(attr, c);
+        }
+        IQL_RETURN_IF_ERROR(out.graph.FillTuple(target, std::move(fields)));
+        break;
+      }
+      case ValueKind::kSet: {
+        std::vector<RNodeId> elems;
+        for (ValueId child : n.elems) {
+          IQL_ASSIGN_OR_RETURN(RNodeId c, translate(child));
+          elems.push_back(c);
+        }
+        IQL_RETURN_IF_ERROR(out.graph.FillSet(target, std::move(elems)));
+        break;
+      }
+    }
+  }
+  for (Symbol cls : instance.schema().class_names()) {
+    auto& roots = out.classes[cls];
+    for (Oid o : instance.ClassExtent(cls)) {
+      roots.push_back(oid_node.at(o));
+    }
+  }
+  Canonicalize(&out);
+  return out;
+}
+
+void Canonicalize(VInstance* v) {
+  std::vector<RNodeId> node_map;
+  TermGraph quotient = QuotientGraph(v->graph, &node_map);
+  for (auto& [cls, roots] : v->classes) {
+    for (RNodeId& r : roots) r = node_map[r];
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  }
+  v->graph = std::move(quotient);
+}
+
+Result<Instance> Phi(Universe* universe,
+                     std::shared_ptr<const Schema> vschema,
+                     const VInstance& canonical_in) {
+  IQL_RETURN_IF_ERROR(ValidateVSchema(*vschema));
+  // Work on a canonical copy so value identity is node identity.
+  VInstance v(canonical_in.graph.symbols());
+  {
+    std::map<RNodeId, RNodeId> copied;
+    for (const auto& [cls, roots] : canonical_in.classes) {
+      auto& out_roots = v.classes[cls];
+      for (RNodeId r : roots) {
+        out_roots.push_back(
+            CopySubgraph(&v.graph, canonical_in.graph, r, &copied));
+      }
+    }
+  }
+  Canonicalize(&v);
+
+  Instance out(vschema, universe);
+  TypePool& types = universe->types();
+  ValueStore& values = universe->values();
+  // f_P: canonical node -> oid, per class.
+  std::map<std::pair<Symbol, RNodeId>, Oid> f;
+  for (const auto& [cls, roots] : v.classes) {
+    if (!vschema->HasClass(cls)) {
+      return NotFoundError("v-instance class not in schema");
+    }
+    for (RNodeId r : roots) {
+      IQL_ASSIGN_OR_RETURN(Oid o, out.CreateOid(cls));
+      f.emplace(std::make_pair(cls, r), o);
+    }
+  }
+  // Rebuilds the o-value for `node` viewed at type `t`; class-typed
+  // positions resolve through f.
+  std::function<Result<ValueId>(RNodeId, TypeId)> build =
+      [&](RNodeId node, TypeId t) -> Result<ValueId> {
+    const TypeNode& tn = types.node(t);
+    const RNode& n = v.graph.node(node);
+    switch (tn.kind) {
+      case TypeKind::kClass: {
+        auto it = f.find(std::make_pair(tn.class_name, node));
+        if (it == f.end()) {
+          return InvalidArgumentError(
+              "value at a " +
+              std::string(universe->Name(tn.class_name)) +
+              "-typed position is not in that class's extent");
+        }
+        return values.OfOid(it->second);
+      }
+      case TypeKind::kBase:
+        if (n.kind != RNodeKind::kConst) {
+          return TypeError("expected a constant at a D-typed position");
+        }
+        return values.ConstSymbol(n.atom);
+      case TypeKind::kTuple: {
+        if (n.kind != RNodeKind::kTuple ||
+            n.fields.size() != tn.fields.size()) {
+          return TypeError("tuple shape mismatch in phi");
+        }
+        std::vector<std::pair<Symbol, ValueId>> fields;
+        for (size_t i = 0; i < tn.fields.size(); ++i) {
+          if (n.fields[i].first != tn.fields[i].first) {
+            return TypeError("tuple attribute mismatch in phi");
+          }
+          IQL_ASSIGN_OR_RETURN(
+              ValueId c, build(n.fields[i].second, tn.fields[i].second));
+          fields.emplace_back(n.fields[i].first, c);
+        }
+        return values.Tuple(std::move(fields));
+      }
+      case TypeKind::kSet: {
+        if (n.kind != RNodeKind::kSet) {
+          return TypeError("expected a set in phi");
+        }
+        std::vector<ValueId> elems;
+        for (RNodeId child : n.elems) {
+          IQL_ASSIGN_OR_RETURN(ValueId c, build(child, tn.children[0]));
+          elems.push_back(c);
+        }
+        return values.Set(std::move(elems));
+      }
+      default:
+        return InternalError("non-v-type in phi");
+    }
+  };
+  for (const auto& [cls, roots] : v.classes) {
+    TypeId t = vschema->ClassType(cls);
+    for (RNodeId r : roots) {
+      IQL_ASSIGN_OR_RETURN(ValueId val, build(r, t));
+      Oid o = f.at(std::make_pair(cls, r));
+      if (vschema->IsSetValuedClass(cls)) {
+        for (ValueId e : values.node(val).elems) {
+          IQL_RETURN_IF_ERROR(out.AddToSetOid(o, e));
+        }
+      } else {
+        IQL_RETURN_IF_ERROR(out.SetOidValue(o, val));
+      }
+    }
+  }
+  return out;
+}
+
+bool VInstanceEqual(const VInstance& a, const VInstance& b) {
+  // Merge both graphs into one and compare per-class block sets.
+  if (a.classes.size() != b.classes.size()) return false;
+  TermGraph merged(a.graph.symbols());
+  std::map<RNodeId, RNodeId> map_a, map_b;
+  std::map<Symbol, std::set<RNodeId>> roots_a, roots_b;
+  for (const auto& [cls, roots] : a.classes) {
+    for (RNodeId r : roots) {
+      roots_a[cls].insert(CopySubgraph(&merged, a.graph, r, &map_a));
+    }
+  }
+  for (const auto& [cls, roots] : b.classes) {
+    for (RNodeId r : roots) {
+      roots_b[cls].insert(CopySubgraph(&merged, b.graph, r, &map_b));
+    }
+  }
+  std::vector<uint32_t> block = BisimulationBlocks(merged);
+  for (const auto& [cls, ra] : roots_a) {
+    auto it = roots_b.find(cls);
+    if (it == roots_b.end()) return false;
+    std::set<uint32_t> ba, bb;
+    for (RNodeId r : ra) ba.insert(block[r]);
+    for (RNodeId r : it->second) bb.insert(block[r]);
+    if (ba != bb) return false;
+  }
+  return true;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,58 @@
+#ifndef IQLKIT_VMODEL_ENCODE_H_
+#define IQLKIT_VMODEL_ENCODE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "model/instance.h"
+#include "model/schema.h"
+#include "vmodel/bisim.h"
+#include "vmodel/rtree.h"
+
+namespace iqlkit {
+
+// A v-instance over a v-schema (Definitions 7.1.1 / 7.1.2): each class
+// name denotes a finite set of pure values, represented as roots in a
+// shared term graph. All roots are kept canonical (bisimulation-quotiented
+// and deduplicated) so per-class root sets are genuine value *sets*.
+struct VInstance {
+  explicit VInstance(SymbolTable* symbols) : graph(symbols) {}
+
+  TermGraph graph;
+  std::map<Symbol, std::vector<RNodeId>> classes;
+};
+
+// Checks the v-schema conditions (Def 7.1.1) on a plain schema: no
+// relations, types built from base/set/tuple/class only (no unions,
+// intersections, or empty), and no T(P) that is bare class name
+// (condition (1)).
+Status ValidateVSchema(const Schema& schema);
+
+// psi (§7.1, "from objects to values"): solves the equation system
+// { o = nu(o) } over the oids -- each oid becomes a graph node whose
+// content is its value with oid leaves wired to the corresponding nodes --
+// then canonicalizes. Duplicate oid values collapse ("duplicates are
+// eliminated"). Every oid must have a defined value. The result's values
+// are regular trees by construction (Prop 7.1.3).
+Result<VInstance> Psi(const Instance& instance);
+
+// phi (§7.1, "from values to objects"): mints one oid per pure value per
+// class and rebuilds nu by substituting, at class-typed positions of T(P),
+// the oid of the corresponding value (f_P in the paper). Fails if a
+// class-typed position holds a value not present in that class's extent.
+Result<Instance> Phi(Universe* universe,
+                     std::shared_ptr<const Schema> vschema,
+                     const VInstance& v);
+
+// Equality of v-instances: same classes, same value sets up to
+// bisimulation (pure values have no identities).
+bool VInstanceEqual(const VInstance& a, const VInstance& b);
+
+// Canonicalizes in place: quotient the graph, dedup class roots.
+void Canonicalize(VInstance* v);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_VMODEL_ENCODE_H_

@@ -1,0 +1,38 @@
+#include "vmodel/iqlv.h"
+
+namespace iqlkit {
+
+Result<VInstance> RunOnValues(Universe* universe,
+                              std::shared_ptr<const Schema> schema,
+                              std::shared_ptr<const Schema> in,
+                              std::shared_ptr<const Schema> out,
+                              Program* program, const VInstance& input,
+                              const EvalOptions& options,
+                              EvalStats* stats) {
+  IQL_RETURN_IF_ERROR(ValidateVSchema(*in));
+  IQL_RETURN_IF_ERROR(ValidateVSchema(*out));
+  // phi: pure values -> objects with fresh oids.
+  IQL_ASSIGN_OR_RETURN(Instance objects, Phi(universe, in, input));
+  // Gamma: the ordinary object-based evaluator.
+  IQL_ASSIGN_OR_RETURN(
+      Instance result,
+      EvaluateProgram(universe, *schema, program, objects, options, stats));
+  // psi of the output projection: objects dissolve back into values;
+  // bisimulation canonicalization eliminates copies.
+  Instance projected = result.Project(out);
+  // psi requires nu total; output objects the program never defined are a
+  // program bug worth a clear message.
+  for (Symbol p : out->class_names()) {
+    for (Oid o : projected.ClassExtent(p)) {
+      if (!projected.ValueOf(o).has_value()) {
+        return FailedPreconditionError(
+            "output object with undefined value: the program must define "
+            "every oid it places in the output v-schema (§7 considers "
+            "total-nu instances)");
+      }
+    }
+  }
+  return Psi(projected);
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,38 @@
+#ifndef IQLKIT_VMODEL_IQLV_H_
+#define IQLKIT_VMODEL_IQLV_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "iql/ast.h"
+#include "iql/eval.h"
+#include "vmodel/encode.h"
+
+namespace iqlkit {
+
+// IQLv (§7.1, Figure 2): using IQL as the query language of the pure
+// value-based model. A program from v-schema S_in to (disjoint) v-schema
+// S_out is run as
+//
+//      V  --phi-->  phi(V)  --Gamma-->  J  --psi-->  psi(J[S_out])
+//
+// i.e. the input values are objectified with fresh oids, the ordinary
+// object-based evaluator runs, and the output objects dissolve back into
+// pure values. Oids "lose all semantic denotation to become purely
+// primitives of the language": psi's bisimulation quotient performs the
+// copy elimination automatically, which is why IQLv is vdio-complete
+// (Theorem 7.1.5) with no up-to-copy caveat.
+//
+// `schema` is the full program schema; `in` / `out` name its input and
+// output v-schema projections (class names only, v-types, Def 7.1.1).
+Result<VInstance> RunOnValues(Universe* universe,
+                              std::shared_ptr<const Schema> schema,
+                              std::shared_ptr<const Schema> in,
+                              std::shared_ptr<const Schema> out,
+                              Program* program, const VInstance& input,
+                              const EvalOptions& options = {},
+                              EvalStats* stats = nullptr);
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_VMODEL_IQLV_H_

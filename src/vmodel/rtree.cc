@@ -1,0 +1,161 @@
+#include "vmodel/rtree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/logging.h"
+
+namespace iqlkit {
+
+RNodeId TermGraph::Add(RNode n) {
+  IQL_CHECK(nodes_.size() < kInvalidRNode);
+  nodes_.push_back(std::move(n));
+  return static_cast<RNodeId>(nodes_.size() - 1);
+}
+
+RNodeId TermGraph::AddConst(Symbol atom) {
+  RNode n;
+  n.kind = RNodeKind::kConst;
+  n.atom = atom;
+  return Add(std::move(n));
+}
+
+RNodeId TermGraph::AddConst(std::string_view atom) {
+  return AddConst(symbols_->Intern(atom));
+}
+
+RNodeId TermGraph::AddTuple(std::vector<std::pair<Symbol, RNodeId>> fields) {
+  RNodeId id = AddPlaceholder();
+  IQL_CHECK(FillTuple(id, std::move(fields)).ok());
+  return id;
+}
+
+RNodeId TermGraph::AddSet(std::vector<RNodeId> elems) {
+  RNodeId id = AddPlaceholder();
+  IQL_CHECK(FillSet(id, std::move(elems)).ok());
+  return id;
+}
+
+RNodeId TermGraph::AddPlaceholder() { return Add(RNode{}); }
+
+Status TermGraph::FillTuple(RNodeId id,
+                            std::vector<std::pair<Symbol, RNodeId>> fields) {
+  IQL_CHECK(id < nodes_.size());
+  if (nodes_[id].kind != RNodeKind::kPlaceholder) {
+    return FailedPreconditionError("node already filled");
+  }
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    if (fields[i - 1].first == fields[i].first) {
+      return InvalidArgumentError("duplicate tuple attribute");
+    }
+  }
+  nodes_[id].kind = RNodeKind::kTuple;
+  nodes_[id].fields = std::move(fields);
+  return Status::Ok();
+}
+
+Status TermGraph::FillSet(RNodeId id, std::vector<RNodeId> elems) {
+  IQL_CHECK(id < nodes_.size());
+  if (nodes_[id].kind != RNodeKind::kPlaceholder) {
+    return FailedPreconditionError("node already filled");
+  }
+  nodes_[id].kind = RNodeKind::kSet;
+  nodes_[id].elems = std::move(elems);
+  return Status::Ok();
+}
+
+Status TermGraph::FillConst(RNodeId id, Symbol atom) {
+  IQL_CHECK(id < nodes_.size());
+  if (nodes_[id].kind != RNodeKind::kPlaceholder) {
+    return FailedPreconditionError("node already filled");
+  }
+  nodes_[id].kind = RNodeKind::kConst;
+  nodes_[id].atom = atom;
+  return Status::Ok();
+}
+
+const RNode& TermGraph::node(RNodeId id) const {
+  IQL_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+bool TermGraph::Complete(RNodeId root) const {
+  std::set<RNodeId> visited;
+  std::vector<RNodeId> stack = {root};
+  while (!stack.empty()) {
+    RNodeId id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) continue;
+    const RNode& n = node(id);
+    if (n.kind == RNodeKind::kPlaceholder) return false;
+    for (const auto& [attr, child] : n.fields) stack.push_back(child);
+    for (RNodeId child : n.elems) stack.push_back(child);
+  }
+  return true;
+}
+
+std::string TermGraph::ToString(RNodeId root) const {
+  // Nodes on more than one path (or on a cycle) get "#k=" definitions and
+  // "#k" back-references.
+  std::map<RNodeId, int> ref_ids;
+  std::set<RNodeId> in_progress, seen;
+  std::function<void(RNodeId)> scan = [&](RNodeId id) {
+    if (in_progress.count(id)) {
+      if (!ref_ids.count(id)) {
+        ref_ids[id] = static_cast<int>(ref_ids.size());
+      }
+      return;
+    }
+    if (!seen.insert(id).second) return;
+    in_progress.insert(id);
+    const RNode& n = node(id);
+    for (const auto& [attr, child] : n.fields) scan(child);
+    for (RNodeId child : n.elems) scan(child);
+    in_progress.erase(id);
+  };
+  scan(root);
+
+  std::set<RNodeId> emitted;
+  std::function<std::string(RNodeId)> render = [&](RNodeId id) -> std::string {
+    auto ref = ref_ids.find(id);
+    std::string prefix;
+    if (ref != ref_ids.end()) {
+      if (emitted.count(id)) return "#" + std::to_string(ref->second);
+      emitted.insert(id);
+      prefix = "#" + std::to_string(ref->second) + "=";
+    }
+    const RNode& n = node(id);
+    switch (n.kind) {
+      case RNodeKind::kPlaceholder:
+        return prefix + "?";
+      case RNodeKind::kConst:
+        return prefix + "\"" + std::string(symbols_->name(n.atom)) + "\"";
+      case RNodeKind::kTuple: {
+        std::string out = prefix + "[";
+        bool first = true;
+        for (const auto& [attr, child] : n.fields) {
+          if (!first) out += ", ";
+          first = false;
+          out += std::string(symbols_->name(attr)) + ": " + render(child);
+        }
+        return out + "]";
+      }
+      case RNodeKind::kSet: {
+        std::string out = prefix + "{";
+        bool first = true;
+        for (RNodeId child : n.elems) {
+          if (!first) out += ", ";
+          first = false;
+          out += render(child);
+        }
+        return out + "}";
+      }
+    }
+    return prefix + "?";
+  };
+  return render(root);
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,75 @@
+#ifndef IQLKIT_VMODEL_RTREE_H_
+#define IQLKIT_VMODEL_RTREE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/result.h"
+
+namespace iqlkit {
+
+// The pure values of §7.1: possibly infinite trees with constant, tuple,
+// and set nodes -- no oids. A *regular* infinite tree has finitely many
+// distinct subtrees (Courcelle), so every pure value occurring in a
+// v-instance is representable as a node of a finite rooted term graph
+// (Prop 7.1.3); that graph is this class. Cycles in the graph encode the
+// infinite unfoldings.
+//
+// Two nodes denote the same pure value iff they are bisimilar
+// (vmodel/bisim.h); a TermGraph does not hash-cons, precisely because
+// cyclic structures must be constructible incrementally via placeholders.
+using RNodeId = uint32_t;
+inline constexpr RNodeId kInvalidRNode = 0xFFFFFFFFu;
+
+enum class RNodeKind : uint8_t { kConst, kTuple, kSet, kPlaceholder };
+
+struct RNode {
+  RNodeKind kind = RNodeKind::kPlaceholder;
+  Symbol atom = kInvalidSymbol;                     // kConst
+  std::vector<std::pair<Symbol, RNodeId>> fields;   // kTuple (sorted)
+  std::vector<RNodeId> elems;                       // kSet (unsorted here;
+                                                    // semantics is a set)
+};
+
+class TermGraph {
+ public:
+  explicit TermGraph(SymbolTable* symbols) : symbols_(symbols) {}
+
+  RNodeId AddConst(Symbol atom);
+  RNodeId AddConst(std::string_view atom);
+  RNodeId AddTuple(std::vector<std::pair<Symbol, RNodeId>> fields);
+  RNodeId AddSet(std::vector<RNodeId> elems);
+
+  // Two-phase construction for cycles: reserve a node, point others at it,
+  // then fill it in.
+  RNodeId AddPlaceholder();
+  Status FillTuple(RNodeId id, std::vector<std::pair<Symbol, RNodeId>> fields);
+  Status FillSet(RNodeId id, std::vector<RNodeId> elems);
+  Status FillConst(RNodeId id, Symbol atom);
+
+  const RNode& node(RNodeId id) const;
+  size_t size() const { return nodes_.size(); }
+  SymbolTable* symbols() const { return symbols_; }
+
+  // True if no placeholder remains reachable from `root` (the value is
+  // fully defined).
+  bool Complete(RNodeId root) const;
+
+  // Renders the value with back-references for cycles, e.g.
+  // "#0=[succ: #0]".
+  std::string ToString(RNodeId root) const;
+
+ private:
+  RNodeId Add(RNode n);
+
+  SymbolTable* symbols_;
+  std::vector<RNode> nodes_;
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_VMODEL_RTREE_H_

@@ -1,0 +1,219 @@
+// IQL+ (§4.4): the deterministic `choose` literal binds a head-only
+// variable to an existing oid of its class, restoring completeness
+// (Theorem 4.4.1) for queries like Figure 1's quadrangle, which plain IQL
+// cannot express (Theorem 4.3.1) because it can only build all copies of a
+// symmetric answer, never select one.
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit {
+namespace {
+
+class ChooseTest : public ::testing::Test {
+ protected:
+  Universe u_;
+};
+
+TEST_F(ChooseTest, ChoosesExactlyOneExistingOid) {
+  constexpr std::string_view kSource = R"(
+    schema {
+      relation R : D;
+      class M : D;
+      relation Mark : [D, M];
+      relation Picked : M;
+    }
+    input R;
+    output Picked, M;
+    program {
+      Mark(x, m) :- R(x).     # one marker oid per constant
+      ;
+      Picked(m) :- choose.    # select one marker
+    }
+  )";
+  auto unit = ParseUnit(&u_, kSource);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto in_schema = unit->schema.Project({"R"});
+  ASSERT_TRUE(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), &u_);
+  for (const char* c : {"a", "b", "c"}) {
+    ASSERT_TRUE(input.AddToRelation("R", u_.values().Const(c)).ok());
+  }
+  auto out = RunUnit(&u_, &*unit, input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(u_.Intern("Picked")).size(), 1u);
+}
+
+TEST_F(ChooseTest, ChooseWithNoCandidatesDerivesNothing) {
+  constexpr std::string_view kSource = R"(
+    schema { relation R : D; class M : D; relation Picked : M; }
+    input R;
+    output Picked, M;
+    program { Picked(m) :- choose, R(x). }
+  )";
+  auto unit = ParseUnit(&u_, kSource);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto in_schema = unit->schema.Project({"R"});
+  ASSERT_TRUE(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), &u_);
+  ASSERT_TRUE(input.AddToRelation("R", u_.values().Const("a")).ok());
+  auto out = RunUnit(&u_, &*unit, input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Relation(u_.Intern("Picked")).empty());
+}
+
+// The Figure 1 quadrangle as an IQL+ program: build one candidate answer
+// per orientation of the two input constants, then choose one.
+class QuadrangleTest : public ChooseTest {
+ protected:
+  static constexpr std::string_view kSource = R"(
+    schema {
+      relation R    : D;
+      class M : D;                    # one marker per orientation (x, y)
+      class Q : D;                    # quadrangle vertices
+      relation M2   : [D, D, M];
+      relation Quad : [M, Q, Q, Q, Q];
+      relation EdgeC : [M, Q, (D | Q)];
+      relation Pick : M;
+      relation R'   : [Q, (D | Q)];
+    }
+    input R;
+    output R', Q;
+    program {
+      M2(x, y, m) :- R(x), R(y), x != y.
+      ;
+      Quad(m, o1, o2, o3, o4) :- M2(x, y, m).
+      ;
+      # Figure 1: o1 and o3 attach to x; o2 and o4 attach to y;
+      # the cycle is o1 -> o2 -> o3 -> o4 -> o1.
+      EdgeC(m, o1, x)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o3, x)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o2, y)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o4, y)  :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o1, o2) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o2, o3) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o3, o4) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      EdgeC(m, o4, o1) :- M2(x, y, m), Quad(m, o1, o2, o3, o4).
+      ;
+      Pick(m) :- choose.
+      ;
+      R'(u, v) :- Pick(m), EdgeC(m, u, v).
+    }
+  )";
+
+  Result<Instance> Run(EvalOptions options) {
+    auto unit = ParseUnit(&u_, kSource);
+    if (!unit.ok()) return unit.status();
+    auto in_schema = unit->schema.Project({"R"});
+    if (!in_schema.ok()) return in_schema.status();
+    Instance input(std::make_shared<const Schema>(std::move(*in_schema)),
+                   &u_);
+    IQL_RETURN_IF_ERROR(input.AddToRelation("R", u_.values().Const("a")));
+    IQL_RETURN_IF_ERROR(input.AddToRelation("R", u_.values().Const("b")));
+    return RunUnit(&u_, &*unit, input, options);
+  }
+};
+
+TEST_F(QuadrangleTest, ProducesTheFigure1Answer) {
+  auto out = Run({});
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol rp = u_.Intern("R'");
+  // 8 edges: 4 vertex-constant, 4 vertex-vertex.
+  EXPECT_EQ(out->Relation(rp).size(), 8u);
+  // Exactly 4 distinct vertices occur.
+  std::set<Oid> vertices;
+  for (ValueId v : out->Relation(rp)) {
+    u_.values().CollectOids(v, &vertices);
+  }
+  EXPECT_EQ(vertices.size(), 4u);
+}
+
+TEST_F(QuadrangleTest, BothChoicePoliciesGiveIsomorphicAnswers) {
+  // The two candidate copies (orientation (a,b) vs (b,a)) are isomorphic:
+  // whichever `choose` picks, the answer is the same up to oid renaming.
+  // This is the genericity condition that makes this use of choose legal.
+  EvalOptions min_policy;
+  min_policy.choose_policy = EvalOptions::ChoosePolicy::kMinOid;
+  EvalOptions max_policy;
+  max_policy.choose_policy = EvalOptions::ChoosePolicy::kMaxOid;
+  auto out_min = Run(min_policy);
+  auto out_max = Run(max_policy);
+  ASSERT_TRUE(out_min.ok()) << out_min.status();
+  ASSERT_TRUE(out_max.ok()) << out_max.status();
+  EXPECT_TRUE(OIsomorphic(*out_min, *out_max));
+}
+
+// N-IQL (the remark after Theorem 4.4.1): with a random choose policy,
+// genericity is deliberately not enforced -- the language becomes
+// nondeterministic-complete. Distinguishable candidates can yield
+// observably different (non-isomorphic) answers across seeds, while a
+// fixed seed stays reproducible.
+class NIqlTest : public ChooseTest {
+ protected:
+  static constexpr std::string_view kSource = R"(
+    schema {
+      relation R : D;
+      class M : D;
+      relation Mark : [D, M];
+      relation Picked : M;
+      relation PickedName : D;
+    }
+    input R;
+    output PickedName;
+    program {
+      Mark(x, m) :- R(x).
+      ;
+      Picked(m) :- choose.
+      PickedName(x) :- Picked(m), Mark(x, m).
+    }
+  )";
+
+  Result<Instance> Run(uint64_t seed) {
+    auto unit = ParseUnit(&u_, kSource);
+    if (!unit.ok()) return unit.status();
+    auto in_schema = unit->schema.Project({"R"});
+    if (!in_schema.ok()) return in_schema.status();
+    Instance input(std::make_shared<const Schema>(std::move(*in_schema)),
+                   &u_);
+    for (const char* c : {"a", "b", "c", "d", "e"}) {
+      IQL_RETURN_IF_ERROR(input.AddToRelation("R", u_.values().Const(c)));
+    }
+    EvalOptions options;
+    options.choose_policy = EvalOptions::ChoosePolicy::kRandom;
+    options.choose_seed = seed;
+    return RunUnit(&u_, &*unit, input, options);
+  }
+
+  std::string PickedName(const Instance& out) {
+    const auto& rel = out.Relation(u_.Intern("PickedName"));
+    EXPECT_EQ(rel.size(), 1u);
+    return u_.values().ToString(*rel.begin());
+  }
+};
+
+TEST_F(NIqlTest, SameSeedIsReproducible) {
+  auto a = Run(7);
+  auto b = Run(7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(PickedName(*a), PickedName(*b));
+}
+
+TEST_F(NIqlTest, DifferentSeedsCanDiffer) {
+  // Candidates are attached to distinct constants, so different picks are
+  // observably different -- nondeterminism, not mere oid renaming.
+  std::set<std::string> observed;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    auto out = Run(seed);
+    ASSERT_TRUE(out.ok()) << out.status();
+    observed.insert(PickedName(*out));
+  }
+  EXPECT_GT(observed.size(), 1u)
+      << "16 seeds all picked the same candidate";
+}
+
+}  // namespace
+}  // namespace iqlkit

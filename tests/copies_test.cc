@@ -1,0 +1,125 @@
+// Definition 4.2.3 / Theorem 4.2.4: instances-with-copies -- construction,
+// splitting, and copy elimination (with its isomorphism invariant).
+
+#include "transform/copies.h"
+
+#include <gtest/gtest.h>
+
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit {
+namespace {
+
+class CopiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    base_ = std::make_shared<Schema>(&u_);
+    ASSERT_TRUE(base_
+                    ->DeclareClass("Node",
+                                   t.Tuple({{u_.Intern("name"), t.Base()},
+                                            {u_.Intern("succ"),
+                                             t.Set(t.ClassNamed("Node"))}}))
+                    .ok());
+    ASSERT_TRUE(base_->DeclareRelation("Root", t.ClassNamed("Node")).ok());
+    auto copies = SchemaForCopies(&u_, *base_);
+    ASSERT_TRUE(copies.ok()) << copies.status();
+    copies_ = std::make_shared<Schema>(std::move(*copies));
+  }
+
+  // A 2-node cycle with a Root fact.
+  Instance Original() {
+    Instance inst(base_.get(), &u_);
+    ValueStore& v = u_.values();
+    auto a = inst.CreateOid("Node");
+    auto b = inst.CreateOid("Node");
+    EXPECT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(inst.SetOidValue(
+                        *a, v.Tuple({{u_.Intern("name"), v.Const("a")},
+                                     {u_.Intern("succ"),
+                                      v.Set({v.OfOid(*b)})}}))
+                    .ok());
+    EXPECT_TRUE(inst.SetOidValue(
+                        *b, v.Tuple({{u_.Intern("name"), v.Const("b")},
+                                     {u_.Intern("succ"),
+                                      v.Set({v.OfOid(*a)})}}))
+                    .ok());
+    EXPECT_TRUE(inst.AddToRelation("Root", v.OfOid(*a)).ok());
+    return inst;
+  }
+
+  Universe u_;
+  std::shared_ptr<Schema> base_;
+  std::shared_ptr<Schema> copies_;
+};
+
+TEST_F(CopiesTest, SchemaForCopiesAddsUnionSetRelation) {
+  Symbol copies = u_.Intern("Copies");
+  ASSERT_TRUE(copies_->HasRelation(copies));
+  EXPECT_EQ(u_.types().ToString(copies_->RelationType(copies)), "{Node}");
+}
+
+TEST_F(CopiesTest, SchemaForCopiesRequiresAClass) {
+  Schema flat(&u_);
+  ASSERT_TRUE(flat.DeclareRelation("R", u_.types().Base()).ok());
+  EXPECT_FALSE(SchemaForCopies(&u_, flat).ok());
+}
+
+TEST_F(CopiesTest, MakeThenSplitRoundTrips) {
+  Instance original = Original();
+  auto with_copies = MakeCopies(original, copies_, 3);
+  ASSERT_TRUE(with_copies.ok()) << with_copies.status();
+  EXPECT_EQ(with_copies->ClassExtent(u_.Intern("Node")).size(), 6u);
+  EXPECT_EQ(with_copies->Relation(u_.Intern("Root")).size(), 3u);
+  EXPECT_TRUE(with_copies->Validate().ok()) << with_copies->Validate();
+
+  auto copies = SplitCopies(*with_copies, base_);
+  ASSERT_TRUE(copies.ok()) << copies.status();
+  ASSERT_EQ(copies->size(), 3u);
+  for (const Instance& copy : *copies) {
+    EXPECT_TRUE(OIsomorphic(copy, original));
+  }
+}
+
+TEST_F(CopiesTest, EliminateCopiesReturnsOneIsomorphicCopy) {
+  Instance original = Original();
+  auto with_copies = MakeCopies(original, copies_, 4);
+  ASSERT_TRUE(with_copies.ok());
+  auto one = EliminateCopies(*with_copies, base_);
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_TRUE(OIsomorphic(*one, original));
+}
+
+TEST_F(CopiesTest, EliminateRefusesNonIsomorphicCopies) {
+  Instance original = Original();
+  auto with_copies = MakeCopies(original, copies_, 2);
+  ASSERT_TRUE(with_copies.ok());
+  // Corrupt one copy: add an extra Root fact pointing into it.
+  ValueStore& v = u_.values();
+  ValueId reg = *with_copies->Relation(u_.Intern("Copies")).begin();
+  Oid member = v.node(v.node(reg).elems[0]).oid;
+  ASSERT_TRUE(with_copies->AddToRelation("Root", v.OfOid(member)).ok());
+  auto one = EliminateCopies(*with_copies, base_);
+  // Either the corrupted copy differs (refused) or the extra fact happens
+  // to duplicate an existing Root; with a 2-node cycle and Root(a) only,
+  // an extra Root is visible unless it hit the same oid.
+  if (!one.ok()) {
+    EXPECT_EQ(one.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(CopiesTest, SplitRejectsOverlappingRegistrations) {
+  Instance original = Original();
+  auto with_copies = MakeCopies(original, copies_, 1);
+  ASSERT_TRUE(with_copies.ok());
+  // Register the same oid set twice.
+  ValueId reg = *with_copies->Relation(u_.Intern("Copies")).begin();
+  ValueStore& v = u_.values();
+  ValueId dup = v.Set({v.node(reg).elems[0]});
+  ASSERT_TRUE(with_copies->AddToRelation("Copies", dup).ok());
+  EXPECT_FALSE(SplitCopies(*with_copies, base_).ok());
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,268 @@
+// Differential and parameterized property tests: the IQL evaluator checked
+// against the independent flat Datalog engine on the shared relational
+// fragment, determinacy/genericity sweeps, and phi/psi round trips on
+// random cyclic instances.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datalog/datalog.h"
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+#include "vmodel/encode.h"
+
+namespace iqlkit {
+namespace {
+
+std::vector<std::pair<int, int>> RandomEdges(int n, int m, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < m; ++i) edges.emplace_back(node(rng), node(rng));
+  return edges;
+}
+
+// ---- IQL vs Datalog on transitive closure ---------------------------------
+
+class TcDifferentialTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TcDifferentialTest, IqlAndDatalogAgree) {
+  uint32_t seed = GetParam();
+  int n = 8 + seed % 8;
+  auto edges = RandomEdges(n, 2 * n, seed);
+
+  // Datalog reference result.
+  datalog::Database db;
+  int e = *db.AddRelation("E", 2);
+  int tc = *db.AddRelation("TC", 2);
+  datalog::Program dprog;
+  using datalog::Atom;
+  using datalog::Term;
+  dprog.rules.push_back(datalog::Rule{
+      Atom{tc, {Term::Var(0), Term::Var(1)}},
+      {Atom{e, {Term::Var(0), Term::Var(1)}}},
+      {}});
+  dprog.rules.push_back(datalog::Rule{
+      Atom{tc, {Term::Var(0), Term::Var(2)}},
+      {Atom{tc, {Term::Var(0), Term::Var(1)}},
+       Atom{e, {Term::Var(1), Term::Var(2)}}},
+      {}});
+  for (auto [a, b] : edges) {
+    db.AddFact(e, {db.InternConstant(a), db.InternConstant(b)});
+  }
+  ASSERT_TRUE(
+      datalog::Evaluate(dprog, &db, datalog::EvalMode::kSemiNaive).ok());
+
+  // IQL result.
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema { relation E : [D, D]; relation TC : [D, D]; }
+    input E;
+    output TC;
+    program {
+      TC(x, y) :- E(x, y).
+      TC(x, z) :- TC(x, y), E(y, z).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto in_schema = unit->schema.Project({"E"});
+  ASSERT_TRUE(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), &u);
+  ValueStore& v = u.values();
+  for (auto [a, b] : edges) {
+    ASSERT_TRUE(
+        input
+            .AddToRelation(
+                "E", v.Tuple({{PositionalAttr(&u, 1), v.ConstInt(a)},
+                              {PositionalAttr(&u, 2), v.ConstInt(b)}}))
+            .ok());
+  }
+  auto out = RunUnit(&u, &*unit, input);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  // Same cardinality and same pairs.
+  const auto& iql_tc = out->Relation(u.Intern("TC"));
+  ASSERT_EQ(iql_tc.size(), db.FactCount(tc)) << "seed " << seed;
+  for (ValueId t2 : iql_tc) {
+    const ValueNode& node = v.node(t2);
+    ASSERT_EQ(node.fields.size(), 2u);
+    datalog::Tuple key = {
+        db.InternConstant(
+            std::string(u.Name(v.node(node.fields[0].second).atom))),
+        db.InternConstant(
+            std::string(u.Name(v.node(node.fields[1].second).atom)))};
+    EXPECT_TRUE(db.Contains(tc, key)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcDifferentialTest,
+                         ::testing::Range<uint32_t>(0, 12));
+
+// ---- determinacy sweep (Theorem 4.1.3) -------------------------------------
+
+class DeterminacySweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DeterminacySweepTest, GraphEncodingDeterminateUpToIsomorphism) {
+  uint32_t seed = GetParam();
+  constexpr std::string_view kSource = R"(
+    schema {
+      relation R  : [D, D];
+      relation R0 : D;
+      relation R9 : [D, P, P'];
+      class P  : [D, {P}];
+      class P' : {P};
+    }
+    input R;
+    output P, P';
+    program {
+      R0(x) :- R(x, y).
+      R0(x) :- R(y, x).
+      R9(x, p, p') :- R0(x).
+      p'^(q) :- R9(x, p, p'), R9(y, q, q'), R(x, y).
+      ;
+      p^ = [x, p'^] :- R9(x, p, p').
+    }
+  )";
+  Universe u;
+  int n = 4 + seed % 5;
+  auto edges = RandomEdges(n, n + 2, seed * 31 + 1);
+  auto run_once = [&]() {
+    auto unit = ParseUnit(&u, kSource);
+    EXPECT_TRUE(unit.ok());
+    auto in_schema = unit->schema.Project({"R"});
+    EXPECT_TRUE(in_schema.ok());
+    Instance input(std::make_shared<const Schema>(std::move(*in_schema)),
+                   &u);
+    ValueStore& v = u.values();
+    for (auto [a, b] : edges) {
+      EXPECT_TRUE(
+          input
+              .AddToRelation(
+                  "R", v.Tuple({{PositionalAttr(&u, 1), v.ConstInt(a)},
+                                {PositionalAttr(&u, 2), v.ConstInt(b)}}))
+              .ok());
+    }
+    auto out = RunUnit(&u, &*unit, input);
+    EXPECT_TRUE(out.ok()) << out.status();
+    auto out_schema = unit->schema.Project({"P", "P'"});
+    EXPECT_TRUE(out_schema.ok());
+    return out->Project(
+        std::make_shared<const Schema>(std::move(*out_schema)));
+  };
+  Instance out1 = run_once();
+  Instance out2 = run_once();
+  EXPECT_TRUE(OIsomorphic(out1, out2)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminacySweepTest,
+                         ::testing::Range<uint32_t>(0, 8));
+
+// ---- psi/phi round trips on random cyclic object graphs --------------------
+
+class PsiPhiSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PsiPhiSweepTest, PsiOfPhiIsIdentity) {
+  uint32_t seed = GetParam();
+  std::mt19937 rng(seed);
+  Universe u;
+  TypePool& t = u.types();
+  auto schema = std::make_shared<Schema>(&u);
+  ASSERT_TRUE(schema
+                  ->DeclareClass("Node",
+                                 t.Tuple({{u.Intern("name"), t.Base()},
+                                          {u.Intern("succ"),
+                                           t.Set(t.ClassNamed("Node"))}}))
+                  .ok());
+  // Random object graph with a small label alphabet (forces some
+  // collapses) and random successor sets.
+  int n = 3 + seed % 6;
+  Instance inst(schema.get(), &u);
+  ValueStore& v = u.values();
+  std::vector<Oid> oids;
+  for (int i = 0; i < n; ++i) {
+    auto o = inst.CreateOid("Node");
+    ASSERT_TRUE(o.ok());
+    oids.push_back(*o);
+  }
+  std::uniform_int_distribution<int> label(0, 1);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (int i = 0; i < n; ++i) {
+    std::vector<ValueId> succ;
+    int degree = static_cast<int>(rng() % 3);
+    for (int k = 0; k < degree; ++k) {
+      succ.push_back(v.OfOid(oids[pick(rng)]));
+    }
+    ASSERT_TRUE(
+        inst.SetOidValue(oids[i],
+                         v.Tuple({{u.Intern("name"),
+                                   v.ConstInt(label(rng))},
+                                  {u.Intern("succ"),
+                                   v.Set(std::move(succ))}}))
+            .ok());
+  }
+  auto pure = Psi(inst);
+  ASSERT_TRUE(pure.ok()) << pure.status();
+  auto objects = Phi(&u, schema, *pure);
+  ASSERT_TRUE(objects.ok()) << objects.status();
+  EXPECT_TRUE(objects->Validate().ok());
+  auto pure2 = Psi(*objects);
+  ASSERT_TRUE(pure2.ok()) << pure2.status();
+  EXPECT_TRUE(VInstanceEqual(*pure, *pure2)) << "seed " << seed;
+  // phi(psi(.)) never grows the instance (duplicate elimination only).
+  EXPECT_LE(objects->ClassExtent(u.Intern("Node")).size(),
+            inst.ClassExtent(u.Intern("Node")).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsiPhiSweepTest,
+                         ::testing::Range<uint32_t>(0, 16));
+
+// ---- naive vs semi-naive Datalog sweep -------------------------------------
+
+class DatalogModesTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DatalogModesTest, SameGenerationAgrees) {
+  uint32_t seed = GetParam();
+  int n = 6 + seed % 6;
+  auto edges = RandomEdges(n, n, seed * 7 + 3);
+  auto build = [&](datalog::EvalMode mode, size_t* count,
+                   std::set<datalog::Tuple>* result) {
+    datalog::Database db;
+    int par = *db.AddRelation("Par", 2);
+    int sg = *db.AddRelation("SG", 2);
+    datalog::Program p;
+    using datalog::Atom;
+    using datalog::Term;
+    p.rules.push_back(datalog::Rule{
+        Atom{sg, {Term::Var(0), Term::Var(1)}},
+        {Atom{par, {Term::Var(0), Term::Var(2)}},
+         Atom{par, {Term::Var(1), Term::Var(2)}}},
+        {}});
+    p.rules.push_back(datalog::Rule{
+        Atom{sg, {Term::Var(0), Term::Var(1)}},
+        {Atom{par, {Term::Var(0), Term::Var(2)}},
+         Atom{sg, {Term::Var(2), Term::Var(3)}},
+         Atom{par, {Term::Var(1), Term::Var(3)}}},
+        {}});
+    for (auto [a, b] : edges) {
+      db.AddFact(par, {db.InternConstant(a), db.InternConstant(b)});
+    }
+    ASSERT_TRUE(datalog::Evaluate(p, &db, mode).ok());
+    *count = db.FactCount(sg);
+    for (const auto& tuple : db.Facts(sg)) result->insert(tuple);
+  };
+  size_t naive_count = 0, semi_count = 0;
+  std::set<datalog::Tuple> naive_result, semi_result;
+  build(datalog::EvalMode::kNaive, &naive_count, &naive_result);
+  build(datalog::EvalMode::kSemiNaive, &semi_count, &semi_result);
+  EXPECT_EQ(naive_count, semi_count) << "seed " << seed;
+  EXPECT_EQ(naive_result, semi_result) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogModesTest,
+                         ::testing::Range<uint32_t>(0, 12));
+
+}  // namespace
+}  // namespace iqlkit

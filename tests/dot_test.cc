@@ -1,0 +1,86 @@
+#include "model/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class DotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    schema_ = std::make_unique<Schema>(&u_);
+    ASSERT_TRUE(schema_
+                    ->DeclareClass("Node",
+                                   t.Tuple({{u_.Intern("name"), t.Base()},
+                                            {u_.Intern("succ"),
+                                             t.Set(t.ClassNamed("Node"))}}))
+                    .ok());
+    ASSERT_TRUE(schema_->DeclareRelation("Root", t.ClassNamed("Node")).ok());
+  }
+
+  Universe u_;
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(DotTest, CyclicInstanceRendersCyclicGraph) {
+  Instance inst(schema_.get(), &u_);
+  ValueStore& v = u_.values();
+  auto a = inst.CreateOid("Node");
+  auto b = inst.CreateOid("Node");
+  ASSERT_TRUE(a.ok() && b.ok());
+  inst.NameOid(*a, "alpha");
+  ASSERT_TRUE(inst.SetOidValue(
+                      *a, v.Tuple({{u_.Intern("name"), v.Const("a")},
+                                   {u_.Intern("succ"),
+                                    v.Set({v.OfOid(*b)})}}))
+                  .ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *b, v.Tuple({{u_.Intern("name"), v.Const("b")},
+                                   {u_.Intern("succ"),
+                                    v.Set({v.OfOid(*a)})}}))
+                  .ok());
+  ASSERT_TRUE(inst.AddToRelation("Root", v.OfOid(*a)).ok());
+
+  std::string dot = InstanceToDot(inst, "test");
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  // Both oid nodes, with label and class.
+  EXPECT_NE(dot.find("alpha : Node"), std::string::npos);
+  // Both directions of the cycle appear as edges with the attribute path.
+  std::string fwd = "oid" + std::to_string(a->raw) + " -> oid" +
+                    std::to_string(b->raw);
+  std::string bwd = "oid" + std::to_string(b->raw) + " -> oid" +
+                    std::to_string(a->raw);
+  EXPECT_NE(dot.find(fwd), std::string::npos);
+  EXPECT_NE(dot.find(bwd), std::string::npos);
+  EXPECT_NE(dot.find("succ{}"), std::string::npos);
+  // The relation fact renders as a separate node pointing at alpha.
+  EXPECT_NE(dot.find("Root"), std::string::npos);
+  EXPECT_NE(dot.find("fact0 -> oid"), std::string::npos);
+}
+
+TEST_F(DotTest, UndefinedValuesRenderDashed) {
+  Instance inst(schema_.get(), &u_);
+  ASSERT_TRUE(inst.CreateOid("Node").ok());
+  std::string dot = InstanceToDot(inst);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(DotTest, QuotesEscapedInFactLabels) {
+  // Constants appear as text only in relation-fact labels; a quoted
+  // constant there must be escaped.
+  Schema schema(&u_);
+  ASSERT_TRUE(schema.DeclareRelation("Tag", u_.types().Base()).ok());
+  Instance inst(&schema, &u_);
+  ASSERT_TRUE(
+      inst.AddToRelation("Tag", u_.values().Const("say \"hi\"")).ok());
+  std::string dot = InstanceToDot(inst);
+  EXPECT_EQ(dot.find("say \"hi\""), std::string::npos);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqlkit

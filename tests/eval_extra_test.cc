@@ -1,0 +1,203 @@
+// Additional evaluator corner cases: names as terms (theta-R = rho(R),
+// §3.2), extents of classes as set values, empty programs, multi-stage
+// interactions, and the ground-facts dump.
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class EvalExtraTest : public ::testing::Test {
+ protected:
+  Result<Instance> Run(std::string_view source,
+                       const std::function<void(Instance*)>& fill,
+                       EvalOptions options = {}) {
+    auto unit = ParseUnit(&u_, source);
+    if (!unit.ok()) return unit.status();
+    unit_ = std::make_unique<ParsedUnit>(std::move(*unit));
+    auto in_schema = unit_->schema.Project(unit_->input_names);
+    if (!in_schema.ok()) return in_schema.status();
+    in_schema_ = std::make_unique<Schema>(std::move(*in_schema));
+    Instance input(in_schema_.get(), &u_);
+    fill(&input);
+    return RunUnit(&u_, unit_.get(), input, options);
+  }
+
+  ValueId C(std::string_view s) { return u_.values().Const(s); }
+
+  Universe u_;
+  std::unique_ptr<ParsedUnit> unit_;
+  std::unique_ptr<Schema> in_schema_;
+};
+
+TEST_F(EvalExtraTest, RelationNameAsTermDenotesItsExtent) {
+  // theta-R = rho(R): the relation name used as a term is the *set* of
+  // its tuples, so Snapshot collects rho(R) as a single set value.
+  auto out = Run(R"(
+    schema { relation R : D; relation Snapshot : {D}; }
+    input R;
+    output Snapshot;
+    program {
+      Snapshot(R) :- R(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   for (const char* c : {"a", "b"}) {
+                     ASSERT_TRUE(in->AddToRelation("R", C(c)).ok());
+                   }
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  const auto& snap = out->Relation(u_.Intern("Snapshot"));
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(*snap.begin(), u_.values().Set({C("a"), C("b")}));
+}
+
+TEST_F(EvalExtraTest, ClassNameAsTermDenotesItsOidSet) {
+  auto out = Run(R"(
+    schema { class P : D; relation All : {P}; relation Seed : D; }
+    input P, Seed;
+    output All, P;
+    program {
+      All(P) :- Seed(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->CreateOid("P").ok());
+                   ASSERT_TRUE(in->CreateOid("P").ok());
+                   ASSERT_TRUE(in->AddToRelation("Seed", C("go")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  const auto& all = out->Relation(u_.Intern("All"));
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(u_.values().node(*all.begin()).elems.size(), 2u);
+}
+
+TEST_F(EvalExtraTest, EmptyProgramIsIdentityOnInput) {
+  auto out = Run(R"(
+    schema { relation R : D; }
+    input R;
+    program { }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("a")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(u_.Intern("R")).size(), 1u);
+}
+
+TEST_F(EvalExtraTest, FactOnlyProgram) {
+  auto out = Run(R"(
+    schema { relation R : [D, D]; }
+    input;
+    program {
+      R("a", "b").
+      R("b", "c").
+    }
+  )",
+                 [](Instance*) {});
+  // "input;" with no names is a parse error; expect that.
+  if (!out.ok()) {
+    // Retry without the input clause.
+    auto out2 = Run(R"(
+      schema { relation R : [D, D]; }
+      program {
+        R("a", "b").
+        R("b", "c").
+      }
+    )",
+                    [](Instance*) {});
+    ASSERT_TRUE(out2.ok()) << out2.status();
+    EXPECT_EQ(out2->Relation(u_.Intern("R")).size(), 2u);
+  } else {
+    EXPECT_EQ(out->Relation(u_.Intern("R")).size(), 2u);
+  }
+}
+
+TEST_F(EvalExtraTest, ConstantsInRuleHeadsEnlargeConstants) {
+  // A head constant not present in the input becomes part of
+  // constants(I) and is visible to later extents.
+  auto out = Run(R"(
+    schema { relation R : D; relation S : D; relation T : [D, D]; }
+    input R;
+    output T;
+    program {
+      S("tag") :- R(x).
+      ;
+      # y ranges over constants(I), which now includes "tag".
+      T(x, y) :- R(x), y != x.
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("a")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol t = u_.Intern("T");
+  EXPECT_TRUE(out->RelationContains(
+      t, u_.values().Tuple({{PositionalAttr(&u_, 1), C("a")},
+                            {PositionalAttr(&u_, 2), C("tag")}})));
+}
+
+TEST_F(EvalExtraTest, SemiNaiveMatchesNaiveWithSetValues) {
+  // An eligible stage whose facts carry *set* values (derived sets flow
+  // through delta positions).
+  constexpr std::string_view kSource = R"(
+    schema {
+      relation In : [D, {D}];
+      relation Out : [D, {D}];
+      relation Pick : {D};
+    }
+    input In;
+    output Out, Pick;
+    program {
+      Out(x, Y) :- In(x, Y).
+      Pick(Y) :- Out(x, Y), Y(x).
+    }
+  )";
+  auto fill = [&](Instance* in) {
+    ValueStore& v = u_.values();
+    ASSERT_TRUE(in->AddToRelation(
+                        "In", v.Tuple({{PositionalAttr(&u_, 1), C("a")},
+                                       {PositionalAttr(&u_, 2),
+                                        v.Set({C("a"), C("b")})}}))
+                    .ok());
+    ASSERT_TRUE(in->AddToRelation(
+                        "In", v.Tuple({{PositionalAttr(&u_, 1), C("c")},
+                                       {PositionalAttr(&u_, 2),
+                                        v.Set({C("b")})}}))
+                    .ok());
+  };
+  auto fast = Run(kSource, fill);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EvalOptions naive;
+  naive.enable_seminaive = false;
+  auto slow = Run(kSource, fill, naive);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(fast->Relation(u_.Intern("Pick")),
+            slow->Relation(u_.Intern("Pick")));
+  EXPECT_EQ(fast->Relation(u_.Intern("Pick")).size(), 1u);  // {a, b} ∋ a
+}
+
+TEST_F(EvalExtraTest, GroundFactsNotation) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { class P : {D}; relation R : D; }
+    instance {
+      P(@bag);
+      @bag = {"x"};
+      R("r");
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u_);
+  ASSERT_TRUE(ApplyFacts(*unit, &inst).ok());
+  std::string facts = inst.GroundFactsToString();
+  EXPECT_NE(facts.find("R(\"r\").\n"), std::string::npos) << facts;
+  EXPECT_NE(facts.find("P(bag).\n"), std::string::npos) << facts;
+  EXPECT_NE(facts.find("bag^(\"x\").\n"), std::string::npos) << facts;
+}
+
+}  // namespace
+}  // namespace iqlkit

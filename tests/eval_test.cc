@@ -1,0 +1,532 @@
+#include "iql/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  // Parses `source`, runs its program on an input instance built by
+  // `fill` over the unit's input projection, and returns the projected
+  // output (or full instance when no output is declared).
+  Result<Instance> Run(std::string_view source,
+                       const std::function<void(Instance*)>& fill,
+                       EvalOptions options = {}) {
+    auto unit = ParseUnit(&u_, source);
+    if (!unit.ok()) return unit.status();
+    unit_ = std::make_unique<ParsedUnit>(std::move(*unit));
+    Result<Schema> in_schema = unit_->schema.Project(unit_->input_names);
+    if (!in_schema.ok()) return in_schema.status();
+    in_schema_ = std::make_unique<Schema>(std::move(*in_schema));
+    Instance input(in_schema_.get(), &u_);
+    fill(&input);
+    Status valid = input.Validate();
+    if (!valid.ok()) return valid;
+    return RunUnit(&u_, unit_.get(), input, options, &stats_);
+  }
+
+  ValueId C(std::string_view s) { return u_.values().Const(s); }
+  ValueId Pair(ValueId a, ValueId b) {
+    return u_.values().Tuple(
+        {{PositionalAttr(&u_, 1), a}, {PositionalAttr(&u_, 2), b}});
+  }
+
+  Universe u_;
+  std::unique_ptr<ParsedUnit> unit_;
+  std::unique_ptr<Schema> in_schema_;
+  EvalStats stats_;
+};
+
+// ---- Datalog fragment -----------------------------------------------------
+
+TEST_F(EvalTest, TransitiveClosure) {
+  auto out = Run(R"(
+    schema { relation E : [D, D]; relation TC : [D, D]; }
+    input E;
+    output TC;
+    program {
+      TC(x, y) :- E(x, y).
+      TC(x, z) :- TC(x, y), E(y, z).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("E", Pair(C("a"), C("b")))
+                                   .ok());
+                   ASSERT_TRUE(in->AddToRelation("E", Pair(C("b"), C("c")))
+                                   .ok());
+                   ASSERT_TRUE(in->AddToRelation("E", Pair(C("c"), C("d")))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol tc = u_.Intern("TC");
+  EXPECT_EQ(out->Relation(tc).size(), 6u);  // ab ac ad bc bd cd
+  EXPECT_TRUE(out->RelationContains(tc, Pair(C("a"), C("d"))));
+  EXPECT_FALSE(out->RelationContains(tc, Pair(C("b"), C("a"))));
+}
+
+TEST_F(EvalTest, InflationaryNegation) {
+  // Complement of a unary relation w.r.t. another, via negation.
+  auto out = Run(R"(
+    schema { relation R : D; relation S : D; relation Diff : D; }
+    input R, S;
+    output Diff;
+    program {
+      Diff(x) :- R(x), !S(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   for (const char* c : {"a", "b", "c"}) {
+                     ASSERT_TRUE(in->AddToRelation("R", C(c)).ok());
+                   }
+                   ASSERT_TRUE(in->AddToRelation("S", C("b")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol diff = u_.Intern("Diff");
+  EXPECT_EQ(out->Relation(diff).size(), 2u);
+  EXPECT_TRUE(out->RelationContains(diff, C("a")));
+  EXPECT_TRUE(out->RelationContains(diff, C("c")));
+}
+
+TEST_F(EvalTest, NegativeLiteralWithUnboundVariableRangesOverExtent) {
+  // y occurs only under negation: it ranges over the type extent
+  // (constants(I)), per the paper's valuation semantics.
+  auto out = Run(R"(
+    schema { relation R : [D, D]; relation NotAll : D; }
+    input R;
+    output NotAll;
+    program {
+      # x such that R(x, y) fails for some constant y.
+      NotAll(x) :- R(x, x'), !R(x, y).
+    }
+  )",
+                 [&](Instance* in) {
+                   // a relates to both a and b; b relates only to b.
+                   ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("a")))
+                                   .ok());
+                   ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("b")))
+                                   .ok());
+                   ASSERT_TRUE(in->AddToRelation("R", Pair(C("b"), C("b")))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol p = u_.Intern("NotAll");
+  EXPECT_FALSE(out->RelationContains(p, C("a")));
+  EXPECT_TRUE(out->RelationContains(p, C("b")));
+}
+
+TEST_F(EvalTest, SequentialCompositionStages) {
+  // Stage 2 sees the fixpoint of stage 1.
+  auto out = Run(R"(
+    schema { relation R : D; relation S : D; relation T : D; }
+    input R;
+    output T;
+    program {
+      S(x) :- R(x).
+      ;
+      T(x) :- S(x), !R(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("a")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  // S == R, so T is empty.
+  EXPECT_TRUE(out->Relation(u_.Intern("T")).empty());
+}
+
+// ---- Example 1.2: acyclic -> cyclic graph re-encoding ----------------------
+
+class GraphEncodingTest : public EvalTest {
+ protected:
+  static constexpr std::string_view kSource = R"(
+    schema {
+      relation R  : [D, D];
+      relation R0 : D;
+      relation R9 : [D, P, P'];
+      class P  : [D, {P}];
+      class P' : {P};
+    }
+    input R;
+    program {
+      R0(x) :- R(x, y).
+      R0(x) :- R(y, x).
+      R9(x, p, p') :- R0(x).
+      p'^(q) :- R9(x, p, p'), R9(y, q, q'), R(x, y).
+      ;
+      p^ = [x, p'^] :- R9(x, p, p').
+    }
+  )";
+};
+
+TEST_F(GraphEncodingTest, EncodesCycleAsCyclicInstance) {
+  auto out = Run(kSource, [&](Instance* in) {
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("b"))).ok());
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("b"), C("c"))).ok());
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("c"), C("a"))).ok());
+  });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol p = u_.Intern("P");
+  const auto& oids = out->ClassExtent(p);
+  ASSERT_EQ(oids.size(), 3u);
+  // Every node oid's value is [name, {successor oids}] and the successor
+  // sets close the 3-cycle.
+  ValueStore& v = u_.values();
+  std::map<std::string, Oid> by_name;
+  for (Oid o : oids) {
+    auto val = out->ValueOf(o);
+    ASSERT_TRUE(val.has_value());
+    const ValueNode& n = v.node(*val);
+    ASSERT_EQ(n.kind, ValueKind::kTuple);
+    ASSERT_EQ(n.fields.size(), 2u);
+    const ValueNode& name = v.node(n.fields[0].second);
+    ASSERT_EQ(name.kind, ValueKind::kConst);
+    by_name[std::string(u_.Name(name.atom))] = o;
+  }
+  ASSERT_EQ(by_name.size(), 3u);
+  auto successors = [&](Oid o) {
+    const ValueNode& n = v.node(*out->ValueOf(o));
+    const ValueNode& succ = v.node(n.fields[1].second);
+    EXPECT_EQ(succ.kind, ValueKind::kSet);
+    std::set<Oid> s;
+    for (ValueId e : succ.elems) s.insert(v.node(e).oid);
+    return s;
+  };
+  EXPECT_EQ(successors(by_name["a"]), (std::set<Oid>{by_name["b"]}));
+  EXPECT_EQ(successors(by_name["b"]), (std::set<Oid>{by_name["c"]}));
+  EXPECT_EQ(successors(by_name["c"]), (std::set<Oid>{by_name["a"]}));
+  // The output validates against the cyclic schema.
+  EXPECT_TRUE(out->Validate().ok()) << out->Validate();
+}
+
+TEST_F(GraphEncodingTest, SharedSuccessorsAreSharedOids) {
+  // Diamond: a->b, a->c, b->d, c->d. d's oid must be shared, not copied.
+  auto out = Run(kSource, [&](Instance* in) {
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("b"))).ok());
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("c"))).ok());
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("b"), C("d"))).ok());
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("c"), C("d"))).ok());
+  });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->ClassExtent(u_.Intern("P")).size(), 4u);
+  // Exactly one oid per node: 4 node oids in P, 4 set oids in P'.
+  EXPECT_EQ(out->ClassExtent(u_.Intern("P'")).size(), 4u);
+}
+
+TEST_F(GraphEncodingTest, SelfLoopProducesSelfReferentialValue) {
+  auto out = Run(kSource, [&](Instance* in) {
+    ASSERT_TRUE(in->AddToRelation("R", Pair(C("a"), C("a"))).ok());
+  });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Symbol p = u_.Intern("P");
+  ASSERT_EQ(out->ClassExtent(p).size(), 1u);
+  Oid o = *out->ClassExtent(p).begin();
+  std::set<Oid> in_value;
+  u_.values().CollectOids(*out->ValueOf(o), &in_value);
+  EXPECT_TRUE(in_value.count(o)) << "value of the node must mention itself";
+}
+
+// ---- Example 3.4.1: nest / unnest ------------------------------------------
+
+TEST_F(EvalTest, UnnestThenNestRoundTrips) {
+  auto out = Run(R"(
+    schema {
+      relation R1 : [D, {D}];
+      relation R2 : [D, D];
+      relation R3 : [D, {D}];
+      relation R4 : D;
+      relation R5 : [D, P];
+      class P : {D};
+    }
+    input R1;
+    output R2, R3;
+    program {
+      R2(x, y) :- R1(x, Y), Y(y).
+      ;
+      R4(x) :- R2(x, y).
+      R5(x, z) :- R4(x).
+      z^(y) :- R2(x, y), R5(x, z).
+      ;
+      R3(x, z^) :- R5(x, z).
+    }
+  )",
+                 [&](Instance* in) {
+                   ValueStore& v = u_.values();
+                   ASSERT_TRUE(
+                       in->AddToRelation(
+                             "R1", Pair(C("a"), v.Set({C("1"), C("2")})))
+                           .ok());
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "R1", Pair(C("b"), v.Set({C("3")})))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  ValueStore& v = u_.values();
+  Symbol r2 = u_.Intern("R2");
+  Symbol r3 = u_.Intern("R3");
+  EXPECT_EQ(out->Relation(r2).size(), 3u);
+  EXPECT_TRUE(out->RelationContains(r2, Pair(C("a"), C("2"))));
+  // Nest rebuilds R1 exactly (no empty sets in this input).
+  EXPECT_EQ(out->Relation(r3).size(), 2u);
+  EXPECT_TRUE(out->RelationContains(
+      r3, Pair(C("a"), v.Set({C("1"), C("2")}))));
+  EXPECT_TRUE(out->RelationContains(r3, Pair(C("b"), v.Set({C("3")}))));
+}
+
+TEST_F(EvalTest, UnnestDropsEmptySets) {
+  // [c, {}] unnests to nothing, so nest cannot recover it -- the known
+  // asymmetry of unnest/nest.
+  auto out = Run(R"(
+    schema {
+      relation R1 : [D, {D}];
+      relation R2 : [D, D];
+    }
+    input R1;
+    output R2;
+    program { R2(x, y) :- R1(x, Y), Y(y). }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "R1",
+                                     Pair(C("c"), u_.values().EmptySet()))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Relation(u_.Intern("R2")).empty());
+}
+
+// ---- Example 3.4.2: powerset ------------------------------------------------
+
+TEST_F(EvalTest, PowersetViaUnrestrictedVariable) {
+  auto out = Run(R"(
+    schema { relation R : D; relation R1 : {D}; }
+    input R;
+    output R1;
+    program {
+      var X : {D};
+      R1(X) :- X = X.
+    }
+  )",
+                 [&](Instance* in) {
+                   for (const char* c : {"d1", "d2", "d3"}) {
+                     ASSERT_TRUE(in->AddToRelation("R", C(c)).ok());
+                   }
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(u_.Intern("R1")).size(), 8u);  // 2^3
+}
+
+TEST_F(EvalTest, PowersetViaInventedOids) {
+  auto out = Run(R"(
+    schema {
+      relation R  : D;
+      relation R1 : {D};
+      relation R2 : [{D}, {D}, P];
+      class P : {D};
+    }
+    input R;
+    output R1;
+    program {
+      R1({}).
+      R1({x}) :- R(x).
+      R2(X, Y, z) :- R1(X), R1(Y).
+      z^(x) :- R2(X, Y, z), X(x).
+      z^(y) :- R2(X, Y, z), Y(y).
+      R1(z^) :- P(z).
+    }
+  )",
+                 [&](Instance* in) {
+                   for (const char* c : {"d1", "d2", "d3"}) {
+                     ASSERT_TRUE(in->AddToRelation("R", C(c)).ok());
+                   }
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(u_.Intern("R1")).size(), 8u);  // 2^3
+}
+
+TEST_F(EvalTest, RecursiveInventionDiverges) {
+  // R3(y, z) :- R3(x, y): each step invents a fresh z -- the paper's
+  // canonical non-terminating program. Must surface as budget exhaustion.
+  EvalOptions options;
+  options.max_invented_oids = 1000;
+  auto out = Run(R"(
+    schema { relation R3 : [P, P]; class P : D; }
+    input R3, P;
+    program {
+      R3(y, z) :- R3(x, y).
+    }
+  )",
+                 [&](Instance* in) {
+                   auto o1 = in->CreateOid("P");
+                   auto o2 = in->CreateOid("P");
+                   ASSERT_TRUE(o1.ok() && o2.ok());
+                   ASSERT_TRUE(
+                       in->AddToRelation("R3",
+                                         Pair(u_.values().OfOid(*o1),
+                                              u_.values().OfOid(*o2)))
+                           .ok());
+                 },
+                 options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---- invention + weak assignment mechanics ---------------------------------
+
+TEST_F(EvalTest, InventionIsIdempotentAcrossSteps) {
+  // One oid per distinct R0 element, even though the rule stays active
+  // across several steps (val-dom's head filter).
+  auto out = Run(R"(
+    schema { relation R0 : D; relation R9 : [D, P]; class P : D; }
+    input R0;
+    program { R9(x, p) :- R0(x). }
+  )",
+                 [&](Instance* in) {
+                   for (const char* c : {"a", "b"}) {
+                     ASSERT_TRUE(in->AddToRelation("R0", C(c)).ok());
+                   }
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->ClassExtent(u_.Intern("P")).size(), 2u);
+  EXPECT_EQ(out->Relation(u_.Intern("R9")).size(), 2u);
+  EXPECT_EQ(stats_.invented_oids, 2u);
+}
+
+TEST_F(EvalTest, WeakAssignmentConflictIsIgnored) {
+  // Two distinct values derived for the same oid in the same step: both
+  // are ignored (condition (*)), and the fixpoint leaves nu undefined...
+  // but the rule then stays in val-dom forever; the evaluator detects the
+  // no-change step and stops.
+  auto out = Run(R"(
+    schema { relation R : D; class P : D; relation Holder : P; }
+    input R, P, Holder;
+    program {
+      p^ = x :- Holder(p), R(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("v1")).ok());
+                   ASSERT_TRUE(in->AddToRelation("R", C("v2")).ok());
+                   auto o = in->CreateOid("P");
+                   ASSERT_TRUE(o.ok());
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "Holder", u_.values().OfOid(*o))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Oid o = *out->ClassExtent(u_.Intern("P")).begin();
+  EXPECT_FALSE(out->ValueOf(o).has_value());
+}
+
+TEST_F(EvalTest, WeakAssignmentUniqueValueApplies) {
+  auto out = Run(R"(
+    schema { relation R : D; class P : D; relation Holder : P; }
+    input R, P, Holder;
+    program {
+      p^ = x :- Holder(p), R(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("only")).ok());
+                   auto o = in->CreateOid("P");
+                   ASSERT_TRUE(o.ok());
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "Holder", u_.values().OfOid(*o))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Oid o = *out->ClassExtent(u_.Intern("P")).begin();
+  EXPECT_EQ(out->ValueOf(o), C("only"));
+}
+
+TEST_F(EvalTest, WeakAssignmentNeverOverwrites) {
+  // nu(o) defined in the input; a rule deriving a different value is
+  // ignored.
+  auto out = Run(R"(
+    schema { relation R : D; class P : D; relation Holder : P; }
+    input R, P, Holder;
+    program {
+      p^ = x :- Holder(p), R(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("new")).ok());
+                   auto o = in->CreateOid("P");
+                   ASSERT_TRUE(o.ok());
+                   ASSERT_TRUE(in->SetOidValue(*o, C("old")).ok());
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "Holder", u_.values().OfOid(*o))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  Oid o = *out->ClassExtent(u_.Intern("P")).begin();
+  EXPECT_EQ(out->ValueOf(o), C("old"));
+}
+
+TEST_F(EvalTest, UndefinedDerefFailsBothPolarities) {
+  // nu(p) undefined: neither p^ = x nor p^ != x is satisfied (a valuation
+  // must be defined on the literal's terms).
+  auto out = Run(R"(
+    schema {
+      relation R : D; class P : D; relation Holder : P;
+      relation Pos : D; relation Neg : D;
+    }
+    input R, P, Holder;
+    output Pos, Neg;
+    program {
+      Pos(x) :- Holder(p), R(x), p^ = x.
+      Neg(x) :- Holder(p), R(x), p^ != x.
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("x")).ok());
+                   auto o = in->CreateOid("P");
+                   ASSERT_TRUE(o.ok());
+                   ASSERT_TRUE(in->AddToRelation(
+                                     "Holder", u_.values().OfOid(*o))
+                                   .ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Relation(u_.Intern("Pos")).empty());
+  EXPECT_TRUE(out->Relation(u_.Intern("Neg")).empty());
+}
+
+TEST_F(EvalTest, DeletionRequiresOptIn) {
+  auto out = Run(R"(
+    schema { relation R : D; relation S : D; }
+    input R;
+    program { !R(x) :- S(x). }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("a")).ok());
+                 });
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EvalTest, OutputProjectionDropsTemporaries) {
+  auto out = Run(R"(
+    schema { relation R : D; relation Tmp : D; relation Out : D; }
+    input R;
+    output Out;
+    program {
+      Tmp(x) :- R(x).
+      Out(x) :- Tmp(x).
+    }
+  )",
+                 [&](Instance* in) {
+                   ASSERT_TRUE(in->AddToRelation("R", C("a")).ok());
+                 });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_FALSE(out->schema().HasRelation(u_.Intern("Tmp")));
+  EXPECT_EQ(out->Relation(u_.Intern("Out")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,114 @@
+// The type-extent enumerator: how unrestricted variables range (§3.2's
+// "constants from constants(I)" valuation condition).
+
+#include "iql/extent.h"
+
+#include <gtest/gtest.h>
+
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class ExtentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    schema_ = std::make_unique<Schema>(&u_);
+    ASSERT_TRUE(schema_->DeclareRelation("R", t.Base()).ok());
+    ASSERT_TRUE(schema_->DeclareClass("P", t.Base()).ok());
+    ASSERT_TRUE(schema_->DeclareClass("Q", t.Base()).ok());
+    inst_ = std::make_unique<Instance>(schema_.get(), &u_);
+    for (const char* c : {"a", "b", "c"}) {
+      ASSERT_TRUE(inst_->AddToRelation("R", u_.values().Const(c)).ok());
+    }
+    ASSERT_TRUE(inst_->CreateOid("P").ok());
+    ASSERT_TRUE(inst_->CreateOid("P").ok());
+  }
+
+  Universe u_;
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Instance> inst_;
+};
+
+TEST_F(ExtentTest, BaseIsConstantsOfInstance) {
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto ext = e.Enumerate(u_.types().Base());
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ((*ext)->size(), 3u);
+}
+
+TEST_F(ExtentTest, ClassIsItsCurrentOids) {
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto p = e.Enumerate(u_.types().ClassNamed("P"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->size(), 2u);
+  auto q = e.Enumerate(u_.types().ClassNamed("Q"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->empty());
+}
+
+TEST_F(ExtentTest, SetTypeIsPowerset) {
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto ext = e.Enumerate(u_.types().Set(u_.types().Base()));
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ((*ext)->size(), 8u);  // 2^3
+}
+
+TEST_F(ExtentTest, TupleTypeIsCrossProduct) {
+  TypePool& t = u_.types();
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto ext = e.Enumerate(
+      t.Tuple({{u_.Intern("A"), t.Base()}, {u_.Intern("B"), t.Base()}}));
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ((*ext)->size(), 9u);  // 3 x 3
+}
+
+TEST_F(ExtentTest, UnionUnions) {
+  TypePool& t = u_.types();
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto ext = e.Enumerate(t.Union2(t.Base(), t.ClassNamed("P")));
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ((*ext)->size(), 5u);  // 3 constants + 2 oids
+}
+
+TEST_F(ExtentTest, IntersectionEliminatedFirst) {
+  TypePool& t = u_.types();
+  ExtentEnumerator e(inst_.get(), 1000);
+  // P & Q over a disjoint assignment: empty.
+  auto ext = e.Enumerate(t.Intersect2(t.ClassNamed("P"),
+                                      t.ClassNamed("Q")));
+  ASSERT_TRUE(ext.ok());
+  EXPECT_TRUE((*ext)->empty());
+}
+
+TEST_F(ExtentTest, BudgetGuardsExponentialTypes) {
+  TypePool& t = u_.types();
+  ExtentEnumerator e(inst_.get(), 10);
+  // {{D}} has 2^(2^3) = 256 members: over a budget of 10.
+  auto ext = e.Enumerate(t.Set(t.Set(t.Base())));
+  ASSERT_FALSE(ext.ok());
+  EXPECT_EQ(ext.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExtentTest, ResultsAreCachedAndDeterministic) {
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto a = e.Enumerate(u_.types().Set(u_.types().Base()));
+  auto b = e.Enumerate(u_.types().Set(u_.types().Base()));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);  // same cached pointer
+  ExtentEnumerator e2(inst_.get(), 1000);
+  auto c = e2.Enumerate(u_.types().Set(u_.types().Base()));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(**a, **c);  // same deterministic contents
+}
+
+TEST_F(ExtentTest, EmptyTypeEmptyExtent) {
+  ExtentEnumerator e(inst_.get(), 1000);
+  auto ext = e.Enumerate(u_.types().Empty());
+  ASSERT_TRUE(ext.ok());
+  EXPECT_TRUE((*ext)->empty());
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,114 @@
+// The `instance { ... }` ground-fact syntax and ApplyFacts.
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class FactsTest : public ::testing::Test {
+ protected:
+  Universe u_;
+};
+
+TEST_F(FactsTest, RelationFactsPositionalAndUnary) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation E : [D, D]; relation N : D; }
+    instance {
+      E(1, 2);
+      E("a", "b");
+      N(7);
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u_);
+  ASSERT_TRUE(ApplyFacts(*unit, &inst).ok());
+  EXPECT_EQ(inst.Relation(u_.Intern("E")).size(), 2u);
+  EXPECT_TRUE(inst.RelationContains(u_.Intern("N"), u_.values().Const("7")));
+  EXPECT_TRUE(inst.Validate().ok());
+}
+
+TEST_F(FactsTest, NamedOidsAndCyclicValues) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { class P : [name: D, next: P]; }
+    instance {
+      P(@a);
+      P(@b);
+      @a = [name: "a", next: @b];   # forward reference to @b is fine
+      @b = [name: "b", next: @a];
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u_);
+  ASSERT_TRUE(ApplyFacts(*unit, &inst).ok());
+  EXPECT_TRUE(inst.Validate().ok()) << inst.Validate();
+  EXPECT_EQ(inst.ClassExtent(u_.Intern("P")).size(), 2u);
+  // The debug names carried over.
+  Oid a = unit->named_oids.at("a");
+  EXPECT_EQ(inst.OidLabel(a), "a");
+}
+
+TEST_F(FactsTest, SetValuedOidsTakeSetLiterals) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { class Bag : {D}; }
+    instance {
+      Bag(@b);
+      @b = {1, 2, 3};
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u_);
+  ASSERT_TRUE(ApplyFacts(*unit, &inst).ok());
+  Oid b = unit->named_oids.at("b");
+  EXPECT_EQ(u_.values().node(*inst.ValueOf(b)).elems.size(), 3u);
+}
+
+TEST_F(FactsTest, OidValueBeforeClassFactRejected) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { class P : D; }
+    instance { @ghost = "x"; }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u_);
+  EXPECT_EQ(ApplyFacts(*unit, &inst).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FactsTest, UnknownPredicateRejectedAtParse) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; }
+    instance { S(1); }
+  )");
+  EXPECT_EQ(unit.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(FactsTest, FactsFeedEvaluation) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation E : [D, D]; relation TC : [D, D]; }
+    input E;
+    output TC;
+    instance {
+      E(1, 2);
+      E(2, 3);
+    }
+    program {
+      TC(x, y) :- E(x, y).
+      TC(x, z) :- TC(x, y), E(y, z).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto in_schema = unit->schema.Project(unit->input_names);
+  ASSERT_TRUE(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)),
+                 &u_);
+  ASSERT_TRUE(ApplyFacts(*unit, &input).ok());
+  auto out = RunUnit(&u_, &*unit, input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(u_.Intern("TC")).size(), 3u);
+}
+
+}  // namespace
+}  // namespace iqlkit

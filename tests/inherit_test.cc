@@ -1,0 +1,272 @@
+// §6: type inheritance -- isa hierarchies, inherited oid assignments, the
+// *-interpretation, tau_P, and the compilation of schemas-with-isa into
+// plain schemas with union types on which stock IQL runs unchanged.
+
+#include "inherit/isa.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class IsaTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view s) { return u_.Intern(s); }
+  Universe u_;
+  IsaHierarchy isa_;
+};
+
+TEST_F(IsaTest, ReflexiveTransitive) {
+  ASSERT_TRUE(isa_.Declare(Sym("ta"), Sym("student")).ok());
+  ASSERT_TRUE(isa_.Declare(Sym("student"), Sym("person")).ok());
+  EXPECT_TRUE(isa_.IsSubclass(Sym("ta"), Sym("ta")));
+  EXPECT_TRUE(isa_.IsSubclass(Sym("ta"), Sym("person")));
+  EXPECT_FALSE(isa_.IsSubclass(Sym("person"), Sym("ta")));
+}
+
+TEST_F(IsaTest, CyclesRejected) {
+  ASSERT_TRUE(isa_.Declare(Sym("a"), Sym("b")).ok());
+  ASSERT_TRUE(isa_.Declare(Sym("b"), Sym("c")).ok());
+  EXPECT_EQ(isa_.Declare(Sym("c"), Sym("a")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IsaTest, StarMeetUnitesTupleAttributes) {
+  // The §6 motivating example:
+  // [A1:D, A2:D] & [A2:D, A3:D] == [A1:D, A2:D, A3:D] under *.
+  TypePool& t = u_.types();
+  TypeId d = t.Base();
+  TypeId lhs = t.Tuple({{Sym("A1"), d}, {Sym("A2"), d}});
+  TypeId rhs = t.Tuple({{Sym("A2"), d}, {Sym("A3"), d}});
+  EXPECT_EQ(StarMeet(&t, lhs, rhs),
+            t.Tuple({{Sym("A1"), d}, {Sym("A2"), d}, {Sym("A3"), d}}));
+  // Under the ordinary interpretation the same meet is empty.
+  EXPECT_EQ(IntersectionReduce(&t, t.Intersect2(lhs, rhs)), t.Empty());
+}
+
+TEST_F(IsaTest, StarMeetSharedAttributesMeetRecursively) {
+  TypePool& t = u_.types();
+  TypeId p1 = t.ClassNamed("P1");
+  TypeId p2 = t.ClassNamed("P2");
+  TypeId lhs = t.Tuple({{Sym("A"), t.Set(p1)}});
+  TypeId rhs = t.Tuple({{Sym("A"), t.Set(p2)}});
+  EXPECT_EQ(StarMeet(&t, lhs, rhs),
+            t.Tuple({{Sym("A"), t.Set(t.Intersect2(p1, p2))}}));
+}
+
+TEST_F(IsaTest, StarMeetMismatchedShapesEmpty) {
+  TypePool& t = u_.types();
+  EXPECT_EQ(StarMeet(&t, t.Base(), t.Set(t.Base())), t.Empty());
+  EXPECT_EQ(StarMeet(&t, t.Tuple({{Sym("A"), t.Base()}}), t.Base()),
+            t.Empty());
+}
+
+// The university schema of Examples 6.1.2 / 6.2.1.
+class UniversityTest : public IsaTest {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    TypeId d = t.Base();
+    schema_ = std::make_unique<Schema>(&u_);
+    // §6.2.1's succinct declaration: each class declares only its own
+    // structure; isa forces the sharing.
+    ASSERT_TRUE(schema_
+                    ->DeclareClass("person",
+                                   t.Tuple({{Sym("name"), d}}))
+                    .ok());
+    ASSERT_TRUE(schema_
+                    ->DeclareClass("student",
+                                   t.Tuple({{Sym("course_taken"), d}}))
+                    .ok());
+    ASSERT_TRUE(schema_
+                    ->DeclareClass("instructor",
+                                   t.Tuple({{Sym("course_taught"), d}}))
+                    .ok());
+    ASSERT_TRUE(schema_->DeclareClass("ta", t.EmptyTuple()).ok());
+    ASSERT_TRUE(
+        schema_
+            ->DeclareRelation(
+                "Teaches", t.Tuple({{Sym("s"), t.ClassNamed("student")},
+                                    {Sym("i"),
+                                     t.ClassNamed("instructor")}}))
+            .ok());
+    ASSERT_TRUE(isa_.Declare(Sym("student"), Sym("person")).ok());
+    ASSERT_TRUE(isa_.Declare(Sym("instructor"), Sym("person")).ok());
+    ASSERT_TRUE(isa_.Declare(Sym("ta"), Sym("student")).ok());
+    ASSERT_TRUE(isa_.Declare(Sym("ta"), Sym("instructor")).ok());
+  }
+
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(UniversityTest, TauTypesMatchExample612) {
+  TypePool& t = u_.types();
+  TypeId d = t.Base();
+  auto tau = [&](std::string_view cls) {
+    auto r = TauType(&u_, *schema_, isa_, Sym(cls));
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  };
+  EXPECT_EQ(tau("person"), t.Tuple({{Sym("name"), d}}));
+  EXPECT_EQ(tau("student"),
+            t.Tuple({{Sym("name"), d}, {Sym("course_taken"), d}}));
+  EXPECT_EQ(tau("instructor"),
+            t.Tuple({{Sym("name"), d}, {Sym("course_taught"), d}}));
+  EXPECT_EQ(tau("ta"), t.Tuple({{Sym("name"), d},
+                                {Sym("course_taken"), d},
+                                {Sym("course_taught"), d}}));
+}
+
+TEST_F(UniversityTest, InheritedResolverPoolsSubclasses) {
+  Instance inst(schema_.get(), &u_);
+  auto ta = inst.CreateOid("ta");
+  auto stu = inst.CreateOid("student");
+  ASSERT_TRUE(ta.ok() && stu.ok());
+  InheritedResolver resolver(&inst, &isa_);
+  EXPECT_TRUE(resolver.OidInClass(*ta, Sym("ta")));
+  EXPECT_TRUE(resolver.OidInClass(*ta, Sym("student")));
+  EXPECT_TRUE(resolver.OidInClass(*ta, Sym("instructor")));
+  EXPECT_TRUE(resolver.OidInClass(*ta, Sym("person")));
+  EXPECT_FALSE(resolver.OidInClass(*stu, Sym("ta")));
+  EXPECT_TRUE(resolver.OidInClass(*stu, Sym("person")));
+}
+
+TEST_F(UniversityTest, ValidateWithInheritanceDirectly) {
+  // Definition 6.2.2, no compilation: a ta may appear at student- and
+  // instructor-typed positions; its value must have exactly tau_ta's
+  // attributes.
+  Instance inst(schema_.get(), &u_);
+  ValueStore& v = u_.values();
+  auto alice = inst.CreateOid("student");
+  auto bob = inst.CreateOid("ta");
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *alice,
+                      v.Tuple({{Sym("name"), v.Const("alice")},
+                               {Sym("course_taken"), v.Const("db")}}))
+                  .ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *bob,
+                      v.Tuple({{Sym("name"), v.Const("bob")},
+                               {Sym("course_taken"), v.Const("th")},
+                               {Sym("course_taught"), v.Const("db")}}))
+                  .ok());
+  // A ta teaches: legal under pi-bar (bob in instructor-bar).
+  ASSERT_TRUE(inst.AddToRelation("Teaches",
+                                 v.Tuple({{Sym("s"), v.OfOid(*alice)},
+                                          {Sym("i"), v.OfOid(*bob)}}))
+                  .ok());
+  EXPECT_TRUE(ValidateWithInheritance(inst, *schema_, isa_).ok())
+      << ValidateWithInheritance(inst, *schema_, isa_);
+
+  // A plain student at an instructor position is NOT legal.
+  Instance bad(schema_.get(), &u_);
+  auto carol = bad.CreateOid("student");
+  ASSERT_TRUE(carol.ok());
+  ASSERT_TRUE(bad.SetOidValue(
+                      *carol,
+                      v.Tuple({{Sym("name"), v.Const("carol")},
+                               {Sym("course_taken"), v.Const("db")}}))
+                  .ok());
+  ASSERT_TRUE(bad.AddToRelation("Teaches",
+                                v.Tuple({{Sym("s"), v.OfOid(*carol)},
+                                         {Sym("i"), v.OfOid(*carol)}}))
+                  .ok());
+  EXPECT_EQ(ValidateWithInheritance(bad, *schema_, isa_).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(UniversityTest, ValidateWithInheritanceRejectsWrongShape) {
+  // A ta whose value lacks the inherited attributes fails tau_ta.
+  Instance inst(schema_.get(), &u_);
+  ValueStore& v = u_.values();
+  auto bob = inst.CreateOid("ta");
+  ASSERT_TRUE(bob.ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *bob, v.Tuple({{Sym("name"), v.Const("bob")}}))
+                  .ok());
+  EXPECT_EQ(ValidateWithInheritance(inst, *schema_, isa_).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(UniversityTest, CompiledSchemaUsesSubclassUnions) {
+  auto compiled = CompileInheritance(&u_, *schema_, isa_);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  TypePool& t = u_.types();
+  // Teaches: [s: (student | ta), i: (instructor | ta)].
+  TypeId expected = t.Tuple(
+      {{Sym("s"), t.Union2(t.ClassNamed("student"), t.ClassNamed("ta"))},
+       {Sym("i"),
+        t.Union2(t.ClassNamed("instructor"), t.ClassNamed("ta"))}});
+  EXPECT_EQ(compiled->RelationType(Sym("Teaches")), expected);
+  // ta's value type is the full three-attribute tuple.
+  EXPECT_EQ(compiled->ClassType(Sym("ta")),
+            t.Tuple({{Sym("name"), t.Base()},
+                     {Sym("course_taken"), t.Base()},
+                     {Sym("course_taught"), t.Base()}}));
+}
+
+TEST_F(UniversityTest, StockIqlRunsOnCompiledSchema) {
+  // "IQL can be used at no cost of expressive power" (§6): a ta can teach
+  // a student, and a query over persons sees everyone.
+  auto compiled_schema = CompileInheritance(&u_, *schema_, isa_);
+  ASSERT_TRUE(compiled_schema.ok()) << compiled_schema.status();
+  auto schema = std::make_shared<const Schema>(std::move(*compiled_schema));
+
+  Instance inst(schema, &u_);
+  ValueStore& v = u_.values();
+  auto mk = [&](std::string_view cls, std::string_view name,
+                std::vector<std::pair<std::string, std::string>> attrs) {
+    auto o = inst.CreateOid(cls);
+    EXPECT_TRUE(o.ok());
+    std::vector<std::pair<Symbol, ValueId>> fields = {
+        {Sym("name"), v.Const(name)}};
+    for (const auto& [attr, val] : attrs) {
+      fields.emplace_back(Sym(attr), v.Const(val));
+    }
+    EXPECT_TRUE(inst.SetOidValue(*o, v.Tuple(std::move(fields))).ok());
+    return *o;
+  };
+  Oid alice = mk("student", "alice", {{"course_taken", "db"}});
+  Oid bob = mk("ta", "bob",
+               {{"course_taken", "theory"}, {"course_taught", "db"}});
+  mk("instructor", "carol", {{"course_taught", "theory"}});
+  ASSERT_TRUE(inst.AddToRelation(
+                      "Teaches",
+                      v.Tuple({{Sym("s"), v.OfOid(alice)},
+                               {Sym("i"), v.OfOid(bob)}}))  // a ta teaches
+                  .ok());
+  ASSERT_TRUE(inst.Validate().ok()) << inst.Validate();
+
+  // Query: names of everyone who is a person (any subclass).
+  auto program = ParseProgramText(&u_, *schema, R"(
+    var x : (person | student | instructor | ta);
+    var n : D;
+    Names(n) :- person(x), x^ = [name: n].
+    Names(n) :- student(x), x^ = [name: n, course_taken: c].
+    Names(n) :- instructor(x), x^ = [name: n, course_taught: c].
+    Names(n) :- ta(x), x^ = [name: n, course_taken: c, course_taught: c'].
+  )");
+  // Names is not declared yet -- extend the schema first.
+  ASSERT_FALSE(program.ok());
+
+  Schema extended = *schema;
+  ASSERT_TRUE(extended.DeclareRelation("Names", u_.types().Base()).ok());
+  auto program2 = ParseProgramText(&u_, extended, R"(
+    Names(n) :- person(x), x^ = [name: n].
+    Names(n) :- student(x), x^ = [name: n, course_taken: c].
+    Names(n) :- instructor(x), x^ = [name: n, course_taught: c].
+    Names(n) :- ta(x), x^ = [name: n, course_taken: c, course_taught: c'].
+  )");
+  ASSERT_TRUE(program2.ok()) << program2.status();
+  auto out = EvaluateProgram(&u_, extended, &*program2, inst);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->Relation(Sym("Names")).size(), 3u);
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,129 @@
+// Instance mechanics not covered elsewhere: Absorb conflicts, projection
+// typing, deletion primitives at the model level.
+
+#include <gtest/gtest.h>
+
+#include "model/instance.h"
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class InstanceExtraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    schema_ = std::make_unique<Schema>(&u_);
+    ASSERT_TRUE(schema_->DeclareRelation("R", t.Base()).ok());
+    ASSERT_TRUE(schema_->DeclareClass("P", t.Base()).ok());
+    ASSERT_TRUE(schema_->DeclareClass("Q", t.Base()).ok());
+    ASSERT_TRUE(schema_->DeclareClass("Bag", t.Set(t.Base())).ok());
+  }
+
+  Universe u_;
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(InstanceExtraTest, AbsorbMergesFacts) {
+  Instance a(schema_.get(), &u_);
+  Instance b(schema_.get(), &u_);
+  ASSERT_TRUE(a.AddToRelation("R", u_.values().Const("x")).ok());
+  ASSERT_TRUE(b.AddToRelation("R", u_.values().Const("y")).ok());
+  auto o = b.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(b.SetOidValue(*o, u_.values().Const("v")).ok());
+  ASSERT_TRUE(a.Absorb(b).ok());
+  EXPECT_EQ(a.Relation(u_.Intern("R")).size(), 2u);
+  EXPECT_EQ(a.ValueOf(*o), u_.values().Const("v"));
+}
+
+TEST_F(InstanceExtraTest, AbsorbRejectsClassConflicts) {
+  Instance a(schema_.get(), &u_);
+  Instance b(schema_.get(), &u_);
+  Oid o{777};
+  ASSERT_TRUE(a.AddOid(u_.Intern("P"), o).ok());
+  ASSERT_TRUE(b.AddOid(u_.Intern("Q"), o).ok());
+  EXPECT_EQ(a.Absorb(b).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceExtraTest, AbsorbRejectsNuConflicts) {
+  Instance a(schema_.get(), &u_);
+  Instance b(schema_.get(), &u_);
+  Oid o{778};
+  ASSERT_TRUE(a.AddOid(u_.Intern("P"), o).ok());
+  ASSERT_TRUE(a.SetOidValue(o, u_.values().Const("a")).ok());
+  ASSERT_TRUE(b.AddOid(u_.Intern("P"), o).ok());
+  ASSERT_TRUE(b.SetOidValue(o, u_.values().Const("b")).ok());
+  EXPECT_EQ(a.Absorb(b).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceExtraTest, RemoveFromRelationAndSet) {
+  Instance a(schema_.get(), &u_);
+  ValueId x = u_.values().Const("x");
+  ASSERT_TRUE(a.AddToRelation("R", x).ok());
+  EXPECT_TRUE(a.RemoveFromRelation(u_.Intern("R"), x));
+  EXPECT_FALSE(a.RemoveFromRelation(u_.Intern("R"), x));  // already gone
+
+  auto bag = a.CreateOid("Bag");
+  ASSERT_TRUE(bag.ok());
+  ASSERT_TRUE(a.AddToSetOid(*bag, x).ok());
+  EXPECT_TRUE(a.RemoveFromSetOid(*bag, x));
+  EXPECT_FALSE(a.RemoveFromSetOid(*bag, x));
+  EXPECT_EQ(a.ValueOf(*bag), u_.values().EmptySet());
+}
+
+TEST_F(InstanceExtraTest, ClearOidValueSemantics) {
+  Instance a(schema_.get(), &u_);
+  auto p = a.CreateOid("P");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(a.ClearOidValue(*p));  // nothing to clear
+  ASSERT_TRUE(a.SetOidValue(*p, u_.values().Const("v")).ok());
+  EXPECT_TRUE(a.ClearOidValue(*p));
+  EXPECT_FALSE(a.ValueOf(*p).has_value());
+  // Set-valued: clearing resets to the empty set, never undefined.
+  auto bag = a.CreateOid("Bag");
+  ASSERT_TRUE(bag.ok());
+  ASSERT_TRUE(a.AddToSetOid(*bag, u_.values().Const("e")).ok());
+  EXPECT_TRUE(a.ClearOidValue(*bag));
+  EXPECT_EQ(a.ValueOf(*bag), u_.values().EmptySet());
+}
+
+TEST_F(InstanceExtraTest, DeleteOidCascadeThroughMixedStructures) {
+  TypePool& t = u_.types();
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("N", t.Base()).ok());
+  ASSERT_TRUE(s.DeclareClass("Wrap", t.Tuple({{u_.Intern("w"),
+                                               t.ClassNamed("N")}}))
+                  .ok());
+  ASSERT_TRUE(s.DeclareClass("Pool", t.Set(t.ClassNamed("N"))).ok());
+  ASSERT_TRUE(s.DeclareRelation("Uses",
+                                t.Tuple({{u_.Intern("a"),
+                                          t.ClassNamed("Wrap")}}))
+                  .ok());
+  Instance a(&s, &u_);
+  ValueStore& v = u_.values();
+  auto n = a.CreateOid("N");
+  auto wrap = a.CreateOid("Wrap");
+  auto pool = a.CreateOid("Pool");
+  ASSERT_TRUE(n.ok() && wrap.ok() && pool.ok());
+  ASSERT_TRUE(a.SetOidValue(*n, v.Const("n")).ok());
+  ASSERT_TRUE(
+      a.SetOidValue(*wrap, v.Tuple({{u_.Intern("w"), v.OfOid(*n)}})).ok());
+  ASSERT_TRUE(a.AddToSetOid(*pool, v.OfOid(*n)).ok());
+  ASSERT_TRUE(a.AddToRelation(
+                   "Uses", v.Tuple({{u_.Intern("a"), v.OfOid(*wrap)}}))
+                  .ok());
+  // Deleting n kills wrap (value mentions n), strips pool's element, and
+  // erases the Uses fact (it mentions wrap, which died).
+  EXPECT_EQ(a.DeleteOidCascade(*n), 2u);
+  EXPECT_FALSE(a.HasOid(*n));
+  EXPECT_FALSE(a.HasOid(*wrap));
+  EXPECT_TRUE(a.HasOid(*pool));
+  EXPECT_EQ(a.ValueOf(*pool), v.EmptySet());
+  EXPECT_TRUE(a.Relation(u_.Intern("Uses")).empty());
+  EXPECT_TRUE(a.Validate().ok()) << a.Validate();
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,283 @@
+#include "model/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view s) { return u_.Intern(s); }
+  TypePool& T() { return u_.types(); }
+  ValueStore& V() { return u_.values(); }
+
+  Universe u_;
+};
+
+TEST_F(InstanceTest, RelationInsertAndDuplicateElimination) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareRelation("R", T().Base()).ok());
+  Instance inst(&s, &u_);
+  ValueId x = V().Const("x");
+  ASSERT_TRUE(inst.AddToRelation("R", x).ok());
+  ASSERT_TRUE(inst.AddToRelation("R", x).ok());
+  EXPECT_EQ(inst.Relation(Sym("R")).size(), 1u);
+  EXPECT_TRUE(inst.RelationContains(Sym("R"), x));
+}
+
+TEST_F(InstanceTest, UnknownRelationRejected) {
+  Schema s(&u_);
+  Instance inst(&s, &u_);
+  EXPECT_EQ(inst.AddToRelation("R", V().Const("x")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(InstanceTest, DisjointnessEnforced) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P1", T().Base()).ok());
+  ASSERT_TRUE(s.DeclareClass("P2", T().Base()).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P1");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(inst.AddOid(Sym("P2"), *o).code(),
+            StatusCode::kFailedPrecondition);
+  // Re-adding to the same class is a no-op.
+  EXPECT_TRUE(inst.AddOid(Sym("P1"), *o).ok());
+}
+
+TEST_F(InstanceTest, SetValuedClassDefaultsToEmptySet) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Set(T().Base())).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  auto v = inst.ValueOf(*o);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, V().EmptySet());
+}
+
+TEST_F(InstanceTest, NonSetOidStartsUndefined) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Base()).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  EXPECT_FALSE(inst.ValueOf(*o).has_value());
+}
+
+TEST_F(InstanceTest, ValuesAreWriteOnce) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Base()).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(inst.SetOidValue(*o, V().Const("a")).ok());
+  EXPECT_TRUE(inst.SetOidValue(*o, V().Const("a")).ok());  // same value ok
+  EXPECT_EQ(inst.SetOidValue(*o, V().Const("b")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceTest, AddToSetOidAccumulates) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Set(T().Base())).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(inst.AddToSetOid(*o, V().Const("a")).ok());
+  ASSERT_TRUE(inst.AddToSetOid(*o, V().Const("b")).ok());
+  ASSERT_TRUE(inst.AddToSetOid(*o, V().Const("a")).ok());
+  EXPECT_EQ(inst.ValueOf(*o), V().Set({V().Const("a"), V().Const("b")}));
+}
+
+TEST_F(InstanceTest, AddToSetOidRejectsNonSetClass) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Base()).ok());
+  Instance inst(&s, &u_);
+  auto o = inst.CreateOid("P");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(inst.AddToSetOid(*o, V().Const("a")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceTest, ValidateChecksRelationTypes) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareRelation("R", T().Base()).ok());
+  Instance inst(&s, &u_);
+  ASSERT_TRUE(inst.AddToRelation("R", V().EmptySet()).ok());
+  EXPECT_EQ(inst.Validate().code(), StatusCode::kTypeError);
+}
+
+TEST_F(InstanceTest, ValidateChecksOidClosure) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", T().Base()).ok());
+  ASSERT_TRUE(s.DeclareRelation("R", T().ClassNamed("P")).ok());
+  Instance inst(&s, &u_);
+  // Oid{99} was never placed in any class.
+  ASSERT_TRUE(inst.AddToRelation("R", V().OfOid(Oid{99})).ok());
+  EXPECT_EQ(inst.Validate().code(), StatusCode::kTypeError);
+}
+
+// Builds the full Genesis instance of Example 1.1 and validates it.
+class GenesisTest : public InstanceTest {
+ protected:
+  void SetUp() override {
+    TypeId str = T().Base();
+    TypeId gen1 = T().ClassNamed("FirstGeneration");
+    TypeId gen2 = T().ClassNamed("SecondGeneration");
+    schema_ = std::make_unique<Schema>(&u_);
+    ASSERT_TRUE(schema_
+                    ->DeclareClass(
+                        "FirstGeneration",
+                        T().Tuple({{Sym("name"), str},
+                                   {Sym("spouse"), gen1},
+                                   {Sym("children"), T().Set(gen2)}}))
+                    .ok());
+    ASSERT_TRUE(schema_
+                    ->DeclareClass(
+                        "SecondGeneration",
+                        T().Tuple({{Sym("name"), str},
+                                   {Sym("occupations"), T().Set(str)}}))
+                    .ok());
+    ASSERT_TRUE(schema_->DeclareRelation("FoundedLineage", gen2).ok());
+    ASSERT_TRUE(
+        schema_
+            ->DeclareRelation(
+                "AncestorOfCelebrity",
+                T().Tuple({{Sym("anc"), gen2},
+                           {Sym("desc"),
+                            T().Union2(str, T().Tuple({{Sym("spouse"),
+                                                        str}}))}}))
+            .ok());
+    ASSERT_TRUE(schema_->Validate().ok());
+
+    inst_ = std::make_unique<Instance>(schema_.get(), &u_);
+    auto mk = [&](std::string_view cls, std::string_view name) {
+      auto o = inst_->CreateOid(cls);
+      EXPECT_TRUE(o.ok());
+      inst_->NameOid(*o, name);
+      return *o;
+    };
+    adam_ = mk("FirstGeneration", "adam");
+    eve_ = mk("FirstGeneration", "eve");
+    cain_ = mk("SecondGeneration", "cain");
+    abel_ = mk("SecondGeneration", "abel");
+    seth_ = mk("SecondGeneration", "seth");
+    other_ = mk("SecondGeneration", "other");
+
+    ValueId children = V().Set({V().OfOid(cain_), V().OfOid(abel_),
+                                V().OfOid(seth_), V().OfOid(other_)});
+    ASSERT_TRUE(inst_->SetOidValue(
+                         adam_, V().Tuple({{Sym("name"), V().Const("Adam")},
+                                           {Sym("spouse"), V().OfOid(eve_)},
+                                           {Sym("children"), children}}))
+                    .ok());
+    ASSERT_TRUE(inst_->SetOidValue(
+                         eve_, V().Tuple({{Sym("name"), V().Const("Eve")},
+                                          {Sym("spouse"), V().OfOid(adam_)},
+                                          {Sym("children"), children}}))
+                    .ok());
+    auto person = [&](std::string_view name,
+                      std::vector<std::string> occupations) {
+      std::vector<ValueId> occ;
+      for (const auto& oc : occupations) occ.push_back(V().Const(oc));
+      return V().Tuple({{Sym("name"), V().Const(name)},
+                        {Sym("occupations"), V().Set(std::move(occ))}});
+    };
+    ASSERT_TRUE(inst_->SetOidValue(
+                         cain_, person("Cain", {"Farmer", "Nomad",
+                                                "Artisan"}))
+                    .ok());
+    ASSERT_TRUE(inst_->SetOidValue(abel_, person("Abel", {"Shepherd"})).ok());
+    ASSERT_TRUE(inst_->SetOidValue(seth_, person("Seth", {})).ok());
+    // nu(other) stays undefined ("Genesis is rather vague on this point").
+
+    for (Oid founder : {cain_, seth_, other_}) {
+      ASSERT_TRUE(
+          inst_->AddToRelation("FoundedLineage", V().OfOid(founder)).ok());
+    }
+    ASSERT_TRUE(inst_->AddToRelation(
+                         "AncestorOfCelebrity",
+                         V().Tuple({{Sym("anc"), V().OfOid(seth_)},
+                                    {Sym("desc"), V().Const("Noah")}}))
+                    .ok());
+    ASSERT_TRUE(
+        inst_->AddToRelation(
+                 "AncestorOfCelebrity",
+                 V().Tuple({{Sym("anc"), V().OfOid(cain_)},
+                            {Sym("desc"),
+                             V().Tuple({{Sym("spouse"), V().Const("Ada")}})}}))
+            .ok());
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Instance> inst_;
+  Oid adam_, eve_, cain_, abel_, seth_, other_;
+};
+
+TEST_F(GenesisTest, ValidatesAgainstSchema) {
+  EXPECT_TRUE(inst_->Validate().ok()) << inst_->Validate();
+}
+
+TEST_F(GenesisTest, CyclicValuesThroughNu) {
+  // adam's value references eve whose value references adam: the instance
+  // is cyclic through nu, while each o-value stays a finite tree.
+  auto adam_val = inst_->ValueOf(adam_);
+  ASSERT_TRUE(adam_val.has_value());
+  std::set<Oid> in_adam;
+  V().CollectOids(*adam_val, &in_adam);
+  EXPECT_TRUE(in_adam.count(eve_));
+  auto eve_val = inst_->ValueOf(eve_);
+  std::set<Oid> in_eve;
+  V().CollectOids(*eve_val, &in_eve);
+  EXPECT_TRUE(in_eve.count(adam_));
+}
+
+TEST_F(GenesisTest, UnionTypedRelationAcceptsBothBranches) {
+  // "Noah" (a string) and [spouse: "Ada"] (a tuple) both inhabit
+  // (string | [spouse: string]).
+  EXPECT_EQ(inst_->Relation(Sym("AncestorOfCelebrity")).size(), 2u);
+  EXPECT_TRUE(inst_->Validate().ok());
+}
+
+TEST_F(GenesisTest, UndefinedValueModelsIncompleteInformation) {
+  EXPECT_FALSE(inst_->ValueOf(other_).has_value());
+  EXPECT_TRUE(inst_->Validate().ok());
+}
+
+TEST_F(GenesisTest, ObjectsAndConstants) {
+  EXPECT_EQ(inst_->Objects().size(), 6u);
+  std::set<Symbol> consts = inst_->ConstantAtoms();
+  EXPECT_TRUE(consts.count(Sym("Adam")));
+  EXPECT_TRUE(consts.count(Sym("Shepherd")));
+  EXPECT_TRUE(consts.count(Sym("Ada")));
+  // The oid adam is distinct from the string "Adam" (Ex 1.1).
+  EXPECT_NE(V().OfOid(adam_), V().Const("Adam"));
+}
+
+TEST_F(GenesisTest, ProjectionToSubschema) {
+  auto sub_schema = schema_->Project({"FirstGeneration", "SecondGeneration",
+                                      "FoundedLineage"});
+  ASSERT_TRUE(sub_schema.ok());
+  Instance sub = inst_->Project(&*sub_schema);
+  EXPECT_EQ(sub.Relation(Sym("FoundedLineage")).size(), 3u);
+  EXPECT_EQ(sub.ClassExtent(Sym("FirstGeneration")).size(), 2u);
+  EXPECT_TRUE(sub.Validate().ok());
+}
+
+TEST_F(GenesisTest, ToStringMentionsNamedOids) {
+  std::string text = inst_->ToString();
+  EXPECT_NE(text.find("nu(adam) = "), std::string::npos);
+  EXPECT_NE(text.find("\"Eve\""), std::string::npos);
+}
+
+TEST_F(GenesisTest, GroundFactCountMatchesPaperRepresentation) {
+  // pi facts: 2 + 4 = 6; rho facts: 3 + 2 = 5; nu facts: adam, eve, cain,
+  // abel, seth defined (5 non-set assignments), other undefined (0).
+  EXPECT_EQ(inst_->GroundFactCount(), 6u + 5u + 5u);
+}
+
+}  // namespace
+}  // namespace iqlkit

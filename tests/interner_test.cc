@@ -1,0 +1,58 @@
+#include "base/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace iqlkit {
+namespace {
+
+TEST(InternerTest, SameStringSameSymbol) {
+  SymbolTable t;
+  Symbol a = t.Intern("alpha");
+  Symbol b = t.Intern("alpha");
+  EXPECT_EQ(a, b);
+}
+
+TEST(InternerTest, DistinctStringsDistinctSymbols) {
+  SymbolTable t;
+  EXPECT_NE(t.Intern("alpha"), t.Intern("beta"));
+}
+
+TEST(InternerTest, NameRoundTrip) {
+  SymbolTable t;
+  Symbol a = t.Intern("alpha");
+  EXPECT_EQ(t.name(a), "alpha");
+}
+
+TEST(InternerTest, FindWithoutIntern) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("missing"), kInvalidSymbol);
+  Symbol a = t.Intern("present");
+  EXPECT_EQ(t.Find("present"), a);
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  SymbolTable t;
+  Symbol e = t.Intern("");
+  EXPECT_EQ(t.name(e), "");
+  EXPECT_EQ(t.Intern(""), e);
+}
+
+TEST(InternerTest, StableAcrossManyInsertions) {
+  // Guards against dangling string_view keys when storage grows.
+  SymbolTable t;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 10000; ++i) {
+    syms.push_back(t.Intern("sym_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(t.Find("sym_" + std::to_string(i)), syms[i]);
+    EXPECT_EQ(t.name(syms[i]), "sym_" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace iqlkit

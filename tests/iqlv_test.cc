@@ -1,0 +1,173 @@
+// Theorem 7.1.5 / Figure 2: IQL as a query language for the pure
+// value-based model -- phi, evaluate, psi -- with automatic copy
+// elimination through bisimulation.
+
+#include "vmodel/iqlv.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class IqlvTest : public ::testing::Test {
+ protected:
+  // Full schema: input v-class In (labeled nodes with successors), output
+  // v-class Out (same shape), temporaries for the rewiring.
+  static constexpr std::string_view kSource = R"(
+    schema {
+      class In  : [name: D, succ: {In}];
+      class Out : [name: D, succ: {Out}];
+      relation Map : [In, Out];
+    }
+    program {
+      Map(x, y) :- In(x).
+      ;
+      # Rebuild the same graph in Out, renaming every label to "n".
+      y^ = [name: "n", succ: S] :-
+          Map(x, y), x^ = [name: m, succ: X], Rewire(X, y, S).
+    }
+  )";
+
+  Universe u_;
+};
+
+TEST_F(IqlvTest, UniformizingLabelsCollapsesValues) {
+  // Simpler program: copy In to Out with all names forced to "n". On the
+  // value level, a labeled 2-cycle collapses to ONE pure value (a
+  // self-loop): psi's bisimulation quotient performs the copy
+  // elimination that makes IQLv complete without the up-to-copy caveat.
+  constexpr std::string_view kUniform = R"(
+    schema {
+      class In  : [name: D, succ: {In}];
+      class Out : [name: D, succ: {Out}];
+      relation Map : [In, Out];
+    }
+    program {
+      Map(x, y) :- In(x).
+      ;
+      t^(q) :- Map(x, y), Map(p, q), x^ = [name: m, succ: X], X(p),
+               HoldsSucc(y, t).
+    }
+  )";
+  (void)kUniform;  // The full rewiring needs a successor holder; use the
+                   // direct builder version below instead.
+
+  // Build the program via a holder class for the successor sets.
+  constexpr std::string_view kProgram = R"(
+    schema {
+      class In  : [name: D, succ: {In}];
+      class Out : [name: D, succ: {Out}];
+      class Succ : {Out};
+      relation Map : [In, Out, Succ];
+    }
+    program {
+      Map(x, y, s) :- In(x).
+      ;
+      s^(q) :- Map(x, y, s), Map(p, q, t), x^ = [name: m, succ: X], X(p).
+      ;
+      y^ = [name: "n", succ: s^] :- Map(x, y, s).
+    }
+  )";
+  auto unit = ParseUnit(&u_, kProgram);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto schema = std::make_shared<const Schema>(std::move(unit->schema));
+  auto in = std::make_shared<const Schema>(*schema->Project({"In"}));
+  auto out = std::make_shared<const Schema>(*schema->Project({"Out"}));
+
+  // Input pure values: a 2-cycle with distinct labels (2 distinct values).
+  VInstance input(&u_.symbols());
+  Symbol name = u_.Intern("name");
+  Symbol succ = u_.Intern("succ");
+  RNodeId a = input.graph.AddPlaceholder();
+  RNodeId b = input.graph.AddPlaceholder();
+  ASSERT_TRUE(input.graph
+                  .FillTuple(a, {{name, input.graph.AddConst("a")},
+                                 {succ, input.graph.AddSet({b})}})
+                  .ok());
+  ASSERT_TRUE(input.graph
+                  .FillTuple(b, {{name, input.graph.AddConst("b")},
+                                 {succ, input.graph.AddSet({a})}})
+                  .ok());
+  input.classes[u_.Intern("In")] = {a, b};
+
+  auto result = RunOnValues(&u_, schema, in, out, &unit->program, input);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Two objects were built, but as pure values they are bisimilar after
+  // the renaming: ONE canonical value, the uniform self-loop.
+  const auto& values = result->classes.at(u_.Intern("Out"));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(result->graph.ToString(values[0]),
+            "#0=[name: \"n\", succ: {#0}]");
+}
+
+TEST_F(IqlvTest, IdentityTransportPreservesValues) {
+  // Copy In to Out verbatim; the output v-instance equals the input
+  // (modulo the class renaming).
+  constexpr std::string_view kProgram = R"(
+    schema {
+      class In  : [name: D, succ: {In}];
+      class Out : [name: D, succ: {Out}];
+      class Succ : {Out};
+      relation Map : [In, Out, Succ];
+    }
+    program {
+      Map(x, y, s) :- In(x).
+      ;
+      s^(q) :- Map(x, y, s), Map(p, q, t), x^ = [name: m, succ: X], X(p).
+      ;
+      y^ = [name: m, succ: s^] :- Map(x, y, s), x^ = [name: m, succ: X].
+    }
+  )";
+  auto unit = ParseUnit(&u_, kProgram);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto schema = std::make_shared<const Schema>(std::move(unit->schema));
+  auto in = std::make_shared<const Schema>(*schema->Project({"In"}));
+  auto out = std::make_shared<const Schema>(*schema->Project({"Out"}));
+
+  VInstance input(&u_.symbols());
+  Symbol name = u_.Intern("name");
+  Symbol succ = u_.Intern("succ");
+  RNodeId x = input.graph.AddPlaceholder();
+  RNodeId y = input.graph.AddPlaceholder();
+  ASSERT_TRUE(input.graph
+                  .FillTuple(x, {{name, input.graph.AddConst("x")},
+                                 {succ, input.graph.AddSet({y})}})
+                  .ok());
+  ASSERT_TRUE(input.graph
+                  .FillTuple(y, {{name, input.graph.AddConst("y")},
+                                 {succ, input.graph.AddSet({x})}})
+                  .ok());
+  input.classes[u_.Intern("In")] = {x, y};
+
+  auto result = RunOnValues(&u_, schema, in, out, &unit->program, input);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Rename the output class to In and compare as v-instances.
+  VInstance renamed(&u_.symbols());
+  std::map<RNodeId, RNodeId> copied;
+  for (RNodeId r : result->classes.at(u_.Intern("Out"))) {
+    renamed.classes[u_.Intern("In")].push_back(
+        CopySubgraph(&renamed.graph, result->graph, r, &copied));
+  }
+  Canonicalize(&input);
+  EXPECT_TRUE(VInstanceEqual(input, renamed));
+}
+
+TEST_F(IqlvTest, RejectsNonVSchemaProjections) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; class P : D; }
+    program { R(x) :- R(x). }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto schema = std::make_shared<const Schema>(std::move(unit->schema));
+  auto bad = std::make_shared<const Schema>(*schema->Project({"R"}));
+  auto good = std::make_shared<const Schema>(*schema->Project({"P"}));
+  VInstance empty(&u_.symbols());
+  EXPECT_FALSE(RunOnValues(&u_, schema, bad, good, &unit->program, empty)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace iqlkit

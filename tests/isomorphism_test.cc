@@ -1,0 +1,153 @@
+#include "transform/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "model/schema.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class IsomorphismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    schema_ = std::make_unique<Schema>(&u_);
+    ASSERT_TRUE(schema_
+                    ->DeclareClass("Node",
+                                   t.Tuple({{u_.Intern("succ"),
+                                             t.Set(t.ClassNamed("Node"))}}))
+                    .ok());
+    ASSERT_TRUE(
+        schema_->DeclareRelation("Label",
+                                 t.Tuple({{PosAttr(1), t.ClassNamed("Node")},
+                                          {PosAttr(2), t.Base()}}))
+            .ok());
+  }
+
+  Symbol PosAttr(int k) { return u_.Intern("#" + std::to_string(k)); }
+
+  // Builds a ring of n Node oids; labels node 0 with `label`.
+  Instance Ring(int n, std::string_view label) {
+    Instance inst(schema_.get(), &u_);
+    ValueStore& v = u_.values();
+    std::vector<Oid> oids;
+    for (int i = 0; i < n; ++i) {
+      auto o = inst.CreateOid("Node");
+      EXPECT_TRUE(o.ok());
+      oids.push_back(*o);
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(
+          inst.SetOidValue(
+                  oids[i],
+                  v.Tuple({{u_.Intern("succ"),
+                            v.Set({v.OfOid(oids[(i + 1) % n])})}}))
+              .ok());
+    }
+    EXPECT_TRUE(inst.AddToRelation(
+                        "Label", v.Tuple({{PosAttr(1), v.OfOid(oids[0])},
+                                          {PosAttr(2), v.Const(label)}}))
+                    .ok());
+    return inst;
+  }
+
+  Universe u_;
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(IsomorphismTest, IdenticalInstancesIsomorphic) {
+  Instance a = Ring(4, "x");
+  EXPECT_TRUE(OIsomorphic(a, a));
+}
+
+TEST_F(IsomorphismTest, RenamedOidsIsomorphic) {
+  Instance a = Ring(5, "x");
+  Instance b = RenameOids(a, [](Oid o) { return Oid{o.raw + 1000}; });
+  auto map = FindOIsomorphism(a, b);
+  ASSERT_TRUE(map.has_value());
+  for (const auto& [from, to] : *map) {
+    EXPECT_EQ(to.raw, from.raw + 1000);
+  }
+}
+
+TEST_F(IsomorphismTest, SeparatelyBuiltRingsIsomorphic) {
+  Instance a = Ring(6, "x");
+  Instance b = Ring(6, "x");
+  EXPECT_TRUE(OIsomorphic(a, b));
+}
+
+TEST_F(IsomorphismTest, DifferentSizesNotIsomorphic) {
+  EXPECT_FALSE(OIsomorphic(Ring(4, "x"), Ring(5, "x")));
+}
+
+TEST_F(IsomorphismTest, DifferentConstantsNotIsomorphic) {
+  // O-isomorphisms fix constants pointwise.
+  EXPECT_FALSE(OIsomorphic(Ring(4, "x"), Ring(4, "y")));
+}
+
+TEST_F(IsomorphismTest, StructureDetectedBeyondCardinalities) {
+  // One 6-ring vs two 3-rings: same class sizes, different structure.
+  Instance a = Ring(6, "x");
+  Instance b = Ring(3, "x");
+  {
+    // Add a second, unlabeled 3-ring into b.
+    ValueStore& v = u_.values();
+    std::vector<Oid> oids;
+    for (int i = 0; i < 3; ++i) {
+      auto o = b.CreateOid("Node");
+      ASSERT_TRUE(o.ok());
+      oids.push_back(*o);
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          b.SetOidValue(oids[i],
+                        v.Tuple({{u_.Intern("succ"),
+                                  v.Set({v.OfOid(oids[(i + 1) % 3])})}}))
+              .ok());
+    }
+  }
+  EXPECT_FALSE(OIsomorphic(a, b));
+}
+
+TEST_F(IsomorphismTest, AutomorphicSymmetricStructuresMatch) {
+  // Two disjoint unlabeled 2-rings admit many isomorphisms; the search
+  // must find one despite identical colors.
+  auto two_rings = [&]() {
+    Instance inst(schema_.get(), &u_);
+    ValueStore& v = u_.values();
+    for (int r = 0; r < 2; ++r) {
+      std::vector<Oid> oids;
+      for (int i = 0; i < 2; ++i) {
+        auto o = inst.CreateOid("Node");
+        EXPECT_TRUE(o.ok());
+        oids.push_back(*o);
+      }
+      for (int i = 0; i < 2; ++i) {
+        EXPECT_TRUE(inst.SetOidValue(
+                            oids[i],
+                            v.Tuple({{u_.Intern("succ"),
+                                      v.Set({v.OfOid(oids[(i + 1) % 2])})}}))
+                        .ok());
+      }
+    }
+    return inst;
+  };
+  Instance a = two_rings();
+  Instance b = two_rings();
+  EXPECT_TRUE(OIsomorphic(a, b));
+}
+
+TEST_F(IsomorphismTest, RenameInstancePermutesConstants) {
+  Instance a = Ring(3, "x");
+  Symbol x = u_.Intern("x");
+  Symbol y = u_.Intern("y");
+  Instance b = RenameInstance(
+      a, [](Oid o) { return o; },
+      [&](Symbol s) { return s == x ? y : s; });
+  EXPECT_FALSE(OIsomorphic(a, b));        // constants differ
+  EXPECT_TRUE(OIsomorphic(b, Ring(3, "y")));
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,99 @@
+// Parser robustness: random garbage and mutated valid sources must yield
+// Status errors, never crashes or hangs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+constexpr std::string_view kValid = R"(
+  schema {
+    relation R  : [D, D];
+    class P : [name: D, succ: {P}];
+  }
+  input R;
+  instance {
+    P(@a);
+    @a = [name: "x", succ: {@a}];
+    R(1, 2);
+  }
+  program {
+    var X : {D};
+    R(x, y) :- R(y, x), !R(x, x), x != y.
+  }
+)";
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  std::mt19937 rng(GetParam() * 48271 + 5);
+  static const char* kAtoms[] = {
+      "schema", "relation", "class", "program", "input", "output",
+      "instance", "var", "choose", "empty", "D", "{", "}", "[", "]", "(",
+      ")", ",", ":", ";", ".", "^", "=", "!=", "!", ":-", "|", "&", "@",
+      "R", "P", "x", "42", "\"s\"", "#c\n"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string source;
+    int len = 1 + rng() % 40;
+    for (int i = 0; i < len; ++i) {
+      source += kAtoms[rng() % (sizeof(kAtoms) / sizeof(kAtoms[0]))];
+      source += ' ';
+    }
+    Universe u;
+    auto unit = ParseUnit(&u, source);  // must return, either way
+    (void)unit;
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidSourceNeverCrashes) {
+  std::mt19937 rng(GetParam() * 2246822519u + 3);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string source(kValid);
+    int mutations = 1 + rng() % 4;
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % source.size();
+      switch (rng() % 3) {
+        case 0:
+          source.erase(pos, 1 + rng() % 3);
+          break;
+        case 1:
+          source.insert(pos, 1, static_cast<char>(' ' + rng() % 95));
+          break;
+        default:
+          source[pos] = static_cast<char>(' ' + rng() % 95);
+          break;
+      }
+    }
+    Universe u;
+    auto unit = ParseUnit(&u, source);
+    (void)unit;
+  }
+}
+
+TEST_P(ParserFuzzTest, TruncatedValidSourceNeverCrashes) {
+  std::mt19937 rng(GetParam() + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string source(kValid.substr(0, rng() % kValid.size()));
+    Universe u;
+    auto unit = ParseUnit(&u, source);
+    (void)unit;
+  }
+}
+
+TEST(ParserFuzzSanityTest, TheValidSourceActuallyParses) {
+  Universe u;
+  auto unit = ParseUnit(&u, kValid);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint32_t>(0, 6));
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,237 @@
+#include "iql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/lexer.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("R0(x) :- R(x, y).  # comment\n x != y");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLParen,
+                       TokenKind::kIdent, TokenKind::kRParen,
+                       TokenKind::kTurnstile, TokenKind::kIdent,
+                       TokenKind::kLParen, TokenKind::kIdent,
+                       TokenKind::kComma, TokenKind::kIdent,
+                       TokenKind::kRParen, TokenKind::kDot,
+                       TokenKind::kIdent, TokenKind::kNeq,
+                       TokenKind::kIdent, TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringsAndInts) {
+  auto tokens = Lex("R(\"Adam\", 42)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "Adam");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[4].text, "42");
+}
+
+TEST(LexerTest, PrimedIdentifiers) {
+  auto tokens = Lex("R' x''");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "R'");
+  EXPECT_EQ((*tokens)[1].text, "x''");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  auto tokens = Lex("R(x)\n  $");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Lex("\"abc").ok());
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Universe u_;
+};
+
+TEST_F(ParserTest, ParsesTypes) {
+  auto t = ParseTypeText(&u_, "[name: D, kids: {P | Q}]");
+  ASSERT_TRUE(t.ok()) << t.status();
+  TypePool& types = u_.types();
+  EXPECT_EQ(types.ToString(*t), "[name: D, kids: {(P | Q)}]");
+}
+
+TEST_F(ParserTest, ParsesPositionalTupleTypes) {
+  auto t = ParseTypeText(&u_, "[D, D]");
+  ASSERT_TRUE(t.ok());
+  // Positional tuples print positionally (re-parseable).
+  EXPECT_EQ(u_.types().ToString(*t), "[D, D]");
+  // Internally the attributes are #1, #2.
+  EXPECT_EQ(u_.Name(u_.types().node(*t).fields[0].first), "#1");
+}
+
+TEST_F(ParserTest, RejectsMixedTupleFields) {
+  EXPECT_FALSE(ParseTypeText(&u_, "[D, A: D]").ok());
+}
+
+TEST_F(ParserTest, ParsesIntersectionAndEmpty) {
+  auto t = ParseTypeText(&u_, "(P & Q) | empty");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(u_.types().ToString(*t), "(P & Q)");
+}
+
+TEST_F(ParserTest, ParsesSchema) {
+  auto s = ParseSchemaText(&u_, R"(
+    schema {
+      relation R : [D, D];
+      class P : [D, {P}];
+    }
+  )");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE(s->HasRelation(u_.Intern("R")));
+  EXPECT_TRUE(s->HasClass(u_.Intern("P")));
+}
+
+TEST_F(ParserTest, SchemaValidatesClassReferences) {
+  auto s = ParseSchemaText(&u_, "relation R : Ghost;");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ParserTest, ParsesFullUnit) {
+  auto unit = ParseUnit(&u_, R"(
+    schema {
+      relation R  : [D, D];
+      relation R0 : D;
+    }
+    input R;
+    output R0;
+    program {
+      R0(x) :- R(x, y).
+      R0(x) :- R(y, x).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->input_names, std::vector<std::string>{"R"});
+  EXPECT_EQ(unit->output_names, std::vector<std::string>{"R0"});
+  ASSERT_EQ(unit->program.stages.size(), 1u);
+  EXPECT_EQ(unit->program.stages[0].size(), 2u);
+}
+
+TEST_F(ParserTest, StageSeparator) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; relation S : D; }
+    program {
+      S(x) :- R(x).
+      ;
+      R(x) :- S(x).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->program.stages.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesDerefHeadsAndBodies) {
+  auto unit = ParseUnit(&u_, R"(
+    schema {
+      relation R5 : [D, P];
+      class P : {D};
+    }
+    program {
+      z^(y) :- R5(y, z).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  const Rule& rule = unit->program.stages[0][0];
+  const Term& lhs = unit->program.term(rule.head.lhs);
+  EXPECT_EQ(lhs.kind, Term::Kind::kDeref);
+  EXPECT_EQ(u_.Name(lhs.name), "z");
+}
+
+TEST_F(ParserTest, ParsesWeakAssignmentHead) {
+  auto unit = ParseUnit(&u_, R"(
+    schema {
+      relation R9 : [D, P, P'];
+      class P  : [D, {P}];
+      class P' : {P};
+    }
+    program {
+      p^ = [x, q^] :- R9(x, p, q).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  const Rule& rule = unit->program.stages[0][0];
+  EXPECT_EQ(rule.head.kind, Literal::Kind::kEquality);
+}
+
+TEST_F(ParserTest, ParsesVarDeclarations) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; relation R1 : {D}; }
+    program {
+      var X : {D};
+      R1(X) :- X = X.
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto it = unit->program.declared_var_types.find(u_.Intern("X"));
+  ASSERT_NE(it, unit->program.declared_var_types.end());
+  EXPECT_EQ(u_.types().ToString(it->second), "{D}");
+}
+
+TEST_F(ParserTest, ParsesNegationAndChoose) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; relation S : D; class P : D; }
+    program {
+      S(x) :- R(x), !S(x), choose.
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  const Rule& rule = unit->program.stages[0][0];
+  EXPECT_TRUE(rule.has_choose);
+  EXPECT_FALSE(rule.body[1].positive);
+}
+
+TEST_F(ParserTest, ParsesDeletionRule) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; relation S : D; }
+    program {
+      !R(x) :- S(x).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_TRUE(unit->program.stages[0][0].head_negative);
+}
+
+TEST_F(ParserTest, FactRuleWithEmptyBody) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R1 : {D}; }
+    program {
+      R1({}).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_TRUE(unit->program.stages[0][0].body.empty());
+}
+
+TEST_F(ParserTest, RejectsUndeclaredHeadPredicate) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : D; }
+    program { S(x) :- R(x). }
+  )");
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  auto unit = ParseUnit(&u_, R"(
+    schema { relation R : [D, D]; relation R0 : D; }
+    program {
+      R0(x) :- R(x, y), x != y.
+    }
+  )");
+  ASSERT_TRUE(unit.ok());
+  std::string text = unit->program.ToString(u_.symbols());
+  EXPECT_EQ(text, "R0(x) :- R([x, y]), x != y.\n");
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,142 @@
+// Text round trips: schemas, types, programs, and instances survive
+// ToString/Write followed by re-parsing.
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit {
+namespace {
+
+TEST(RoundtripTest, TypesReparseToSameIds) {
+  Universe u;
+  for (const char* text :
+       {"D", "empty", "{D}", "[A: D, B: {P}]", "[D, D, {D}]",
+        "(D | P | [A: D])", "(P & Q)", "{[name: D, succ: {P}]}"}) {
+    auto t1 = ParseTypeText(&u, text);
+    ASSERT_TRUE(t1.ok()) << text << ": " << t1.status();
+    std::string printed = u.types().ToString(*t1);
+    auto t2 = ParseTypeText(&u, printed);
+    ASSERT_TRUE(t2.ok()) << printed << ": " << t2.status();
+    EXPECT_EQ(*t1, *t2) << text << " -> " << printed;
+  }
+}
+
+TEST(RoundtripTest, SchemaReparsesEquivalently) {
+  Universe u;
+  auto s1 = ParseSchemaText(&u, R"(
+    schema {
+      relation R : [D, (D | P)];
+      class P : [name: D, succ: {P}];
+      class Q : {D};
+    }
+  )");
+  ASSERT_TRUE(s1.ok()) << s1.status();
+  std::string printed = s1->ToString();
+  Universe u2;
+  auto s2 = ParseSchemaText(&u2, printed);
+  ASSERT_TRUE(s2.ok()) << printed << ": " << s2.status();
+  EXPECT_EQ(s2->ToString(), printed);
+}
+
+TEST(RoundtripTest, ProgramReparsesToSameText) {
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema {
+      relation R : [D, D];
+      relation S : D;
+      class P : {D};
+    }
+    program {
+      S(x) :- R(x, y), !S(y), x != y.
+      ;
+      p^(x) :- S(x), P(p).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  std::string printed = unit->program.ToString(u.symbols());
+  auto reparsed = ParseProgramText(&u, unit->schema, printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << ": " << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(u.symbols()), printed);
+}
+
+TEST(RoundtripTest, InstanceWriteFactsReadBack) {
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema {
+      class Person : [name: D, friends: {Person}];
+      class Bag : {D};
+      relation Pair : [D, D];
+      relation Vip : Person;
+    }
+    instance {
+      Person(@ann);
+      Person(@bo);
+      Bag(@bag);
+      @ann = [name: "Ann \"the ant\"", friends: {@bo, @ann}];
+      @bo  = [name: "Bo", friends: {}];
+      @bag = {"x", "y"};
+      Pair(1, 2);
+      Vip(@ann);
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance original(&unit->schema, &u);
+  ASSERT_TRUE(ApplyFacts(*unit, &original).ok());
+  ASSERT_TRUE(original.Validate().ok()) << original.Validate();
+
+  std::string facts = WriteFacts(original);
+  // Re-assemble a full unit: the schema plus the serialized facts.
+  std::string source = "schema {\n" + unit->schema.ToString() + "}\n" +
+                       facts;
+  auto unit2 = ParseUnit(&u, source);
+  ASSERT_TRUE(unit2.ok()) << source << "\n" << unit2.status();
+  Instance restored(&unit2->schema, &u);
+  ASSERT_TRUE(ApplyFacts(*unit2, &restored).ok());
+  EXPECT_TRUE(OIsomorphic(original, restored)) << facts;
+  // Labels survive: the restored instance knows "ann".
+  bool found_ann = false;
+  for (Oid o : restored.Objects()) {
+    if (restored.OidLabel(o) == "ann") found_ann = true;
+  }
+  EXPECT_TRUE(found_ann) << facts;
+}
+
+TEST(RoundtripTest, WriteFactsHandlesUnnamedOidsAndPositionalTuples) {
+  Universe u;
+  TypePool& t = u.types();
+  Schema schema(&u);
+  ASSERT_TRUE(schema.DeclareClass("N", t.Base()).ok());
+  ASSERT_TRUE(
+      schema
+          .DeclareRelation("E", t.Tuple({{u.Intern("#1"), t.ClassNamed("N")},
+                                         {u.Intern("#2"),
+                                          t.ClassNamed("N")}}))
+          .ok());
+  Instance original(&schema, &u);
+  auto a = original.CreateOid("N");
+  auto b = original.CreateOid("N");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ValueStore& v = u.values();
+  ASSERT_TRUE(original
+                  .AddToRelation("E",
+                                 v.Tuple({{u.Intern("#1"), v.OfOid(*a)},
+                                          {u.Intern("#2"), v.OfOid(*b)}}))
+                  .ok());
+  std::string facts = WriteFacts(original);
+  // Positional rendering, no named #-attributes.
+  EXPECT_EQ(facts.find("#1:"), std::string::npos) << facts;
+
+  std::string source = "schema {\n" + schema.ToString() + "}\n" + facts;
+  auto unit = ParseUnit(&u, source);
+  ASSERT_TRUE(unit.ok()) << source << "\n" << unit.status();
+  Instance restored(&unit->schema, &u);
+  ASSERT_TRUE(ApplyFacts(*unit, &restored).ok());
+  EXPECT_TRUE(OIsomorphic(original, restored)) << facts;
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,101 @@
+#include "model/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view s) { return u_.Intern(s); }
+
+  Universe u_;
+};
+
+TEST_F(SchemaTest, DeclareAndLookup) {
+  Schema s(&u_);
+  TypeId d = u_.types().Base();
+  ASSERT_TRUE(s.DeclareRelation("R", d).ok());
+  ASSERT_TRUE(s.DeclareClass("P", u_.types().Set(d)).ok());
+  EXPECT_TRUE(s.HasRelation(Sym("R")));
+  EXPECT_FALSE(s.HasRelation(Sym("P")));
+  EXPECT_TRUE(s.HasClass(Sym("P")));
+  EXPECT_EQ(s.RelationType(Sym("R")), d);
+  EXPECT_EQ(s.ClassType(Sym("P")), u_.types().Set(d));
+  EXPECT_EQ(s.RelationType(Sym("missing")), kInvalidType);
+}
+
+TEST_F(SchemaTest, SharedNamespaceRejectsDuplicates) {
+  Schema s(&u_);
+  TypeId d = u_.types().Base();
+  ASSERT_TRUE(s.DeclareRelation("R", d).ok());
+  EXPECT_EQ(s.DeclareRelation("R", d).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.DeclareClass("R", d).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaTest, SetValuedClassDetection) {
+  Schema s(&u_);
+  TypeId d = u_.types().Base();
+  ASSERT_TRUE(s.DeclareClass("SetP", u_.types().Set(d)).ok());
+  ASSERT_TRUE(s.DeclareClass("TupP", u_.types().Tuple({{Sym("A"), d}})).ok());
+  EXPECT_TRUE(s.IsSetValuedClass(Sym("SetP")));
+  EXPECT_FALSE(s.IsSetValuedClass(Sym("TupP")));
+}
+
+TEST_F(SchemaTest, ValidateCatchesUndeclaredClassReference) {
+  Schema s(&u_);
+  ASSERT_TRUE(
+      s.DeclareRelation("R", u_.types().ClassNamed("Ghost")).ok());
+  Status st = s.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST_F(SchemaTest, ValidateAcceptsRecursiveClassTypes) {
+  // Cyclic schemas are legal: T(Person) references Person (§2.2, Ex 1.1).
+  Schema s(&u_);
+  TypeId person_type = u_.types().Tuple(
+      {{Sym("name"), u_.types().Base()},
+       {Sym("spouse"), u_.types().ClassNamed("Person")}});
+  ASSERT_TRUE(s.DeclareClass("Person", person_type).ok());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST_F(SchemaTest, ProjectionKeepsSubset) {
+  Schema s(&u_);
+  TypeId d = u_.types().Base();
+  ASSERT_TRUE(s.DeclareRelation("R1", d).ok());
+  ASSERT_TRUE(s.DeclareRelation("R2", d).ok());
+  ASSERT_TRUE(s.DeclareClass("P", u_.types().Set(d)).ok());
+  auto sub = s.Project({"R1", "P"});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->HasRelation(Sym("R1")));
+  EXPECT_FALSE(sub->HasRelation(Sym("R2")));
+  EXPECT_TRUE(sub->HasClass(Sym("P")));
+}
+
+TEST_F(SchemaTest, ProjectionRejectsDanglingClassReference) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareClass("P", u_.types().Set(u_.types().Base())).ok());
+  ASSERT_TRUE(s.DeclareRelation("R", u_.types().ClassNamed("P")).ok());
+  // Keeping R but dropping P leaves R's type dangling.
+  auto sub = s.Project({"R"});
+  EXPECT_FALSE(sub.ok());
+}
+
+TEST_F(SchemaTest, ProjectionRejectsUnknownName) {
+  Schema s(&u_);
+  auto sub = s.Project({"Nope"});
+  EXPECT_EQ(sub.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SchemaTest, ToStringPaperDeclarationSyntax) {
+  Schema s(&u_);
+  ASSERT_TRUE(s.DeclareRelation("R", u_.types().Base()).ok());
+  ASSERT_TRUE(s.DeclareClass("P", u_.types().Set(u_.types().Base())).ok());
+  EXPECT_EQ(s.ToString(), "relation R : D;\nclass P : {D};\n");
+}
+
+}  // namespace
+}  // namespace iqlkit

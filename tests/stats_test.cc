@@ -1,0 +1,97 @@
+// Instance statistics, including Lemma 5.7's branching factor and its
+// executable consequence: invention-free ptime-restricted programs do not
+// push the branching factor past max(input branching, rule size).
+
+#include "model/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+TEST(StatsTest, ValueMeasures) {
+  Universe u;
+  ValueStore& v = u.values();
+  ValueId leaf = v.Const("x");
+  EXPECT_EQ(ValueBranchingFactor(v, leaf), 0u);
+  EXPECT_EQ(ValueDepth(v, leaf), 1u);
+  ValueId wide = v.Set({v.Const("a"), v.Const("b"), v.Const("c")});
+  EXPECT_EQ(ValueBranchingFactor(v, wide), 3u);
+  EXPECT_EQ(ValueDepth(v, wide), 2u);
+  ValueId deep = v.Tuple(
+      {{u.Intern("A"), v.Set({v.Tuple({{u.Intern("B"), leaf}})})}});
+  EXPECT_EQ(ValueDepth(v, deep), 4u);
+  EXPECT_EQ(ValueBranchingFactor(v, deep), 1u);
+}
+
+TEST(StatsTest, InstanceAggregates) {
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema { class P : {D}; relation R : [D, D]; }
+    instance {
+      P(@bag);
+      @bag = {"x", "y", "z"};
+      R(1, 2);
+      R(1, 3);
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  Instance inst(&unit->schema, &u);
+  ASSERT_TRUE(ApplyFacts(*unit, &inst).ok());
+  InstanceStats stats = ComputeInstanceStats(inst);
+  EXPECT_EQ(stats.objects, 1u);
+  EXPECT_EQ(stats.constants, 6u);  // x, y, z, 1, 2, 3
+  EXPECT_EQ(stats.branching_factor, 3u);  // the 3-element set
+  EXPECT_EQ(stats.ground_facts, 1u + 3u + 2u);  // P(bag), 3 elems, 2 R rows
+}
+
+TEST(StatsTest, Lemma57BranchingFactorBound) {
+  // An invention-free, ptime-restricted program: output branching stays
+  // within max(input branching, rule size).
+  Universe u;
+  auto unit = ParseUnit(&u, R"(
+    schema {
+      relation R1 : [D, {D}];
+      relation R2 : [{D}, {D}];
+    }
+    input R1;
+    output R2;
+    program {
+      R2(X, Y) :- R1(x, X), R1(y, Y).
+    }
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto in_schema = unit->schema.Project({"R1"});
+  ASSERT_TRUE(in_schema.ok());
+  Instance input(std::make_shared<const Schema>(std::move(*in_schema)), &u);
+  ValueStore& v = u.values();
+  for (int g = 0; g < 4; ++g) {
+    std::vector<ValueId> elems;
+    for (int k = 0; k <= g; ++k) elems.push_back(v.ConstInt(10 * g + k));
+    ASSERT_TRUE(input
+                    .AddToRelation(
+                        "R1",
+                        v.Tuple({{PositionalAttr(&u, 1), v.ConstInt(g)},
+                                 {PositionalAttr(&u, 2),
+                                  v.Set(std::move(elems))}}))
+                    .ok());
+  }
+  InstanceStats in_stats = ComputeInstanceStats(input);
+  auto out = RunUnit(&u, &*unit, input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  InstanceStats out_stats = ComputeInstanceStats(*out);
+  // Rule size (symbols per rule) is small; the dominant bound is the
+  // input's branching factor, which the program cannot exceed.
+  size_t rule_size = 3;  // head + two body literals
+  EXPECT_LE(out_stats.branching_factor,
+            std::max(in_stats.branching_factor, rule_size));
+  // And the output size is polynomial: |R2| = |R1|^2.
+  EXPECT_EQ(out->Relation(u.Intern("R2")).size(), 16u);
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,128 @@
+// Computational completeness, constructively: Turing machines compiled to
+// IQL with invented time points and tape cells (the Prop 4.2.2 /
+// Chandra-Harel simulation at working scale).
+
+#include "transform/turing.h"
+
+#include <gtest/gtest.h>
+
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+// Parity acceptor over {1}: accepts words with an even number of 1s.
+// Scans right; the blank past the end decides.
+TuringMachine ParityMachine() {
+  TuringMachine tm;
+  tm.start_state = "even";
+  tm.accepting_states = {"acc"};
+  tm.transitions = {
+      {"even", "1", "odd", "1", 'R'},
+      {"odd", "1", "even", "1", 'R'},
+      {"even", "B", "acc", "B", 'R'},
+      // odd on blank: no transition -> halt without accepting.
+  };
+  return tm;
+}
+
+// Binary increment: scans right to the end, then increments moving left
+// with carry; overflow extends the tape leftward.
+TuringMachine IncrementMachine() {
+  TuringMachine tm;
+  tm.start_state = "scan";
+  tm.accepting_states = {"done"};
+  tm.transitions = {
+      {"scan", "0", "scan", "0", 'R'},
+      {"scan", "1", "scan", "1", 'R'},
+      {"scan", "B", "inc", "B", 'L'},
+      {"inc", "1", "inc", "0", 'L'},   // carry ripples
+      {"inc", "0", "done", "1", 'L'},
+      {"inc", "B", "done", "1", 'L'},  // overflow onto a fresh left cell
+  };
+  return tm;
+}
+
+std::vector<std::string> Word(std::string_view bits) {
+  std::vector<std::string> w;
+  for (char c : bits) w.emplace_back(1, c);
+  return w;
+}
+
+TEST(TuringTest, ParityAccepts) {
+  Universe u;
+  auto r = RunTuringMachine(&u, ParityMachine(), Word("11"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->accepted);
+  // 2 symbol steps + blank step = 3 machine steps.
+  EXPECT_EQ(r->steps, 3u);
+}
+
+TEST(TuringTest, ParityRejects) {
+  Universe u;
+  auto r = RunTuringMachine(&u, ParityMachine(), Word("111"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->accepted);
+}
+
+TEST(TuringTest, ParityOnEmptyWordAccepts) {
+  Universe u;
+  auto r = RunTuringMachine(&u, ParityMachine(), {});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->accepted);
+}
+
+TEST(TuringTest, IncrementWithoutCarry) {
+  Universe u;
+  auto r = RunTuringMachine(&u, IncrementMachine(), Word("1010"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->accepted);
+  EXPECT_EQ(r->final_tape, Word("1011"));
+}
+
+TEST(TuringTest, IncrementWithCarryChain) {
+  Universe u;
+  auto r = RunTuringMachine(&u, IncrementMachine(), Word("1011"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->final_tape, Word("1100"));
+}
+
+TEST(TuringTest, IncrementOverflowExtendsTapeLeft) {
+  // 111 + 1 = 1000: the result is one digit longer, so the simulation
+  // must invent a tape cell to the LEFT of the original word.
+  Universe u;
+  auto r = RunTuringMachine(&u, IncrementMachine(), Word("111"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->accepted);
+  EXPECT_EQ(r->final_tape, Word("1000"));
+}
+
+TEST(TuringTest, RightExtensionHappens) {
+  // The parity machine steps onto the blank past the word's right end:
+  // that blank lives on an invented cell.
+  Universe u;
+  uint64_t before = u.next_oid_raw();
+  auto r = RunTuringMachine(&u, ParityMachine(), Word("1"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Invented oids: time points + at least one fresh cell.
+  EXPECT_GT(u.next_oid_raw() - before,
+            1u + 1u + r->steps);  // t0 + cell0 + one T per step, plus cells
+}
+
+TEST(TuringTest, NonHaltingMachineHitsBudget) {
+  TuringMachine loop;
+  loop.start_state = "s";
+  loop.transitions = {
+      {"s", "B", "s", "B", 'R'},  // runs right forever over fresh blanks
+      {"s", "1", "s", "1", 'R'},
+  };
+  Universe u;
+  EvalOptions options;
+  options.max_invented_oids = 60;
+  auto r = RunTuringMachine(&u, loop, Word("1"), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace iqlkit

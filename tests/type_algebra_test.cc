@@ -1,0 +1,218 @@
+#include "model/type_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/interner.h"
+#include "model/type.h"
+#include "model/value.h"
+
+namespace iqlkit {
+namespace {
+
+// Toy resolver with a fixed oid -> class map (a disjoint assignment).
+class MapResolver : public ClassResolver {
+ public:
+  void Put(Oid o, Symbol cls) { map_[o] = cls; }
+  bool OidInClass(Oid o, Symbol cls) const override {
+    auto it = map_.find(o);
+    return it != map_.end() && it->second == cls;
+  }
+
+ private:
+  std::map<Oid, Symbol> map_;
+};
+
+class TypeAlgebraTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view s) { return syms_.Intern(s); }
+
+  SymbolTable syms_;
+  TypePool pool_{&syms_};
+  ValueStore store_{&syms_};
+  MapResolver resolver_;
+};
+
+// --- membership -----------------------------------------------------------
+
+TEST_F(TypeAlgebraTest, BaseContainsConstsOnly) {
+  TypeMembership m(&pool_, &store_, &resolver_);
+  EXPECT_TRUE(m.Contains(pool_.Base(), store_.Const("x")));
+  EXPECT_FALSE(m.Contains(pool_.Base(), store_.OfOid(Oid{1})));
+  EXPECT_FALSE(m.Contains(pool_.Base(), store_.EmptySet()));
+}
+
+TEST_F(TypeAlgebraTest, EmptyContainsNothing) {
+  TypeMembership m(&pool_, &store_, &resolver_);
+  EXPECT_FALSE(m.Contains(pool_.Empty(), store_.Const("x")));
+  EXPECT_FALSE(m.Contains(pool_.Empty(), store_.EmptySet()));
+}
+
+TEST_F(TypeAlgebraTest, ClassMembershipUsesResolver) {
+  resolver_.Put(Oid{1}, Sym("P"));
+  TypeMembership m(&pool_, &store_, &resolver_);
+  EXPECT_TRUE(m.Contains(pool_.ClassNamed("P"), store_.OfOid(Oid{1})));
+  EXPECT_FALSE(m.Contains(pool_.ClassNamed("Q"), store_.OfOid(Oid{1})));
+  EXPECT_FALSE(m.Contains(pool_.ClassNamed("P"), store_.OfOid(Oid{2})));
+}
+
+TEST_F(TypeAlgebraTest, TupleExactAttributes) {
+  TypeMembership m(&pool_, &store_, &resolver_);
+  TypeId t = pool_.Tuple({{Sym("A"), pool_.Base()}});
+  ValueId good = store_.Tuple({{Sym("A"), store_.Const("x")}});
+  ValueId extra = store_.Tuple(
+      {{Sym("A"), store_.Const("x")}, {Sym("B"), store_.Const("y")}});
+  EXPECT_TRUE(m.Contains(t, good));
+  EXPECT_FALSE(m.Contains(t, extra));
+  EXPECT_FALSE(m.Contains(t, store_.EmptyTuple()));
+}
+
+TEST_F(TypeAlgebraTest, StarTupleAllowsExtraAttributes) {
+  TypeMembership star(&pool_, &store_, &resolver_, /*star=*/true);
+  TypeId t = pool_.Tuple({{Sym("A"), pool_.Base()}});
+  ValueId extra = store_.Tuple(
+      {{Sym("A"), store_.Const("x")}, {Sym("B"), store_.Const("y")}});
+  EXPECT_TRUE(star.Contains(t, extra));
+  EXPECT_FALSE(star.Contains(t, store_.EmptyTuple()));
+}
+
+TEST_F(TypeAlgebraTest, SetMembershipElementwise) {
+  TypeMembership m(&pool_, &store_, &resolver_);
+  TypeId t = pool_.Set(pool_.Base());
+  EXPECT_TRUE(m.Contains(t, store_.EmptySet()));
+  EXPECT_TRUE(m.Contains(t, store_.Set({store_.Const("x")})));
+  EXPECT_FALSE(m.Contains(t, store_.Set({store_.OfOid(Oid{1})})));
+  EXPECT_FALSE(m.Contains(t, store_.Const("x")));
+}
+
+TEST_F(TypeAlgebraTest, UnionAndIntersectMembership) {
+  resolver_.Put(Oid{1}, Sym("P"));
+  TypeMembership m(&pool_, &store_, &resolver_);
+  TypeId u = pool_.Union({pool_.Base(), pool_.ClassNamed("P")});
+  EXPECT_TRUE(m.Contains(u, store_.Const("x")));
+  EXPECT_TRUE(m.Contains(u, store_.OfOid(Oid{1})));
+  EXPECT_FALSE(m.Contains(u, store_.OfOid(Oid{2})));
+}
+
+// --- Proposition 2.2.1 ----------------------------------------------------
+
+TEST_F(TypeAlgebraTest, PaperExampleTupleIntersection) {
+  // [A1: D, A2: {P1}] & [A1: D, A2: {P2}] == [A1: D, A2: {(P1 & P2)}]
+  // over all assignments, and [A1: D, A2: {<empty>}] over disjoint ones.
+  TypeId p1 = pool_.ClassNamed("P1");
+  TypeId p2 = pool_.ClassNamed("P2");
+  TypeId lhs = pool_.Intersect2(
+      pool_.Tuple({{Sym("A1"), pool_.Base()}, {Sym("A2"), pool_.Set(p1)}}),
+      pool_.Tuple({{Sym("A1"), pool_.Base()}, {Sym("A2"), pool_.Set(p2)}}));
+  TypeId reduced = IntersectionReduce(&pool_, lhs);
+  EXPECT_EQ(reduced,
+            pool_.Tuple({{Sym("A1"), pool_.Base()},
+                         {Sym("A2"), pool_.Set(pool_.Intersect2(p1, p2))}}));
+  EXPECT_TRUE(pool_.IsIntersectionReduced(reduced));
+
+  TypeId eliminated = EliminateIntersection(&pool_, lhs);
+  EXPECT_EQ(eliminated,
+            pool_.Tuple({{Sym("A1"), pool_.Base()},
+                         {Sym("A2"), pool_.Set(pool_.Empty())}}));
+  EXPECT_TRUE(pool_.IsIntersectionFree(eliminated));
+}
+
+TEST_F(TypeAlgebraTest, PaperExampleUnionIntersection) {
+  // ({D} | P1) & P2 == (P1 & P2) over all assignments and empty over
+  // disjoint ones.
+  TypeId p1 = pool_.ClassNamed("P1");
+  TypeId p2 = pool_.ClassNamed("P2");
+  TypeId lhs =
+      pool_.Intersect2(pool_.Union({pool_.Set(pool_.Base()), p1}), p2);
+  EXPECT_EQ(IntersectionReduce(&pool_, lhs), pool_.Intersect2(p1, p2));
+  EXPECT_EQ(EliminateIntersection(&pool_, lhs), pool_.Empty());
+}
+
+TEST_F(TypeAlgebraTest, BaseIntersectClassIsEmptyOverAllAssignments) {
+  TypeId t = pool_.Intersect2(pool_.Base(), pool_.ClassNamed("P"));
+  EXPECT_EQ(IntersectionReduce(&pool_, t), pool_.Empty());
+}
+
+TEST_F(TypeAlgebraTest, TupleIntersectDifferentAttrsEmpty) {
+  TypeId t = pool_.Intersect2(pool_.Tuple({{Sym("A"), pool_.Base()}}),
+                              pool_.Tuple({{Sym("B"), pool_.Base()}}));
+  EXPECT_EQ(IntersectionReduce(&pool_, t), pool_.Empty());
+}
+
+TEST_F(TypeAlgebraTest, SetIntersectPushesInside) {
+  TypeId p1 = pool_.ClassNamed("P1");
+  TypeId p2 = pool_.ClassNamed("P2");
+  TypeId t = pool_.Intersect2(pool_.Set(p1), pool_.Set(p2));
+  EXPECT_EQ(IntersectionReduce(&pool_, t),
+            pool_.Set(pool_.Intersect2(p1, p2)));
+}
+
+TEST_F(TypeAlgebraTest, ReductionPreservesMembership) {
+  // Property check: for a family of values, membership in t and in
+  // IntersectionReduce(t) agree (they are equivalent over all assignments).
+  resolver_.Put(Oid{1}, Sym("P1"));
+  resolver_.Put(Oid{2}, Sym("P2"));
+  TypeId p1 = pool_.ClassNamed("P1");
+  TypeId p2 = pool_.ClassNamed("P2");
+  std::vector<TypeId> types = {
+      pool_.Intersect2(pool_.Union({pool_.Base(), p1}),
+                       pool_.Union({pool_.Base(), p2})),
+      pool_.Intersect2(pool_.Set(pool_.Union({p1, p2})), pool_.Set(p1)),
+      pool_.Intersect2(
+          pool_.Tuple({{Sym("A"), pool_.Union({p1, p2})}}),
+          pool_.Tuple({{Sym("A"), p2}})),
+  };
+  std::vector<ValueId> values = {
+      store_.Const("c"),
+      store_.OfOid(Oid{1}),
+      store_.OfOid(Oid{2}),
+      store_.EmptySet(),
+      store_.Set({store_.OfOid(Oid{1})}),
+      store_.Set({store_.OfOid(Oid{1}), store_.OfOid(Oid{2})}),
+      store_.Tuple({{Sym("A"), store_.OfOid(Oid{2})}}),
+      store_.Tuple({{Sym("A"), store_.Const("c")}}),
+  };
+  for (TypeId t : types) {
+    TypeId r = IntersectionReduce(&pool_, t);
+    TypeMembership mt(&pool_, &store_, &resolver_);
+    TypeMembership mr(&pool_, &store_, &resolver_);
+    for (ValueId v : values) {
+      EXPECT_EQ(mt.Contains(t, v), mr.Contains(r, v))
+          << pool_.ToString(t) << " vs " << pool_.ToString(r) << " on "
+          << store_.ToString(v);
+    }
+  }
+}
+
+// --- normalization / equivalence -------------------------------------------
+
+TEST_F(TypeAlgebraTest, UnionDistributesOutOfTuples) {
+  TypeId p = pool_.ClassNamed("P");
+  TypeId d = pool_.Base();
+  TypeId a = pool_.Tuple({{Sym("A"), pool_.Union({d, p})}});
+  TypeId b = pool_.Union({pool_.Tuple({{Sym("A"), d}}),
+                          pool_.Tuple({{Sym("A"), p}})});
+  EXPECT_TRUE(EquivalentOverDisjoint(&pool_, a, b));
+}
+
+TEST_F(TypeAlgebraTest, SetBlocksDistribution) {
+  TypeId p = pool_.ClassNamed("P");
+  TypeId d = pool_.Base();
+  TypeId a = pool_.Set(pool_.Union({d, p}));
+  TypeId b = pool_.Union({pool_.Set(d), pool_.Set(p)});
+  // {D | P} contains mixed sets; {D} | {P} does not. Not equivalent.
+  EXPECT_FALSE(EquivalentOverDisjoint(&pool_, a, b));
+}
+
+TEST_F(TypeAlgebraTest, EquivalenceOverDisjointFromPaper) {
+  // ({D} | P1) & P2 equivalent to empty over disjoint assignments.
+  TypeId p1 = pool_.ClassNamed("P1");
+  TypeId p2 = pool_.ClassNamed("P2");
+  TypeId lhs =
+      pool_.Intersect2(pool_.Union({pool_.Set(pool_.Base()), p1}), p2);
+  EXPECT_TRUE(EquivalentOverDisjoint(&pool_, lhs, pool_.Empty()));
+}
+
+}  // namespace
+}  // namespace iqlkit

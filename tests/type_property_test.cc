@@ -1,0 +1,180 @@
+// Randomized property tests over the type algebra: soundness of
+// assignability, membership preservation of the Prop 2.2.1 rewrites, and
+// canonicalization laws.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "iql/typecheck.h"
+#include "model/type_algebra.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+// Small disjoint world: two classes with a few oids each, three constants.
+class World : public ClassResolver {
+ public:
+  explicit World(Universe* u) : u_(u) {
+    p_ = u->Intern("P");
+    q_ = u->Intern("Q");
+    class_of_[Oid{1}] = p_;
+    class_of_[Oid{2}] = p_;
+    class_of_[Oid{3}] = q_;
+  }
+
+  bool OidInClass(Oid o, Symbol cls) const override {
+    auto it = class_of_.find(o);
+    return it != class_of_.end() && it->second == cls;
+  }
+
+  TypeId RandomType(std::mt19937* rng, int depth) {
+    TypePool& t = u_->types();
+    std::uniform_int_distribution<int> pick(0, depth <= 0 ? 3 : 7);
+    switch (pick(*rng)) {
+      case 0: return t.Base();
+      case 1: return t.Class(p_);
+      case 2: return t.Class(q_);
+      case 3: return t.Empty();
+      case 4: return t.Set(RandomType(rng, depth - 1));
+      case 5: {
+        std::vector<std::pair<Symbol, TypeId>> fields;
+        int k = 1 + (*rng)() % 2;
+        for (int i = 0; i < k; ++i) {
+          fields.emplace_back(u_->Intern("A" + std::to_string(i)),
+                              RandomType(rng, depth - 1));
+        }
+        return t.Tuple(std::move(fields));
+      }
+      case 6:
+        return t.Union2(RandomType(rng, depth - 1),
+                        RandomType(rng, depth - 1));
+      default:
+        return t.Intersect2(RandomType(rng, depth - 1),
+                            RandomType(rng, depth - 1));
+    }
+  }
+
+  ValueId RandomValue(std::mt19937* rng, int depth) {
+    ValueStore& v = u_->values();
+    std::uniform_int_distribution<int> pick(0, depth <= 0 ? 3 : 5);
+    switch (pick(*rng)) {
+      case 0: return v.Const("c" + std::to_string((*rng)() % 3));
+      case 1: return v.OfOid(Oid{1 + (*rng)() % 3});
+      case 2: return v.EmptySet();
+      case 3: return v.EmptyTuple();
+      case 4: {
+        std::vector<ValueId> elems;
+        int k = (*rng)() % 3;
+        for (int i = 0; i < k; ++i) {
+          elems.push_back(RandomValue(rng, depth - 1));
+        }
+        return v.Set(std::move(elems));
+      }
+      default: {
+        std::vector<std::pair<Symbol, ValueId>> fields;
+        int k = 1 + (*rng)() % 2;
+        for (int i = 0; i < k; ++i) {
+          fields.emplace_back(u_->Intern("A" + std::to_string(i)),
+                              RandomValue(rng, depth - 1));
+        }
+        return v.Tuple(std::move(fields));
+      }
+    }
+  }
+
+ private:
+  Universe* u_;
+  Symbol p_, q_;
+  std::map<Oid, Symbol> class_of_;
+};
+
+class TypePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TypePropertyTest, AssignabilityImpliesContainment) {
+  Universe u;
+  World w(&u);
+  std::mt19937 rng(GetParam() * 7919 + 13);
+  for (int i = 0; i < 60; ++i) {
+    TypeId a = w.RandomType(&rng, 2);
+    TypeId b = w.RandomType(&rng, 2);
+    if (!AssignableType(&u.types(), a, b)) continue;
+    TypeMembership ma(&u.types(), &u.values(), &w);
+    TypeMembership mb(&u.types(), &u.values(), &w);
+    for (int j = 0; j < 30; ++j) {
+      ValueId v = w.RandomValue(&rng, 2);
+      if (ma.Contains(a, v)) {
+        EXPECT_TRUE(mb.Contains(b, v))
+            << u.types().ToString(a) << " <= " << u.types().ToString(b)
+            << " but " << u.values().ToString(v) << " only in the former";
+      }
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, EliminationPreservesMembershipOverDisjoint) {
+  Universe u;
+  World w(&u);
+  std::mt19937 rng(GetParam() * 104729 + 1);
+  for (int i = 0; i < 40; ++i) {
+    TypeId t = w.RandomType(&rng, 3);
+    TypeId reduced = IntersectionReduce(&u.types(), t);
+    TypeId eliminated = EliminateIntersection(&u.types(), t);
+    TypeId normalized = NormalizeDisjoint(&u.types(), t);
+    EXPECT_TRUE(u.types().IsIntersectionReduced(reduced));
+    EXPECT_TRUE(u.types().IsIntersectionFree(eliminated));
+    TypeMembership m0(&u.types(), &u.values(), &w);
+    TypeMembership m1(&u.types(), &u.values(), &w);
+    TypeMembership m2(&u.types(), &u.values(), &w);
+    TypeMembership m3(&u.types(), &u.values(), &w);
+    for (int j = 0; j < 40; ++j) {
+      ValueId v = w.RandomValue(&rng, 2);
+      bool in = m0.Contains(t, v);
+      EXPECT_EQ(in, m1.Contains(reduced, v))
+          << u.types().ToString(t) << " vs reduced "
+          << u.types().ToString(reduced) << " on "
+          << u.values().ToString(v);
+      EXPECT_EQ(in, m2.Contains(eliminated, v))
+          << u.types().ToString(t) << " vs eliminated "
+          << u.types().ToString(eliminated) << " on "
+          << u.values().ToString(v);
+      EXPECT_EQ(in, m3.Contains(normalized, v))
+          << u.types().ToString(t) << " vs normalized "
+          << u.types().ToString(normalized) << " on "
+          << u.values().ToString(v);
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, CanonicalizationLaws) {
+  Universe u;
+  World w(&u);
+  std::mt19937 rng(GetParam() * 31 + 7);
+  TypePool& t = u.types();
+  for (int i = 0; i < 60; ++i) {
+    TypeId a = w.RandomType(&rng, 2);
+    TypeId b = w.RandomType(&rng, 2);
+    TypeId c = w.RandomType(&rng, 2);
+    // Union: commutative, associative, idempotent; empty is the unit.
+    EXPECT_EQ(t.Union2(a, b), t.Union2(b, a));
+    EXPECT_EQ(t.Union2(t.Union2(a, b), c), t.Union2(a, t.Union2(b, c)));
+    EXPECT_EQ(t.Union2(a, a), a);
+    EXPECT_EQ(t.Union2(a, t.Empty()), a);
+    // Intersection: commutative, idempotent; empty annihilates.
+    EXPECT_EQ(t.Intersect2(a, b), t.Intersect2(b, a));
+    EXPECT_EQ(t.Intersect2(a, a), a);
+    EXPECT_EQ(t.Intersect2(a, t.Empty()), t.Empty());
+    // Equivalence over disjoint assignments is reflexive and respects
+    // normalization.
+    EXPECT_TRUE(EquivalentOverDisjoint(&t, a, a));
+    EXPECT_TRUE(
+        EquivalentOverDisjoint(&t, a, NormalizeDisjoint(&t, a)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypePropertyTest,
+                         ::testing::Range<uint32_t>(0, 10));
+
+}  // namespace
+}  // namespace iqlkit

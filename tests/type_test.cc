@@ -1,0 +1,117 @@
+#include "model/type.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/interner.h"
+
+namespace iqlkit {
+namespace {
+
+class TypeTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view s) { return syms_.Intern(s); }
+
+  SymbolTable syms_;
+  TypePool pool_{&syms_};
+};
+
+TEST_F(TypeTest, LeafInterning) {
+  EXPECT_EQ(pool_.Empty(), pool_.Empty());
+  EXPECT_EQ(pool_.Base(), pool_.Base());
+  EXPECT_EQ(pool_.ClassNamed("P"), pool_.ClassNamed("P"));
+  EXPECT_NE(pool_.ClassNamed("P"), pool_.ClassNamed("Q"));
+  EXPECT_NE(pool_.Base(), pool_.Empty());
+}
+
+TEST_F(TypeTest, TupleAttrOrderCanonical) {
+  TypeId d = pool_.Base();
+  TypeId t1 = pool_.Tuple({{Sym("A"), d}, {Sym("B"), d}});
+  TypeId t2 = pool_.Tuple({{Sym("B"), d}, {Sym("A"), d}});
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(TypeTest, TupleWithEmptyFieldCollapses) {
+  // [A1: {}] is equivalent to the empty type (§2.2).
+  TypeId t = pool_.Tuple({{Sym("A"), pool_.Empty()}});
+  EXPECT_EQ(t, pool_.Empty());
+}
+
+TEST_F(TypeTest, SetOfEmptyIsNotEmpty) {
+  // {<empty>} contains the empty set, so it must not collapse (§2.2).
+  EXPECT_NE(pool_.Set(pool_.Empty()), pool_.Empty());
+}
+
+TEST_F(TypeTest, UnionFlattensSortsDedups) {
+  TypeId d = pool_.Base();
+  TypeId p = pool_.ClassNamed("P");
+  TypeId q = pool_.ClassNamed("Q");
+  TypeId u1 = pool_.Union({pool_.Union({d, p}), q, p});
+  TypeId u2 = pool_.Union({q, p, d});
+  EXPECT_EQ(u1, u2);
+}
+
+TEST_F(TypeTest, UnionDropsEmptyAndCollapsesSingleton) {
+  TypeId d = pool_.Base();
+  EXPECT_EQ(pool_.Union({d, pool_.Empty()}), d);
+  EXPECT_EQ(pool_.Union({}), pool_.Empty());
+}
+
+TEST_F(TypeTest, IntersectEmptyAnnihilates) {
+  TypeId d = pool_.Base();
+  EXPECT_EQ(pool_.Intersect({d, pool_.Empty()}), pool_.Empty());
+}
+
+TEST_F(TypeTest, IntersectIdempotent) {
+  TypeId p = pool_.ClassNamed("P");
+  EXPECT_EQ(pool_.Intersect({p, p}), p);
+}
+
+TEST_F(TypeTest, CollectClassesTransitive) {
+  TypeId t = pool_.Tuple(
+      {{Sym("A"), pool_.Set(pool_.ClassNamed("P"))},
+       {Sym("B"), pool_.Union({pool_.Base(), pool_.ClassNamed("Q")})}});
+  std::set<Symbol> classes;
+  pool_.CollectClasses(t, &classes);
+  EXPECT_EQ(classes, (std::set<Symbol>{Sym("P"), Sym("Q")}));
+}
+
+TEST_F(TypeTest, IntersectionFreePredicate) {
+  TypeId p = pool_.ClassNamed("P");
+  TypeId q = pool_.ClassNamed("Q");
+  EXPECT_TRUE(pool_.IsIntersectionFree(pool_.Union({p, q})));
+  EXPECT_FALSE(pool_.IsIntersectionFree(pool_.Intersect({p, q})));
+  EXPECT_FALSE(pool_.IsIntersectionFree(
+      pool_.Tuple({{Sym("A"), pool_.Intersect({p, q})}})));
+}
+
+TEST_F(TypeTest, IntersectionReducedPredicate) {
+  TypeId p = pool_.ClassNamed("P");
+  TypeId q = pool_.ClassNamed("Q");
+  // P & Q is reduced (only class leaves under the intersection).
+  EXPECT_TRUE(pool_.IsIntersectionReduced(pool_.Intersect({p, q})));
+  // ([A:D] & [A:D]) collapses by interning, so build ([A:D] & P): a tuple
+  // below an intersection node is not reduced.
+  TypeId tup = pool_.Tuple({{Sym("A"), pool_.Base()}});
+  EXPECT_FALSE(pool_.IsIntersectionReduced(pool_.Intersect({tup, p})));
+}
+
+TEST_F(TypeTest, ContainsSetPredicate) {
+  EXPECT_FALSE(pool_.ContainsSet(pool_.Tuple({{Sym("A"), pool_.Base()}})));
+  EXPECT_TRUE(pool_.ContainsSet(pool_.Tuple({{Sym("A"), pool_.Set(pool_.Base())}})));
+}
+
+TEST_F(TypeTest, ToStringPaperNotation) {
+  TypeId t = pool_.Tuple(
+      {{Sym("name"), pool_.Base()},
+       {Sym("children"), pool_.Set(pool_.ClassNamed("Person"))}});
+  // Attribute order is canonical (symbol interning order: name first here).
+  EXPECT_EQ(pool_.ToString(t), "[name: D, children: {Person}]");
+  EXPECT_EQ(pool_.ToString(pool_.Union({pool_.Base(), pool_.ClassNamed("P")})),
+            "(D | P)");
+  EXPECT_EQ(pool_.ToString(pool_.Empty()), "empty");
+}
+
+}  // namespace
+}  // namespace iqlkit

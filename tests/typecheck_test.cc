@@ -1,0 +1,205 @@
+#include "iql/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/parser.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace {
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  // Parses and type checks; returns the status of TypeCheck.
+  Status CheckUnit(std::string_view source) {
+    auto unit = ParseUnit(&u_, source);
+    if (!unit.ok()) return unit.status();
+    unit_ = std::make_unique<ParsedUnit>(std::move(*unit));
+    return TypeCheck(&u_, unit_->schema, &unit_->program);
+  }
+
+  Universe u_;
+  std::unique_ptr<ParsedUnit> unit_;
+};
+
+TEST_F(TypecheckTest, InfersVariableTypesFromRelations) {
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { relation R : [D, D]; relation R0 : D; }
+    program { R0(x) :- R(x, y). }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("x"))), "D");
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("y"))), "D");
+}
+
+TEST_F(TypecheckTest, InfersClassTypesFromClassLiterals) {
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { class P : D; relation Out : P; }
+    program { Out(p) :- P(p). }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("p"))), "P");
+}
+
+TEST_F(TypecheckTest, InfersThroughDerefMembership) {
+  // z: P from R5's second column; y via z^(y) where T(P) = {D}.
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { relation R5 : [D, P]; relation Out : D; class P : {D}; }
+    program { Out(y) :- R5(x, z), z^(y). }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("y"))), "D");
+}
+
+TEST_F(TypecheckTest, UnrestrictedVariableInferredFromHead) {
+  // X = X constrains nothing, but the head R1(X) types X as {D}
+  // (Example 3.4.2's unrestricted powerset variable).
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { relation R1 : {D}; }
+    program { R1(X) :- X = X. }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("X"))), "{D}");
+}
+
+TEST_F(TypecheckTest, RequiresDeclarationWhenUninferable) {
+  // y and z touch no relation, class, or typed variable: uninferable.
+  Status s = CheckUnit(R"(
+    schema { relation R : D; }
+    program { R(x) :- R(x), y != z. }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("declare it"), std::string::npos);
+}
+
+TEST_F(TypecheckTest, DeclarationMakesUnrestrictedVariableCheck) {
+  EXPECT_TRUE(CheckUnit(R"(
+    schema { relation R1 : {D}; }
+    program { var X : {D}; R1(X) :- X = X. }
+  )").ok());
+}
+
+TEST_F(TypecheckTest, HeadOnlyVariablesMustHaveClassType) {
+  Status s = CheckUnit(R"(
+    schema { relation R : D; relation S : [D, D]; }
+    program { S(x, y) :- R(x). }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("class type"), std::string::npos);
+}
+
+TEST_F(TypecheckTest, InventionVariablesAccepted) {
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { relation R : D; relation S : [D, P]; class P : {D}; }
+    program { S(x, p) :- R(x). }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  ASSERT_EQ(rule.invented_vars.size(), 1u);
+  EXPECT_EQ(u_.Name(rule.invented_vars[0]), "p");
+}
+
+TEST_F(TypecheckTest, SetAccretionHeadRequiresSetValuedClass) {
+  Status s = CheckUnit(R"(
+    schema { relation R : [D, P]; class P : D; }
+    program { z^(x) :- R(x, z). }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, WeakAssignmentHeadRequiresNonSetClass) {
+  Status s = CheckUnit(R"(
+    schema { relation R : [D, P]; class P : {D}; }
+    program { z^ = {x} :- R(x, z). }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("set accretion"), std::string::npos);
+}
+
+TEST_F(TypecheckTest, MembershipTypeMismatchRejected) {
+  Status s = CheckUnit(R"(
+    schema { relation R : D; relation S : {D}; }
+    program { R(x) :- S(X), R(X). }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, UnionCoercionInBodyEquality) {
+  // y = x^ where y: P and x^: (P | [P, P]) -- the Example 3.4.3 pattern.
+  EXPECT_TRUE(CheckUnit(R"(
+    schema { class P : (P | [P, P]); relation Out : P; }
+    program { Out(y) :- P(x), P(y), y = x^. }
+  )").ok());
+}
+
+TEST_F(TypecheckTest, IncompatibleEqualityRejected) {
+  Status s = CheckUnit(R"(
+    schema { relation R : D; relation S : {D}; relation Out : D; }
+    program { Out(x) :- R(x), S(Y), x = Y. }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, EmptySetIsPolymorphicInHeads) {
+  // {} must be accepted where {P} is expected (Example 3.4.3 heads).
+  EXPECT_TRUE(CheckUnit(R"(
+    schema { relation R : [D, {P}]; relation S : D; class P : D; }
+    program { R(x, {}) :- S(x). }
+  )").ok());
+}
+
+TEST_F(TypecheckTest, HeadNarrowsUnionTypedVariable) {
+  // A (D | {D})-typed variable flowing into a D-typed head is *narrowed*
+  // to the branch the head demands (monotone refinement): the program
+  // type-checks and v ranges over the D branch only.
+  ASSERT_TRUE(CheckUnit(R"(
+    schema { relation R : (D | {D}); relation Out : D; }
+    program { var v : (D | {D}); Out(v) :- R(v). }
+  )").ok());
+  const Rule& rule = unit_->program.stages[0][0];
+  EXPECT_EQ(u_.types().ToString(rule.var_types.at(u_.Intern("v"))), "D");
+}
+
+TEST_F(TypecheckTest, HeadAssignabilityIsDirectional) {
+  // No branch of the head type accepts a D-typed variable: rejected.
+  Status s = CheckUnit(R"(
+    schema { relation R : D; relation Out : {D}; }
+    program { Out(v) :- R(v). }
+  )");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, AssignableTypeBasics) {
+  TypePool& types = u_.types();
+  TypeId d = types.Base();
+  TypeId p = types.ClassNamed("P");
+  TypeId dp = types.Union2(d, p);
+  EXPECT_TRUE(AssignableType(&types, d, dp));
+  EXPECT_FALSE(AssignableType(&types, dp, d));
+  EXPECT_TRUE(AssignableType(&types, types.Empty(), d));
+  EXPECT_TRUE(AssignableType(&types, types.Set(types.Empty()),
+                             types.Set(p)));
+  EXPECT_TRUE(AssignableType(
+      &types, types.Tuple({{u_.Intern("A"), d}}),
+      types.Tuple({{u_.Intern("A"), dp}})));
+  EXPECT_FALSE(AssignableType(
+      &types, types.Tuple({{u_.Intern("A"), d}}),
+      types.Tuple({{u_.Intern("B"), d}})));
+}
+
+TEST_F(TypecheckTest, GenesisStyleNamedTuples) {
+  EXPECT_TRUE(CheckUnit(R"(
+    schema {
+      class Person : [name: D, spouse: Person, children: {Person}];
+      relation Spouses : [a: D, b: D];
+    }
+    program {
+      Spouses([a: n, b: m]) :-
+        Person(p), Person(q),
+        p^ = [name: n, spouse: q, children: C],
+        q^ = [name: m, spouse: p, children: C'].
+    }
+  )").ok());
+}
+
+}  // namespace
+}  // namespace iqlkit

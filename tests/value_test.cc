@@ -1,0 +1,163 @@
+#include "model/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/interner.h"
+#include "model/oid.h"
+
+namespace iqlkit {
+namespace {
+
+class ValueTest : public ::testing::Test {
+ protected:
+  SymbolTable syms_;
+  ValueStore store_{&syms_};
+};
+
+TEST_F(ValueTest, ConstInterning) {
+  EXPECT_EQ(store_.Const("a"), store_.Const("a"));
+  EXPECT_NE(store_.Const("a"), store_.Const("b"));
+}
+
+TEST_F(ValueTest, ConstIntInternsAsDecimalAtom) {
+  EXPECT_EQ(store_.ConstInt(42), store_.Const("42"));
+}
+
+TEST_F(ValueTest, OidValuesDistinctFromConsts) {
+  ValueId c = store_.Const("7");
+  ValueId o = store_.OfOid(Oid{7});
+  EXPECT_NE(c, o);
+  EXPECT_EQ(store_.node(o).kind, ValueKind::kOid);
+  EXPECT_EQ(store_.node(o).oid, (Oid{7}));
+}
+
+TEST_F(ValueTest, TupleFieldOrderIsCanonical) {
+  Symbol a = syms_.Intern("A");
+  Symbol b = syms_.Intern("B");
+  ValueId x = store_.Const("x");
+  ValueId y = store_.Const("y");
+  ValueId t1 = store_.Tuple({{a, x}, {b, y}});
+  ValueId t2 = store_.Tuple({{b, y}, {a, x}});
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(ValueTest, TuplesWithDifferentAttrsDiffer) {
+  Symbol a = syms_.Intern("A");
+  Symbol b = syms_.Intern("B");
+  ValueId x = store_.Const("x");
+  EXPECT_NE(store_.Tuple({{a, x}}), store_.Tuple({{b, x}}));
+}
+
+TEST_F(ValueTest, EmptyTupleDistinctFromEmptySet) {
+  EXPECT_NE(store_.EmptyTuple(), store_.EmptySet());
+}
+
+TEST_F(ValueTest, SetDeduplicatesAndSorts) {
+  ValueId x = store_.Const("x");
+  ValueId y = store_.Const("y");
+  ValueId s1 = store_.Set({x, y, x});
+  ValueId s2 = store_.Set({y, x});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(store_.node(s1).elems.size(), 2u);
+}
+
+TEST_F(ValueTest, SingletonSetNotElement) {
+  ValueId x = store_.Const("x");
+  EXPECT_NE(store_.Set({x}), x);
+}
+
+TEST_F(ValueTest, SetOfEmptySetNotEmptySet) {
+  // {} vs {{}} -- the paper stresses this distinction for types; the value
+  // level must keep it too.
+  ValueId empty = store_.EmptySet();
+  ValueId nested = store_.Set({empty});
+  EXPECT_NE(empty, nested);
+}
+
+TEST_F(ValueTest, SetInsertIsIdempotent) {
+  ValueId x = store_.Const("x");
+  ValueId s = store_.EmptySet();
+  ValueId s1 = store_.SetInsert(s, x);
+  ValueId s2 = store_.SetInsert(s1, x);
+  EXPECT_EQ(s1, s2);
+  EXPECT_TRUE(store_.SetContains(s1, x));
+  EXPECT_FALSE(store_.SetContains(s, x));
+}
+
+TEST_F(ValueTest, SetUnionMatchesInsertion) {
+  ValueId x = store_.Const("x");
+  ValueId y = store_.Const("y");
+  ValueId z = store_.Const("z");
+  ValueId a = store_.Set({x, y});
+  ValueId b = store_.Set({y, z});
+  EXPECT_EQ(store_.SetUnion(a, b), store_.Set({x, y, z}));
+}
+
+TEST_F(ValueTest, DeepStructuralSharing) {
+  Symbol a = syms_.Intern("A");
+  ValueId leaf = store_.Const("leaf");
+  ValueId t1 = store_.Tuple({{a, store_.Set({leaf})}});
+  ValueId t2 = store_.Tuple({{a, store_.Set({leaf})}});
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(ValueTest, CollectOidsTransitive) {
+  Symbol a = syms_.Intern("A");
+  ValueId inner = store_.Set({store_.OfOid(Oid{1}), store_.OfOid(Oid{2})});
+  ValueId v = store_.Tuple({{a, inner}});
+  std::set<Oid> oids;
+  store_.CollectOids(v, &oids);
+  EXPECT_EQ(oids, (std::set<Oid>{Oid{1}, Oid{2}}));
+}
+
+TEST_F(ValueTest, CollectConstsTransitive) {
+  Symbol a = syms_.Intern("A");
+  ValueId v = store_.Tuple({{a, store_.Set({store_.Const("x")})}});
+  std::set<Symbol> consts;
+  store_.CollectConsts(v, &consts);
+  ASSERT_EQ(consts.size(), 1u);
+  EXPECT_EQ(syms_.name(*consts.begin()), "x");
+}
+
+TEST_F(ValueTest, RewriteOidsAppliesRenaming) {
+  Symbol a = syms_.Intern("A");
+  ValueId v = store_.Tuple({{a, store_.Set({store_.OfOid(Oid{1})})}});
+  ValueId w =
+      store_.RewriteOids(v, [](Oid o) { return Oid{o.raw + 100}; });
+  std::set<Oid> oids;
+  store_.CollectOids(w, &oids);
+  EXPECT_EQ(oids, (std::set<Oid>{Oid{101}}));
+}
+
+TEST_F(ValueTest, RewriteOidsIdentityIsNoop) {
+  Symbol a = syms_.Intern("A");
+  ValueId v = store_.Tuple({{a, store_.OfOid(Oid{5})}});
+  EXPECT_EQ(store_.RewriteOids(v, [](Oid o) { return o; }), v);
+}
+
+TEST_F(ValueTest, ToStringPaperNotation) {
+  Symbol name = syms_.Intern("name");
+  Symbol kids = syms_.Intern("children");
+  ValueId v = store_.Tuple(
+      {{name, store_.Const("Adam")},
+       {kids, store_.Set({store_.OfOid(Oid{3})})}});
+  // Attribute order is canonical (symbol interning order: name first here).
+  EXPECT_EQ(store_.ToString(v), "[name: \"Adam\", children: {@3}]");
+}
+
+TEST_F(ValueTest, ManyValuesStayInterned) {
+  // Insert a few thousand values and re-derive them; ids must agree.
+  Symbol a = syms_.Intern("A");
+  std::vector<ValueId> first;
+  for (int i = 0; i < 3000; ++i) {
+    first.push_back(store_.Tuple({{a, store_.ConstInt(i)}}));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(store_.Tuple({{a, store_.ConstInt(i)}}), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace iqlkit

@@ -1,0 +1,336 @@
+// §7: the value-based data model -- regular trees, bisimulation equality,
+// duplicate elimination, and the phi/psi translations with
+// psi(phi(I)) == I (Prop 7.1.4).
+
+#include "vmodel/encode.h"
+
+#include <gtest/gtest.h>
+
+#include "model/universe.h"
+#include "vmodel/bisim.h"
+#include "vmodel/rtree.h"
+
+namespace iqlkit {
+namespace {
+
+class RtreeTest : public ::testing::Test {
+ protected:
+  SymbolTable syms_;
+  TermGraph g_{&syms_};
+};
+
+TEST_F(RtreeTest, FiniteValues) {
+  RNodeId c = g_.AddConst("x");
+  RNodeId t = g_.AddTuple({{syms_.Intern("A"), c}});
+  RNodeId s = g_.AddSet({t, c});
+  EXPECT_TRUE(g_.Complete(s));
+  EXPECT_EQ(g_.ToString(t), "[A: \"x\"]");
+}
+
+TEST_F(RtreeTest, CyclesViaPlaceholders) {
+  RNodeId self = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(self, {{syms_.Intern("succ"), self}}).ok());
+  EXPECT_TRUE(g_.Complete(self));
+  EXPECT_EQ(g_.ToString(self), "#0=[succ: #0]");
+}
+
+TEST_F(RtreeTest, IncompleteDetected) {
+  RNodeId hole = g_.AddPlaceholder();
+  RNodeId t = g_.AddTuple({{syms_.Intern("A"), hole}});
+  EXPECT_FALSE(g_.Complete(t));
+}
+
+TEST_F(RtreeTest, DoubleFillRejected) {
+  RNodeId p = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillConst(p, syms_.Intern("x")).ok());
+  EXPECT_FALSE(g_.FillConst(p, syms_.Intern("y")).ok());
+}
+
+class BisimTest : public RtreeTest {};
+
+TEST_F(BisimTest, ConstEquality) {
+  EXPECT_TRUE(Bisimilar(g_, g_.AddConst("x"), g_.AddConst("x")));
+  EXPECT_FALSE(Bisimilar(g_, g_.AddConst("x"), g_.AddConst("y")));
+}
+
+TEST_F(BisimTest, UnrolledCycleBisimilarToTightCycle) {
+  // #0=[s:#0]  vs  a two-node cycle a=[s:b], b=[s:a]: same infinite tree.
+  RNodeId tight = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(tight, {{syms_.Intern("s"), tight}}).ok());
+  RNodeId a = g_.AddPlaceholder();
+  RNodeId b = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(a, {{syms_.Intern("s"), b}}).ok());
+  ASSERT_TRUE(g_.FillTuple(b, {{syms_.Intern("s"), a}}).ok());
+  EXPECT_TRUE(Bisimilar(g_, tight, a));
+  EXPECT_TRUE(Bisimilar(g_, a, b));
+}
+
+TEST_F(BisimTest, DifferentPeriodicityDistinguished) {
+  // x-cycle of labels (p,q) vs constant label p: different trees.
+  Symbol l = syms_.Intern("l");
+  Symbol s = syms_.Intern("s");
+  RNodeId p2a = g_.AddPlaceholder();
+  RNodeId p2b = g_.AddPlaceholder();
+  ASSERT_TRUE(
+      g_.FillTuple(p2a, {{l, g_.AddConst("p")}, {s, p2b}}).ok());
+  ASSERT_TRUE(
+      g_.FillTuple(p2b, {{l, g_.AddConst("q")}, {s, p2a}}).ok());
+  RNodeId p1 = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(p1, {{l, g_.AddConst("p")}, {s, p1}}).ok());
+  EXPECT_FALSE(Bisimilar(g_, p2a, p1));
+  EXPECT_FALSE(Bisimilar(g_, p2a, p2b));
+}
+
+TEST_F(BisimTest, SetsCompareAsSets) {
+  RNodeId x = g_.AddConst("x");
+  RNodeId x2 = g_.AddConst("x");
+  RNodeId y = g_.AddConst("y");
+  // {x, x', y} == {y, x} since x and x' are bisimilar.
+  EXPECT_TRUE(Bisimilar(g_, g_.AddSet({x, x2, y}), g_.AddSet({y, x})));
+  EXPECT_FALSE(Bisimilar(g_, g_.AddSet({x}), g_.AddSet({x, y})));
+  EXPECT_FALSE(Bisimilar(g_, g_.AddSet({}), g_.AddSet({x})));
+}
+
+TEST_F(BisimTest, PlaceholdersAreUnknowns) {
+  EXPECT_FALSE(
+      Bisimilar(g_, g_.AddPlaceholder(), g_.AddPlaceholder()));
+}
+
+TEST_F(BisimTest, UnfoldingOfSelfLoop) {
+  Symbol s_attr = syms_.Intern("s");
+  RNodeId self = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(self, {{s_attr, self}}).ok());
+  RNodeId root;
+  TermGraph u2 = UnfoldToDepth(g_, self, 2, &root);
+  // Depth 2: [s: [s: ?]] -- acyclic, frontier becomes a placeholder.
+  EXPECT_EQ(u2.ToString(root), "[s: [s: ?]]");
+  EXPECT_FALSE(u2.Complete(root));
+}
+
+TEST_F(BisimTest, BisimilarNodesUnfoldIdentically) {
+  // Property: for bisimilar nodes, the depth-k unfoldings are bisimilar
+  // (indeed equal as finite trees) for every k.
+  Symbol s = syms_.Intern("s");
+  RNodeId tight = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(tight, {{s, tight}}).ok());
+  RNodeId a = g_.AddPlaceholder();
+  RNodeId b = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(a, {{s, b}}).ok());
+  ASSERT_TRUE(g_.FillTuple(b, {{s, a}}).ok());
+  ASSERT_TRUE(Bisimilar(g_, tight, a));
+  for (int depth = 1; depth <= 5; ++depth) {
+    RNodeId r1, r2;
+    TermGraph u1 = UnfoldToDepth(g_, tight, depth, &r1);
+    TermGraph u2 = UnfoldToDepth(g_, a, depth, &r2);
+    EXPECT_EQ(u1.ToString(r1), u2.ToString(r2)) << "depth " << depth;
+  }
+}
+
+TEST_F(BisimTest, NonBisimilarNodesUnfoldDifferentlyAtSomeDepth) {
+  Symbol l = syms_.Intern("l");
+  Symbol s = syms_.Intern("s");
+  RNodeId p2a = g_.AddPlaceholder();
+  RNodeId p2b = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(p2a, {{l, g_.AddConst("p")}, {s, p2b}}).ok());
+  ASSERT_TRUE(g_.FillTuple(p2b, {{l, g_.AddConst("q")}, {s, p2a}}).ok());
+  RNodeId p1 = g_.AddPlaceholder();
+  ASSERT_TRUE(g_.FillTuple(p1, {{l, g_.AddConst("p")}, {s, p1}}).ok());
+  bool differs = false;
+  for (int depth = 1; depth <= 4 && !differs; ++depth) {
+    RNodeId r1, r2;
+    TermGraph u1 = UnfoldToDepth(g_, p2a, depth, &r1);
+    TermGraph u2 = UnfoldToDepth(g_, p1, depth, &r2);
+    differs = u1.ToString(r1) != u2.ToString(r2);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(BisimTest, QuotientMergesBisimilarNodes) {
+  RNodeId a = g_.AddPlaceholder();
+  RNodeId b = g_.AddPlaceholder();
+  Symbol s = syms_.Intern("s");
+  ASSERT_TRUE(g_.FillTuple(a, {{s, b}}).ok());
+  ASSERT_TRUE(g_.FillTuple(b, {{s, a}}).ok());
+  std::vector<RNodeId> node_map;
+  TermGraph q = QuotientGraph(g_, &node_map);
+  EXPECT_EQ(node_map[a], node_map[b]);
+  // The quotient is the tight self-loop.
+  const RNode& n = q.node(node_map[a]);
+  ASSERT_EQ(n.kind, RNodeKind::kTuple);
+  EXPECT_EQ(n.fields[0].second, node_map[a]);
+}
+
+// ---- psi / phi -------------------------------------------------------------
+
+class EncodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = u_.types();
+    schema_ = std::make_shared<Schema>(&u_);
+    // A v-schema: nodes carry a name and a set of successor nodes.
+    ASSERT_TRUE(schema_
+                    ->DeclareClass(
+                        "Node",
+                        t.Tuple({{u_.Intern("name"), t.Base()},
+                                 {u_.Intern("succ"),
+                                  t.Set(t.ClassNamed("Node"))}}))
+                    .ok());
+    ASSERT_TRUE(ValidateVSchema(*schema_).ok());
+  }
+
+  // Builds an object instance: a ring of n nodes all named `name`.
+  Instance Ring(int n, std::string_view name) {
+    Instance inst(schema_.get(), &u_);
+    ValueStore& v = u_.values();
+    std::vector<Oid> oids;
+    for (int i = 0; i < n; ++i) {
+      auto o = inst.CreateOid("Node");
+      EXPECT_TRUE(o.ok());
+      oids.push_back(*o);
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(
+          inst.SetOidValue(
+                  oids[i],
+                  v.Tuple({{u_.Intern("name"), v.Const(name)},
+                           {u_.Intern("succ"),
+                            v.Set({v.OfOid(oids[(i + 1) % n])})}}))
+              .ok());
+    }
+    return inst;
+  }
+
+  Universe u_;
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(EncodeTest, VSchemaValidation) {
+  TypePool& t = u_.types();
+  Schema bad1(&u_);
+  ASSERT_TRUE(bad1.DeclareClass("P", t.ClassNamed("P")).ok());
+  EXPECT_FALSE(ValidateVSchema(bad1).ok());  // bare class name
+  Schema bad2(&u_);
+  ASSERT_TRUE(
+      bad2.DeclareClass("P", t.Union2(t.Base(), t.Set(t.Base()))).ok());
+  EXPECT_FALSE(ValidateVSchema(bad2).ok());  // union type
+  Schema bad3(&u_);
+  ASSERT_TRUE(bad3.DeclareRelation("R", t.Base()).ok());
+  EXPECT_FALSE(ValidateVSchema(bad3).ok());  // relations
+}
+
+TEST_F(EncodeTest, PsiEliminatesDuplicateValues) {
+  // All nodes of a uniformly-labeled ring have the *same* infinite
+  // unfolding: psi collapses them into one pure value (the paper: "for oi
+  // and oj distinct, vi and vj may be the same").
+  Instance ring = Ring(4, "n");
+  auto v = Psi(ring);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->classes.at(u_.Intern("Node")).size(), 1u);
+}
+
+TEST_F(EncodeTest, PsiKeepsDistinguishableValues) {
+  // Distinct names: the two nodes of a 2-ring unfold differently.
+  Instance inst(schema_.get(), &u_);
+  ValueStore& val = u_.values();
+  auto a = inst.CreateOid("Node");
+  auto b = inst.CreateOid("Node");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *a, val.Tuple({{u_.Intern("name"), val.Const("a")},
+                                     {u_.Intern("succ"),
+                                      val.Set({val.OfOid(*b)})}}))
+                  .ok());
+  ASSERT_TRUE(inst.SetOidValue(
+                      *b, val.Tuple({{u_.Intern("name"), val.Const("b")},
+                                     {u_.Intern("succ"),
+                                      val.Set({val.OfOid(*a)})}}))
+                  .ok());
+  auto v = Psi(inst);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->classes.at(u_.Intern("Node")).size(), 2u);
+}
+
+TEST_F(EncodeTest, PsiRequiresTotalNu) {
+  Instance inst(schema_.get(), &u_);
+  ASSERT_TRUE(inst.CreateOid("Node").ok());
+  EXPECT_FALSE(Psi(inst).ok());
+}
+
+TEST_F(EncodeTest, PhiRebuildsObjectInstance) {
+  // Build the pure value #0=[name:"n", succ:{#0}] directly and phi it.
+  VInstance v(&u_.symbols());
+  RNodeId self = v.graph.AddPlaceholder();
+  ASSERT_TRUE(
+      v.graph
+          .FillTuple(self, {{u_.Intern("name"), v.graph.AddConst("n")},
+                            {u_.Intern("succ"), v.graph.AddSet({self})}})
+          .ok());
+  v.classes[u_.Intern("Node")] = {self};
+  auto inst = Phi(&u_, schema_, v);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  ASSERT_EQ(inst->ClassExtent(u_.Intern("Node")).size(), 1u);
+  Oid o = *inst->ClassExtent(u_.Intern("Node")).begin();
+  std::set<Oid> in_value;
+  u_.values().CollectOids(*inst->ValueOf(o), &in_value);
+  EXPECT_TRUE(in_value.count(o));  // cyclic through nu
+  EXPECT_TRUE(inst->Validate().ok()) << inst->Validate();
+}
+
+TEST_F(EncodeTest, Proposition714PsiPhiIdentity) {
+  // psi(phi(V)) == V for v-instances V.
+  VInstance v(&u_.symbols());
+  Symbol name = u_.Intern("name");
+  Symbol succ = u_.Intern("succ");
+  // Two values: x -> y -> x (2-cycle with distinct names).
+  RNodeId x = v.graph.AddPlaceholder();
+  RNodeId y = v.graph.AddPlaceholder();
+  ASSERT_TRUE(v.graph
+                  .FillTuple(x, {{name, v.graph.AddConst("x")},
+                                 {succ, v.graph.AddSet({y})}})
+                  .ok());
+  ASSERT_TRUE(v.graph
+                  .FillTuple(y, {{name, v.graph.AddConst("y")},
+                                 {succ, v.graph.AddSet({x})}})
+                  .ok());
+  v.classes[u_.Intern("Node")] = {x, y};
+
+  auto inst = Phi(&u_, schema_, v);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  auto back = Psi(*inst);
+  ASSERT_TRUE(back.ok()) << back.status();
+  Canonicalize(&v);
+  EXPECT_TRUE(VInstanceEqual(v, *back));
+}
+
+TEST_F(EncodeTest, PhiPsiRoundTripFromObjects) {
+  // Starting from objects: phi(psi(I)) is I with duplicates eliminated --
+  // isomorphic for duplicate-free I, smaller otherwise.
+  Instance two_ring = Ring(2, "n");
+  auto v = Psi(two_ring);
+  ASSERT_TRUE(v.ok()) << v.status();
+  auto rebuilt = Phi(&u_, schema_, *v);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  // The uniformly-labeled 2-ring collapses to one self-loop object.
+  EXPECT_EQ(rebuilt->ClassExtent(u_.Intern("Node")).size(), 1u);
+  // psi of the rebuilt instance equals psi of the original (same pure
+  // values).
+  auto v2 = Psi(*rebuilt);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(VInstanceEqual(*v, *v2));
+}
+
+TEST_F(EncodeTest, PhiRejectsDanglingClassReference) {
+  // A succ-set that references a value not in Node's extent.
+  VInstance v(&u_.symbols());
+  RNodeId orphan = v.graph.AddTuple(
+      {{u_.Intern("name"), v.graph.AddConst("o")},
+       {u_.Intern("succ"), v.graph.AddSet({})}});
+  RNodeId root = v.graph.AddTuple(
+      {{u_.Intern("name"), v.graph.AddConst("r")},
+       {u_.Intern("succ"), v.graph.AddSet({orphan})}});
+  v.classes[u_.Intern("Node")] = {root};  // orphan not registered
+  EXPECT_FALSE(Phi(&u_, schema_, v).ok());
+}
+
+}  // namespace
+}  // namespace iqlkit
