@@ -77,15 +77,31 @@ BENCHMARK(BM_Datalog_TC_SemiNaive)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-void BM_Iql_TC(benchmark::State& state, bool seminaive) {
+// Delta joins answered by the per-(relation, bound-positions) hash
+// indexes instead of full scans.
+void BM_Datalog_TC_SemiNaiveIndexed(benchmark::State& state) {
+  BM_Datalog_TC(state, datalog::EvalMode::kSemiNaiveIndexed);
+}
+BENCHMARK(BM_Datalog_TC_SemiNaiveIndexed)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Iql_TC(benchmark::State& state, bool seminaive, bool indexed) {
   int n = static_cast<int>(state.range(0));
   auto edges = RandomGraph(n, 2 * n, 11);
   size_t closure = 0;
+  EvalMetrics metrics;
   for (auto _ : state) {
+    metrics = EvalMetrics{};
     PreparedRun run(kIqlTC);
     for (auto [a, b] : edges) run.AddEdge("E", a, b);
     EvalOptions options;
     options.enable_seminaive = seminaive;
+    options.enable_indexing = indexed;
+    options.enable_scheduling = indexed;
+    options.metrics = &metrics;
     auto start = std::chrono::steady_clock::now();
     auto out = run.Run(options);
     auto end = std::chrono::steady_clock::now();
@@ -95,10 +111,11 @@ void BM_Iql_TC(benchmark::State& state, bool seminaive) {
         std::chrono::duration<double>(end - start).count());
   }
   state.counters["tc_facts"] = static_cast<double>(closure);
+  ExportMetrics(state, metrics);
 }
 
 void BM_Iql_TC_Naive(benchmark::State& state) {
-  BM_Iql_TC(state, /*seminaive=*/false);
+  BM_Iql_TC(state, /*seminaive=*/false, /*indexed=*/false);
 }
 BENCHMARK(BM_Iql_TC_Naive)
     ->RangeMultiplier(2)
@@ -109,9 +126,20 @@ BENCHMARK(BM_Iql_TC_Naive)
 // The engine's delta-driven mode on the same eligible stage: the IQL
 // counterpart of the classical semi-naive optimization.
 void BM_Iql_TC_SemiNaive(benchmark::State& state) {
-  BM_Iql_TC(state, /*seminaive=*/true);
+  BM_Iql_TC(state, /*seminaive=*/true, /*indexed=*/false);
 }
 BENCHMARK(BM_Iql_TC_SemiNaive)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Semi-naive deltas + hash-indexed generators + greedy scheduling: the
+// full pipeline, directly comparable to the flat engine's indexed mode.
+void BM_Iql_TC_SemiNaiveIndexed(benchmark::State& state) {
+  BM_Iql_TC(state, /*seminaive=*/true, /*indexed=*/true);
+}
+BENCHMARK(BM_Iql_TC_SemiNaiveIndexed)
     ->RangeMultiplier(2)
     ->Range(32, 256)
     ->UseManualTime()

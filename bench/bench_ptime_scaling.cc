@@ -63,11 +63,13 @@ constexpr std::string_view kSinks = R"(
 )";
 
 void RunScaling(benchmark::State& state, std::string_view source,
-                bool expect_rr) {
+                bool expect_rr, bool indexed) {
   int n = static_cast<int>(state.range(0));
   EvalStats stats;
+  EvalMetrics metrics;
   for (auto _ : state) {
     stats = EvalStats{};
+    metrics = EvalMetrics{};
     PreparedRun run(source);
     // Verify the classifier's verdict once (cheap).
     Status tc = TypeCheck(&run.universe, run.unit->schema,
@@ -82,6 +84,9 @@ void RunScaling(benchmark::State& state, std::string_view source,
     options.enable_seminaive = false;  // Theorem 5.4 is about the naive
                                        // operator; see bench_datalog_baseline
                                        // for the semi-naive optimization
+    options.enable_indexing = indexed;
+    options.enable_scheduling = indexed;
+    options.metrics = &metrics;
     auto start = std::chrono::steady_clock::now();
     auto out = run.Run(options, &stats);
     auto end = std::chrono::steady_clock::now();
@@ -90,11 +95,13 @@ void RunScaling(benchmark::State& state, std::string_view source,
         std::chrono::duration<double>(end - start).count());
   }
   state.counters["derivations"] = static_cast<double>(stats.derivations);
+  ExportMetrics(state, metrics);
   state.SetComplexityN(n);
 }
 
 void BM_IqlRr_TransitiveClosure(benchmark::State& state) {
-  RunScaling(state, kTransitiveClosure, /*expect_rr=*/true);
+  RunScaling(state, kTransitiveClosure, /*expect_rr=*/true,
+             /*indexed=*/false);
 }
 BENCHMARK(BM_IqlRr_TransitiveClosure)
     ->RangeMultiplier(2)
@@ -103,8 +110,21 @@ BENCHMARK(BM_IqlRr_TransitiveClosure)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
 
+// Same naive operator, but generators probe hash indexes and the greedy
+// scheduler orders the body literals: the tentpole's win on this workload.
+void BM_IqlRr_TransitiveClosure_Indexed(benchmark::State& state) {
+  RunScaling(state, kTransitiveClosure, /*expect_rr=*/true,
+             /*indexed=*/true);
+}
+BENCHMARK(BM_IqlRr_TransitiveClosure_Indexed)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
 void BM_IqlRr_InventPerNode(benchmark::State& state) {
-  RunScaling(state, kInventPerNode, /*expect_rr=*/true);
+  RunScaling(state, kInventPerNode, /*expect_rr=*/true, /*indexed=*/false);
 }
 BENCHMARK(BM_IqlRr_InventPerNode)
     ->RangeMultiplier(2)
@@ -113,10 +133,30 @@ BENCHMARK(BM_IqlRr_InventPerNode)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
 
+void BM_IqlRr_InventPerNode_Indexed(benchmark::State& state) {
+  RunScaling(state, kInventPerNode, /*expect_rr=*/true, /*indexed=*/true);
+}
+BENCHMARK(BM_IqlRr_InventPerNode_Indexed)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
 void BM_IqlPr_NegationSinks(benchmark::State& state) {
-  RunScaling(state, kSinks, /*expect_rr=*/true);
+  RunScaling(state, kSinks, /*expect_rr=*/true, /*indexed=*/false);
 }
 BENCHMARK(BM_IqlPr_NegationSinks)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_IqlPr_NegationSinks_Indexed(benchmark::State& state) {
+  RunScaling(state, kSinks, /*expect_rr=*/true, /*indexed=*/true);
+}
+BENCHMARK(BM_IqlPr_NegationSinks_Indexed)
     ->RangeMultiplier(2)
     ->Range(16, 256)
     ->UseManualTime()

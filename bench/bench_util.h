@@ -1,6 +1,8 @@
 #ifndef IQLKIT_BENCH_BENCH_UTIL_H_
 #define IQLKIT_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
 #include <random>
 #include <string_view>
@@ -14,6 +16,26 @@
 #include "model/universe.h"
 
 namespace iqlkit::bench {
+
+// Publishes the evaluator-internal counters of a run into the benchmark's
+// counter set, so BENCH_*.json carries them next to the wall times.
+inline void ExportMetrics(benchmark::State& state,
+                          const EvalMetrics& metrics) {
+  state.counters["rounds"] = static_cast<double>(metrics.rounds.size());
+  state.counters["index_builds"] =
+      static_cast<double>(metrics.index_builds);
+  state.counters["index_probes"] =
+      static_cast<double>(metrics.index_probes);
+  state.counters["index_hits"] = static_cast<double>(metrics.index_hits);
+  uint64_t derivations = 0;
+  uint64_t scans = 0;
+  for (const RuleMetrics& r : metrics.rules) {
+    derivations += r.derivations;
+    scans += r.index_scans;
+  }
+  state.counters["rule_derivations"] = static_cast<double>(derivations);
+  state.counters["extent_scans"] = static_cast<double>(scans);
+}
 
 // Deterministic random digraph: `n` nodes, `m` edges (duplicates collapse).
 inline std::vector<std::pair<int, int>> RandomGraph(int n, int m,

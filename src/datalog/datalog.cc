@@ -149,6 +149,9 @@ class Engine {
       IQL_RETURN_IF_ERROR(
           CheckRule(program_.rules[i], *db_, &var_counts_[i]));
     }
+    indexed_ = mode == EvalMode::kSemiNaiveIndexed;
+    if (indexed_) pos_indexes_.resize(db_->relation_count());
+    stats_->rule_derivations.assign(program_.rules.size(), 0);
     int max_stratum = 0;
     for (const Rule& rule : program_.rules) {
       max_stratum = std::max(max_stratum, strata[rule.head.relation]);
@@ -175,6 +178,7 @@ class Engine {
       std::vector<std::pair<int, Tuple>> pending;
       for (size_t i : active) {
         const Rule& rule = program_.rules[i];
+        current_rule_ = i;
         std::vector<Value> env(var_counts_[i], kUnbound);
         JoinBody(rule, env, 0, -1, 0, &pending);
       }
@@ -201,6 +205,7 @@ class Engine {
       std::vector<std::pair<int, Tuple>> pending;
       for (size_t i : active) {
         const Rule& rule = program_.rules[i];
+        current_rule_ = i;
         if (first) {
           std::vector<Value> env(var_counts_[i], kUnbound);
           JoinBody(rule, env, 0, -1, 0, &pending);
@@ -266,6 +271,7 @@ class Engine {
         if (db_->Contains(a.relation, t)) return;
       }
       ++stats_->derivations;
+      ++stats_->rule_derivations[current_rule_];
       Tuple t(rule.head.terms.size());
       for (size_t k = 0; k < rule.head.terms.size(); ++k) {
         const Term& term = rule.head.terms[k];
@@ -278,6 +284,30 @@ class Engine {
     const std::vector<Tuple>& facts = db_->Facts(atom.relation);
     size_t begin =
         static_cast<int>(j) == delta_atom ? delta_begin : 0;
+    if (indexed_ && atom.terms.size() <= 32) {
+      uint32_t mask = 0;
+      for (size_t k = 0; k < atom.terms.size(); ++k) {
+        const Term& t = atom.terms[k];
+        if (!t.is_var || env[t.value] != kUnbound) mask |= uint32_t{1} << k;
+      }
+      if (mask != 0) {
+        const std::vector<size_t>* bucket = ProbeIndex(atom, mask, env);
+        if (bucket != nullptr) {
+          // Bucket positions ascend, so the delta constraint is a lower
+          // bound; every candidate is still re-verified by MatchAtom
+          // (bucket keys are hashes, collisions only enlarge buckets).
+          auto it = std::lower_bound(bucket->begin(), bucket->end(), begin);
+          for (; it != bucket->end(); ++it) {
+            std::vector<int> trail;
+            if (MatchAtom(atom, facts[*it], &env, &trail)) {
+              JoinBody(rule, env, j + 1, delta_atom, delta_begin, pending);
+            }
+            for (int v : trail) env[v] = kUnbound;
+          }
+        }
+        return;
+      }
+    }
     for (size_t f = begin; f < facts.size(); ++f) {
       std::vector<int> trail;
       if (MatchAtom(atom, facts[f], &env, &trail)) {
@@ -287,10 +317,51 @@ class Engine {
     }
   }
 
+  // A lazily built, incrementally extended hash index over the bound
+  // positions of one relation. facts_ vectors are append-only, so `stamp`
+  // (the indexed prefix length) is all the invalidation state needed.
+  struct PosIndex {
+    size_t stamp = 0;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  };
+
+  static uint64_t MaskKey(const Tuple& fact, uint32_t mask) {
+    uint64_t h = 0;
+    for (size_t k = 0; k < fact.size(); ++k) {
+      if (mask & (uint32_t{1} << k)) h = HashCombine(h, fact[k]);
+    }
+    return h;
+  }
+
+  // Returns the bucket of fact positions whose masked fields hash like the
+  // current environment's bound values, or nullptr for a guaranteed miss.
+  const std::vector<size_t>* ProbeIndex(const Atom& atom, uint32_t mask,
+                                        const std::vector<Value>& env) {
+    PosIndex& index = pos_indexes_[atom.relation][mask];
+    const std::vector<Tuple>& facts = db_->Facts(atom.relation);
+    for (; index.stamp < facts.size(); ++index.stamp) {
+      index.buckets[MaskKey(facts[index.stamp], mask)].push_back(index.stamp);
+    }
+    ++stats_->index_probes;
+    uint64_t key = 0;
+    for (size_t k = 0; k < atom.terms.size(); ++k) {
+      if (!(mask & (uint32_t{1} << k))) continue;
+      const Term& t = atom.terms[k];
+      key = HashCombine(key, t.is_var ? env[t.value] : t.value);
+    }
+    auto it = index.buckets.find(key);
+    if (it == index.buckets.end() || it->second.empty()) return nullptr;
+    ++stats_->index_hits;
+    return &it->second;
+  }
+
   const Program& program_;
   Database* db_;
   Stats* stats_;
   std::vector<int> var_counts_;
+  bool indexed_ = false;
+  size_t current_rule_ = 0;
+  std::vector<std::unordered_map<uint32_t, PosIndex>> pos_indexes_;  // by rel
 };
 
 }  // namespace

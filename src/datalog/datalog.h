@@ -91,18 +91,34 @@ struct Program {
 enum class EvalMode {
   kNaive,      // recompute all joins every round
   kSemiNaive,  // delta-driven joins
+  // Delta-driven joins where each body atom with at least one bound
+  // position probes an on-demand positional hash index instead of scanning
+  // the relation. Indexes are keyed on (relation, bound-position mask),
+  // built lazily, and extended incrementally: facts_ vectors are
+  // append-only, so a per-index stamp marks the indexed prefix and new
+  // facts are absorbed on the next probe. Bucket entries are fact
+  // positions in ascending order, so the delta-atom constraint (position
+  // >= delta_begin) is a binary search away.
+  kSemiNaiveIndexed,
 };
 
 struct Stats {
   uint64_t iterations = 0;
   uint64_t derivations = 0;  // satisfying body valuations found
   uint64_t facts_added = 0;
+  uint64_t index_probes = 0;  // kSemiNaiveIndexed: bucket lookups
+  uint64_t index_hits = 0;    // probes that found a non-empty bucket
+  // Per-rule derivation counts (indexed like Program::rules), sized by
+  // Evaluate.
+  std::vector<uint64_t> rule_derivations;
 };
 
 // Evaluates `program` over `db` in place, to the stratified fixpoint.
 // Negation must be stratifiable (no recursion through negation) and rules
-// must be safe; violations are reported as errors. Both modes produce the
-// same result; kSemiNaive avoids rediscovering old derivations.
+// must be safe; violations are reported as errors. All modes produce the
+// same result; kSemiNaive avoids rediscovering old derivations, and
+// kSemiNaiveIndexed additionally replaces inner-loop relation scans with
+// hash-index probes.
 Status Evaluate(const Program& program, Database* db, EvalMode mode,
                 Stats* stats = nullptr);
 

@@ -1,9 +1,13 @@
 #include "iql/eval.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,12 +15,20 @@
 #include "base/hash.h"
 #include "base/logging.h"
 #include "iql/extent.h"
+#include "iql/index.h"
 #include "iql/parser.h"
 #include "iql/typecheck.h"
+#include "model/stats.h"
 
 namespace iqlkit {
 
 namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
 
 // A (partial) valuation theta of a rule's body variables (§3.2). Ordered
 // map so valuations compare deterministically (for dedup and reproducible
@@ -207,6 +219,17 @@ std::optional<std::vector<ValueId>> ContainerElems(const Program& prog,
 // Valuation enumeration: a backtracking solver over the body literals.
 // ---------------------------------------------------------------------------
 
+// Shared per-step machinery handed to every RuleSolver of that step.
+// `index` and `estimator` may be null (indexing / scheduling disabled);
+// `rule_metrics` may be null (metrics not requested).
+struct SolverContext {
+  ExtentEnumerator* extents = nullptr;
+  RelationIndex* index = nullptr;
+  CardinalityEstimator* estimator = nullptr;
+  RuleMetrics* rule_metrics = nullptr;
+  bool schedule = false;
+};
+
 class RuleSolver {
  public:
   // `delta_literal`/`delta_facts`: when set, body literal `delta_literal`
@@ -214,13 +237,13 @@ class RuleSolver {
   // checks against -- the sorted `delta_facts` instead of the relation's
   // full extent (semi-naive evaluation).
   RuleSolver(const Program& prog, const Rule& rule, const Instance& inst,
-             ExtentEnumerator* extents,
+             const SolverContext& ctx,
              size_t delta_literal = static_cast<size_t>(-1),
              const std::vector<ValueId>* delta_facts = nullptr)
       : prog_(prog),
         rule_(rule),
         inst_(inst),
-        extents_(extents),
+        ctx_(ctx),
         delta_literal_(delta_literal),
         delta_facts_(delta_facts),
         membership_(&inst.universe()->types(), &inst.universe()->values(),
@@ -228,6 +251,7 @@ class RuleSolver {
     done_.assign(rule.body.size(), false);
     lhs_vars_.resize(rule.body.size());
     rhs_vars_.resize(rule.body.size());
+    field_vars_.resize(rule.body.size());
     // Precompute each literal's variables once; the solver's inner loops
     // test boundness constantly.
     for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -240,6 +264,17 @@ class RuleSolver {
       prog.CollectVars(rule.body[i].rhs, &rv);
       lhs_vars_[i].assign(lv.begin(), lv.end());
       rhs_vars_[i].assign(rv.begin(), rv.end());
+      // Per-field variable lists of tuple rhs patterns, for index keys.
+      const Term& rhs = prog.term(rule.body[i].rhs);
+      if (rule.body[i].kind == Literal::Kind::kMembership &&
+          rhs.kind == Term::Kind::kTuple) {
+        for (const auto& [attr, child] : rhs.fields) {
+          std::set<Symbol> fv;
+          prog.CollectVars(child, &fv);
+          field_vars_[i].emplace_back(
+              attr, std::vector<Symbol>(fv.begin(), fv.end()));
+        }
+      }
     }
   }
 
@@ -285,6 +320,201 @@ class RuleSolver {
     return in == lit.positive;
   }
 
+  // A generator the solver could branch on at the current choice point.
+  struct GenChoice {
+    size_t literal = 0;
+    bool equality = false;
+    bool flip = false;  // equality: rhs is the evaluable side
+    // Membership only:
+    bool impossible = false;  // a bound pattern field is undefined, or the
+                              // container is a non-set value: zero matches
+    bool container_known = false;
+    RelationIndex::Container container{};
+    std::vector<Symbol> attrs;  // bound tuple-pattern fields (ascending)
+    std::vector<ValueId> key;   // their values under the current bindings
+    bool use_index = false;
+    double estimate = 0;  // expected branch count (0.5 for equalities)
+  };
+
+  // Inspects membership literal `i` as a generator under the current
+  // bindings; false when ineligible (rhs not ready / lhs not evaluable).
+  bool PrepareMembership(size_t i, GenChoice* c) {
+    const Literal& lit = rule_.body[i];
+    if (!TermReady(prog_, lit.rhs, bindings_)) return false;
+    c->literal = i;
+    double size = 0;
+    if (i == delta_literal_) {
+      size = static_cast<double>(delta_facts_->size());
+    } else {
+      const Term& lhs = prog_.term(lit.lhs);
+      switch (lhs.kind) {
+        case Term::Kind::kRelName:
+          c->container = RelationIndex::Container::Relation(lhs.name);
+          c->container_known = true;
+          size = static_cast<double>(inst_.Relation(lhs.name).size());
+          break;
+        case Term::Kind::kClassName:
+          c->container = RelationIndex::Container::Class(lhs.name);
+          c->container_known = true;
+          size = static_cast<double>(inst_.ClassExtent(lhs.name).size());
+          break;
+        case Term::Kind::kVar:
+        case Term::Kind::kDeref: {
+          auto v = EvalTerm(prog_, lit.lhs, bindings_, inst_);
+          if (!v.has_value()) return false;  // lhs not evaluable yet
+          const ValueNode& n = inst_.universe()->values().node(*v);
+          if (n.kind != ValueKind::kSet) {
+            c->impossible = true;  // non-set container: no elements
+            return true;
+          }
+          c->container = RelationIndex::Container::SetValue(*v);
+          c->container_known = true;
+          size = static_cast<double>(n.elems.size());
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    // Index key: the tuple-pattern fields fully evaluable right now. A
+    // bound field that evaluates to "undefined" (an x^ with no nu-value)
+    // can match no element at all.
+    if (ctx_.index != nullptr && c->container_known) {
+      for (const auto& [attr, vars] : field_vars_[i]) {
+        if (!VarsBound(vars)) continue;
+        const Term& rhs = prog_.term(lit.rhs);
+        TermId child = kInvalidTerm;
+        for (const auto& [a, t] : rhs.fields) {
+          if (a == attr) child = t;
+        }
+        auto v = EvalTerm(prog_, child, bindings_, inst_);
+        if (!v.has_value()) {
+          c->impossible = true;
+          break;
+        }
+        c->attrs.push_back(attr);
+        c->key.push_back(*v);
+      }
+      c->use_index = !c->impossible && !c->attrs.empty();
+    }
+    if (c->impossible) {
+      c->estimate = 0;
+    } else if (c->use_index) {
+      if (ctx_.estimator != nullptr &&
+          c->container.kind == RelationIndex::Container::Kind::kRelation) {
+        c->estimate = ctx_.estimator->EstimateMatches(
+            static_cast<Symbol>(c->container.id), c->attrs);
+      } else {
+        c->estimate = std::max(
+            1.0, size / std::pow(4.0, static_cast<double>(c->attrs.size())));
+      }
+    } else {
+      c->estimate = size;
+    }
+    return true;
+  }
+
+  // The next generator: under scheduling, the eligible one with the
+  // smallest estimated branch count (equalities cost at most one branch,
+  // and an empty container prunes the whole subtree); otherwise the first
+  // eligible literal in body order, as in the paper's formulation.
+  std::optional<GenChoice> PickGenerator() {
+    std::optional<GenChoice> best;
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      if (done_[i]) continue;
+      const Literal& lit = rule_.body[i];
+      if (!lit.positive) continue;
+      GenChoice c;
+      bool eligible = false;
+      if (lit.kind == Literal::Kind::kMembership) {
+        eligible = PrepareMembership(i, &c);
+      } else if (lit.kind == Literal::Kind::kEquality) {
+        // One side evaluable, the other a ready pattern: single branch.
+        for (bool flip : {false, true}) {
+          const std::vector<Symbol>& src_vars =
+              flip ? rhs_vars_[i] : lhs_vars_[i];
+          TermId dst = flip ? lit.lhs : lit.rhs;
+          if (VarsBound(src_vars) && TermReady(prog_, dst, bindings_)) {
+            c.literal = i;
+            c.equality = true;
+            c.flip = flip;
+            c.estimate = 0.5;
+            eligible = true;
+            break;
+          }
+        }
+      }
+      if (!eligible) continue;
+      if (!ctx_.schedule) return c;
+      if (!best || c.estimate < best->estimate) best = c;
+    }
+    return best;
+  }
+
+  Status GenerateMembership(const GenChoice& c,
+                            const std::function<Status(const Bindings&)>& cb) {
+    const Literal& lit = rule_.body[c.literal];
+    // Resolve the candidate elements: the delta, an index bucket, the
+    // materialized extent, or (with indexing off) a fresh scan.
+    const std::vector<ValueId>* elems = nullptr;
+    std::vector<ValueId> scan;  // ContainerElems fallback storage
+    if (c.impossible) {
+      elems = nullptr;
+    } else if (c.literal == delta_literal_) {
+      elems = delta_facts_;
+    } else if (c.use_index) {
+      elems = ctx_.index->Probe(c.container, c.attrs, c.key);
+      if (ctx_.rule_metrics != nullptr) ++ctx_.rule_metrics->index_probes;
+    } else if (ctx_.index != nullptr && c.container_known) {
+      elems = &ctx_.index->Elems(c.container);
+      if (ctx_.rule_metrics != nullptr) ++ctx_.rule_metrics->index_scans;
+    } else {
+      auto container = ContainerElems(prog_, lit.lhs, bindings_, inst_);
+      if (container.has_value()) {
+        scan = std::move(*container);
+        elems = &scan;
+      }
+      if (ctx_.rule_metrics != nullptr) ++ctx_.rule_metrics->index_scans;
+    }
+    done_[c.literal] = true;
+    if (elems != nullptr) {
+      for (ValueId elem : *elems) {
+        size_t mark = trail_.size();
+        if (MatchTerm(prog_, rule_, &membership_, lit.rhs, elem,
+                      &bindings_, &trail_, inst_)) {
+          Status s = Step(cb);
+          if (!s.ok()) {
+            done_[c.literal] = false;
+            UndoTrail(&bindings_, &trail_, mark);
+            return s;
+          }
+        }
+        UndoTrail(&bindings_, &trail_, mark);
+      }
+    }
+    done_[c.literal] = false;
+    return Status::Ok();
+  }
+
+  Status GenerateEquality(const GenChoice& c,
+                          const std::function<Status(const Bindings&)>& cb) {
+    const Literal& lit = rule_.body[c.literal];
+    TermId src = c.flip ? lit.rhs : lit.lhs;
+    TermId dst = c.flip ? lit.lhs : lit.rhs;
+    auto v = EvalTerm(prog_, src, bindings_, inst_);
+    if (!v.has_value()) return Status::Ok();  // undefined: fail
+    done_[c.literal] = true;
+    size_t mark = trail_.size();
+    Status s = Status::Ok();
+    if (MatchTerm(prog_, rule_, &membership_, dst, *v, &bindings_, &trail_,
+                  inst_)) {
+      s = Step(cb);
+    }
+    UndoTrail(&bindings_, &trail_, mark);
+    done_[c.literal] = false;
+    return s;
+  }
+
   Status Step(const std::function<Status(const Bindings&)>& cb) {
     // 1. Process checkable literals first (pure filters, no branching).
     for (size_t i = 0; i < rule_.body.size(); ++i) {
@@ -298,60 +528,9 @@ class RuleSolver {
       return s;
     }
     // 2. Use a positive literal as a generator.
-    for (size_t i = 0; i < rule_.body.size(); ++i) {
-      if (done_[i]) continue;
-      const Literal& lit = rule_.body[i];
-      if (!lit.positive) continue;
-      if (lit.kind == Literal::Kind::kMembership) {
-        if (!TermReady(prog_, lit.rhs, bindings_)) continue;
-        std::optional<std::vector<ValueId>> container;
-        if (i == delta_literal_) {
-          container = *delta_facts_;
-        } else {
-          container = ContainerElems(prog_, lit.lhs, bindings_, inst_);
-        }
-        if (!container.has_value()) continue;  // lhs not evaluable yet
-        done_[i] = true;
-        for (ValueId elem : *container) {
-          size_t mark = trail_.size();
-          if (MatchTerm(prog_, rule_, &membership_, lit.rhs, elem,
-                        &bindings_, &trail_, inst_)) {
-            Status s = Step(cb);
-            if (!s.ok()) {
-              done_[i] = false;
-              UndoTrail(&bindings_, &trail_, mark);
-              return s;
-            }
-          }
-          UndoTrail(&bindings_, &trail_, mark);
-        }
-        done_[i] = false;
-        return Status::Ok();
-      }
-      if (lit.kind == Literal::Kind::kEquality) {
-        // One side evaluable, the other a ready pattern: single branch.
-        for (bool flip : {false, true}) {
-          TermId src = flip ? lit.rhs : lit.lhs;
-          TermId dst = flip ? lit.lhs : lit.rhs;
-          const std::vector<Symbol>& src_vars =
-              flip ? rhs_vars_[i] : lhs_vars_[i];
-          if (!VarsBound(src_vars) || !TermReady(prog_, dst, bindings_)) {
-            continue;
-          }
-          auto v = EvalTerm(prog_, src, bindings_, inst_);
-          if (!v.has_value()) return Status::Ok();  // undefined: fail
-          done_[i] = true;
-          size_t mark = trail_.size();
-          Status s = Status::Ok();
-          if (MatchTerm(prog_, rule_, &membership_, dst, *v, &bindings_,
-                        &trail_, inst_)) {
-            s = Step(cb);
-          }
-          UndoTrail(&bindings_, &trail_, mark);
-          done_[i] = false;
-          return s;
-        }
-      }
+    if (std::optional<GenChoice> choice = PickGenerator()) {
+      return choice->equality ? GenerateEquality(*choice, cb)
+                              : GenerateMembership(*choice, cb);
     }
     // 3. No literal is processable: range an unbound variable over its
     //    type extent (the paper's unrestricted-variable semantics).
@@ -366,7 +545,7 @@ class RuleSolver {
     if (unbound.has_value()) {
       TypeId t = rule_.var_types.at(*unbound);
       IQL_ASSIGN_OR_RETURN(const std::vector<ValueId>* extent,
-                           extents_->Enumerate(t));
+                           ctx_.extents->Enumerate(t));
       for (ValueId v : *extent) {
         bindings_.emplace(*unbound, v);
         Status s = Step(cb);
@@ -382,13 +561,16 @@ class RuleSolver {
   const Program& prog_;
   const Rule& rule_;
   const Instance& inst_;
-  ExtentEnumerator* extents_;
+  SolverContext ctx_;
   size_t delta_literal_;
   const std::vector<ValueId>* delta_facts_;
   TypeMembership membership_;
   std::vector<bool> done_;
   std::vector<std::vector<Symbol>> lhs_vars_;
   std::vector<std::vector<Symbol>> rhs_vars_;
+  // Per membership literal with a tuple rhs: (attr, vars of that field).
+  std::vector<std::vector<std::pair<Symbol, std::vector<Symbol>>>>
+      field_vars_;
   Bindings bindings_;
   std::vector<Symbol> trail_;
 };
@@ -546,9 +728,22 @@ class StageRunner {
         rules_(rules),
         options_(options),
         stats_(stats),
+        metrics_(options.metrics),
         choose_rng_(options.choose_seed) {
     for (const Rule& rule : rules_) {
       if (rule.head_negative) has_deletions_ = true;
+    }
+    if (metrics_ != nullptr) {
+      size_t first = metrics_->rules.size();
+      for (const Rule& rule : rules_) {
+        metrics_->rules.push_back(RuleMetrics{
+            rule.stage, rule.index,
+            prog_.RuleToString(rule, universe->symbols())});
+      }
+      rule_metrics_.reserve(rules_.size());
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        rule_metrics_.push_back(&metrics_->rules[first + i]);
+      }
     }
   }
 
@@ -564,6 +759,8 @@ class StageRunner {
             " steps (IQL programs may legitimately diverge; see "
             "Example 3.4.2)");
       }
+      auto step_start = std::chrono::steady_clock::now();
+      uint64_t added_before = stats_->facts_added;
       IQL_ASSIGN_OR_RETURN(std::vector<Derivation> derivations,
                            ValuationDomain(*work));
       if (derivations.empty()) return Status::Ok();
@@ -574,6 +771,12 @@ class StageRunner {
       if (has_deletions_) before = *work;
       IQL_ASSIGN_OR_RETURN(bool changed, Apply(derivations, work));
       ++stats_->steps;
+      if (metrics_ != nullptr) {
+        metrics_->rounds.push_back(RoundMetrics{
+            stage_index_, step, /*seminaive=*/false,
+            stats_->facts_added - added_before, work->GroundFactCount(),
+            Seconds(step_start)});
+      }
       if (options_.trace != nullptr) {
         *options_.trace << "stage " << stage_index_ << " step " << step
                         << ": val-dom " << derivations.size()
@@ -654,57 +857,98 @@ class StageRunner {
   }
 
   Status RunSemiNaive(Instance* work) {
-    using Pending = std::vector<std::pair<Symbol, ValueId>>;
-    auto solve_into = [&](const Rule& rule, ExtentEnumerator* extents,
+    struct PendingFact {
+      Symbol rel;
+      ValueId v;
+      RuleMetrics* rm;
+    };
+    using Pending = std::vector<PendingFact>;
+    // Eligible stages only ever add relation facts, so one stage-long index
+    // stays valid under incremental AddRelationFact maintenance (class
+    // extents and set values cannot change here).
+    std::optional<RelationIndex> index;
+    if (options_.enable_indexing) index.emplace(work);
+    std::optional<CardinalityEstimator> estimator;
+    if (options_.enable_scheduling) estimator.emplace(work);
+    auto solve_into = [&](size_t rule_idx, ExtentEnumerator* extents,
                           size_t delta_literal,
                           const std::vector<ValueId>* delta_facts,
                           Pending* pending) -> Status {
+      const Rule& rule = rules_[rule_idx];
+      RuleMetrics* rm =
+          rule_metrics_.empty() ? nullptr : rule_metrics_[rule_idx];
       Symbol head_rel = prog_.term(rule.head.lhs).name;
-      RuleSolver solver(prog_, rule, *work, extents, delta_literal,
-                        delta_facts);
-      return solver.Solve([&](const Bindings& theta) -> Status {
+      SolverContext ctx;
+      ctx.extents = extents;
+      ctx.index = index.has_value() ? &*index : nullptr;
+      ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
+      ctx.rule_metrics = rm;
+      ctx.schedule = options_.enable_scheduling;
+      RuleSolver solver(prog_, rule, *work, ctx, delta_literal, delta_facts);
+      auto start = std::chrono::steady_clock::now();
+      if (rm != nullptr) ++rm->invocations;
+      Status s = solver.Solve([&](const Bindings& theta) -> Status {
         if (++stats_->derivations > options_.max_derivations) {
           return ResourceExhaustedError("derivation budget exhausted");
         }
+        if (rm != nullptr) ++rm->derivations;
         auto v = EvalTerm(prog_, rule.head.rhs, theta, *work);
-        if (v.has_value()) pending->emplace_back(head_rel, *v);
+        if (v.has_value()) pending->push_back({head_rel, *v, rm});
         return Status::Ok();
       });
+      if (rm != nullptr) rm->seconds += Seconds(start);
+      return s;
     };
     auto apply = [&](Pending* pending,
                      std::map<Symbol, std::vector<ValueId>>* delta)
         -> Status {
-      for (const auto& [rel, v] : *pending) {
+      for (const auto& [rel, v, rm] : *pending) {
         if (work->RelationContains(rel, v)) continue;
         IQL_RETURN_IF_ERROR(work->AddToRelation(rel, v));
         ++stats_->facts_added;
+        if (rm != nullptr) ++rm->facts_added;
+        if (index.has_value()) index->AddRelationFact(rel, v);
         (*delta)[rel].push_back(v);
       }
       return Status::Ok();
     };
+    auto record_round =
+        [&](uint64_t round, std::chrono::steady_clock::time_point start,
+            const std::map<Symbol, std::vector<ValueId>>& d) {
+          if (metrics_ == nullptr) return;
+          uint64_t delta_facts = 0;
+          for (const auto& [rel, facts] : d) delta_facts += facts.size();
+          metrics_->rounds.push_back(
+              RoundMetrics{stage_index_, round, /*seminaive=*/true,
+                           delta_facts, work->GroundFactCount(),
+                           Seconds(start)});
+        };
 
     std::map<Symbol, std::vector<ValueId>> delta;
     {
       // Round 0: full evaluation of every rule.
+      auto round_start = std::chrono::steady_clock::now();
       ExtentEnumerator extents(work, options_.extent_budget);
       Pending pending;
-      for (const Rule& rule : rules_) {
-        IQL_RETURN_IF_ERROR(solve_into(rule, &extents,
-                                       static_cast<size_t>(-1), nullptr,
-                                       &pending));
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        IQL_RETURN_IF_ERROR(solve_into(r, &extents, static_cast<size_t>(-1),
+                                       nullptr, &pending));
       }
       IQL_RETURN_IF_ERROR(apply(&pending, &delta));
       ++stats_->steps;
+      record_round(0, round_start, delta);
     }
     uint64_t rounds = 0;
     while (!delta.empty()) {
       if (++rounds > options_.max_steps_per_stage) {
         return ResourceExhaustedError("semi-naive round budget exhausted");
       }
+      auto round_start = std::chrono::steady_clock::now();
       for (auto& [rel, facts] : delta) std::sort(facts.begin(), facts.end());
       ExtentEnumerator extents(work, options_.extent_budget);
       Pending pending;
-      for (const Rule& rule : rules_) {
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        const Rule& rule = rules_[r];
         for (size_t d = 0; d < rule.body.size(); ++d) {
           const Literal& lit = rule.body[d];
           if (lit.kind != Literal::Kind::kMembership || !lit.positive) {
@@ -715,26 +959,36 @@ class StageRunner {
           auto it = delta.find(lhs.name);
           if (it == delta.end() || it->second.empty()) continue;
           IQL_RETURN_IF_ERROR(
-              solve_into(rule, &extents, d, &it->second, &pending));
+              solve_into(r, &extents, d, &it->second, &pending));
         }
       }
       std::map<Symbol, std::vector<ValueId>> next;
       IQL_RETURN_IF_ERROR(apply(&pending, &next));
       delta = std::move(next);
       ++stats_->steps;
+      record_round(rounds, round_start, delta);
       if (options_.trace != nullptr) {
         *options_.trace << "stage " << stage_index_ << " (semi-naive) round "
                         << rounds << ": facts "
                         << work->GroundFactCount() << "\n";
       }
     }
+    if (index.has_value()) FoldIndexCounters(*index);
     return Status::Ok();
   }
 
   Result<std::vector<Derivation>> ValuationDomain(const Instance& inst) {
     std::vector<Derivation> out;
     ExtentEnumerator extents(&inst, options_.extent_budget);
-    for (const Rule& rule : rules_) {
+    // Naive steps evaluate against the frozen step-start instance, so a
+    // fresh per-step index needs no invalidation at all.
+    std::optional<RelationIndex> index;
+    if (options_.enable_indexing) index.emplace(&inst);
+    std::optional<CardinalityEstimator> estimator;
+    if (options_.enable_scheduling) estimator.emplace(&inst);
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      const Rule& rule = rules_[r];
+      RuleMetrics* rm = rule_metrics_.empty() ? nullptr : rule_metrics_[r];
       HeadSatisfiability head(prog_, rule, inst,
                               !options_.disable_head_fast_path);
       // val-dom is a *set* of (r, theta): deduplication matters only for
@@ -742,11 +996,20 @@ class StageRunner {
       // ordinary heads, firing twice derives the same fact.
       bool dedupe = !rule.invented_vars.empty();
       std::set<Bindings> seen;
-      RuleSolver solver(prog_, rule, inst, &extents);
+      SolverContext ctx;
+      ctx.extents = &extents;
+      ctx.index = index.has_value() ? &*index : nullptr;
+      ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
+      ctx.rule_metrics = rm;
+      ctx.schedule = options_.enable_scheduling;
+      RuleSolver solver(prog_, rule, inst, ctx);
+      auto start = std::chrono::steady_clock::now();
+      if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
         if (++stats_->derivations > options_.max_derivations) {
           return ResourceExhaustedError("derivation budget exhausted");
         }
+        if (rm != nullptr) ++rm->derivations;
         // The "no extension satisfies the head" filter applies to
         // inflationary heads only; a deletion rule (IQL*) is applicable
         // whenever its body is satisfied (deleting an absent fact is a
@@ -759,9 +1022,19 @@ class StageRunner {
         }
         return Status::Ok();
       });
+      if (rm != nullptr) rm->seconds += Seconds(start);
       IQL_RETURN_IF_ERROR(s);
     }
+    if (index.has_value()) FoldIndexCounters(*index);
     return out;
+  }
+
+  void FoldIndexCounters(const RelationIndex& index) {
+    if (metrics_ == nullptr) return;
+    const RelationIndex::Counters& c = index.counters();
+    metrics_->index_builds += c.builds;
+    metrics_->index_probes += c.probes;
+    metrics_->index_hits += c.hits;
   }
 
   // Applies all derivations "in parallel": inventions first (the
@@ -772,10 +1045,28 @@ class StageRunner {
     ValueStore& values = u_->values();
     struct PendingAssignment {
       std::set<ValueId> candidates;
+      RuleMetrics* rm = nullptr;
     };
-    std::vector<std::pair<Symbol, ValueId>> rel_adds;
-    std::vector<std::pair<Symbol, Oid>> oid_adds;  // invented oids
-    std::vector<std::pair<Oid, ValueId>> set_inserts;
+    // Inflationary adds carry the deriving rule's metrics slot so that
+    // facts_added can be attributed per rule at insertion time.
+    struct RelAdd {
+      Symbol rel;
+      ValueId v;
+      RuleMetrics* rm;
+    };
+    struct OidAdd {
+      Symbol cls;
+      Oid o;
+      RuleMetrics* rm;
+    };
+    struct SetInsert {
+      Oid o;
+      ValueId v;
+      RuleMetrics* rm;
+    };
+    std::vector<RelAdd> rel_adds;
+    std::vector<OidAdd> oid_adds;  // invented oids + class heads
+    std::vector<SetInsert> set_inserts;
     std::map<Oid, PendingAssignment> assignments;
     std::set<Oid> invented_this_step;
     std::vector<std::pair<Symbol, ValueId>> rel_dels;
@@ -785,6 +1076,10 @@ class StageRunner {
 
     for (const Derivation& d : derivations) {
       const Rule& rule = *d.rule;
+      RuleMetrics* rm =
+          rule_metrics_.empty()
+              ? nullptr
+              : rule_metrics_[static_cast<size_t>(d.rule - rules_.data())];
       Bindings b = d.theta;
       // Valuation-map: bind head-only variables.
       bool skip = false;
@@ -825,7 +1120,7 @@ class StageRunner {
                 "recursive loop diverges; see §3.4)");
           }
           Oid o = u_->MintOid();
-          oid_adds.emplace_back(vt.class_name, o);
+          oid_adds.push_back({vt.class_name, o, rm});
           invented_this_step.insert(o);
           b[var] = values.OfOid(o);
         }
@@ -844,7 +1139,9 @@ class StageRunner {
         if (rule.head_negative) {
           if (xv.has_value() && *xv == *v) value_retractions.emplace_back(o, *v);
         } else {
-          assignments[o].candidates.insert(*v);
+          PendingAssignment& pa = assignments[o];
+          pa.candidates.insert(*v);
+          pa.rm = rm;
         }
         continue;
       }
@@ -855,7 +1152,7 @@ class StageRunner {
           if (rule.head_negative) {
             rel_dels.emplace_back(lhs.name, *v);
           } else {
-            rel_adds.emplace_back(lhs.name, *v);
+            rel_adds.push_back({lhs.name, *v, rm});
           }
           break;
         case Term::Kind::kClassName: {
@@ -866,7 +1163,7 @@ class StageRunner {
           if (rule.head_negative) {
             oid_dels.push_back(n.oid);
           } else {
-            oid_adds.emplace_back(lhs.name, n.oid);
+            oid_adds.push_back({lhs.name, n.oid, rm});
           }
           break;
         }
@@ -875,7 +1172,7 @@ class StageRunner {
           if (rule.head_negative) {
             set_removals.emplace_back(o, *v);
           } else {
-            set_inserts.emplace_back(o, *v);
+            set_inserts.push_back({o, *v, rm});
           }
           break;
         }
@@ -886,41 +1183,47 @@ class StageRunner {
 
     // Weak assignment filter (*): only oids with nu undefined at the start
     // of the step, and a unique candidate value, are assigned.
-    std::vector<std::pair<Oid, ValueId>> applicable_assignments;
+    std::vector<std::tuple<Oid, ValueId, RuleMetrics*>>
+        applicable_assignments;
     for (const auto& [o, pending] : assignments) {
       bool defined_at_start =
           !invented_this_step.count(o) && work->ValueOf(o).has_value();
       if (defined_at_start) continue;
       if (pending.candidates.size() != 1) continue;
-      applicable_assignments.emplace_back(o, *pending.candidates.begin());
+      applicable_assignments.emplace_back(o, *pending.candidates.begin(),
+                                          pending.rm);
     }
 
     bool changed = false;
-    for (const auto& [cls, o] : oid_adds) {
+    for (const auto& [cls, o, rm] : oid_adds) {
       if (!work->HasOid(o)) {
         IQL_RETURN_IF_ERROR(work->AddOid(cls, o));
         changed = true;
         ++stats_->facts_added;
+        if (rm != nullptr) ++rm->facts_added;
       }
     }
-    for (const auto& [rel, v] : rel_adds) {
+    for (const auto& [rel, v, rm] : rel_adds) {
       if (!work->RelationContains(rel, v)) {
         IQL_RETURN_IF_ERROR(work->AddToRelation(rel, v));
         changed = true;
         ++stats_->facts_added;
+        if (rm != nullptr) ++rm->facts_added;
       }
     }
-    for (const auto& [o, v] : set_inserts) {
+    for (const auto& [o, v, rm] : set_inserts) {
       auto current = work->ValueOf(o);
       if (current.has_value() && values.SetContains(*current, v)) continue;
       IQL_RETURN_IF_ERROR(work->AddToSetOid(o, v));
       changed = true;
       ++stats_->facts_added;
+      if (rm != nullptr) ++rm->facts_added;
     }
-    for (const auto& [o, v] : applicable_assignments) {
+    for (const auto& [o, v, rm] : applicable_assignments) {
       IQL_RETURN_IF_ERROR(work->SetOidValue(o, v));
       changed = true;
       ++stats_->facts_added;
+      if (rm != nullptr) ++rm->facts_added;
     }
     // IQL* deletions apply last within the step: a fact both derived and
     // deleted in the same step ends up deleted.
@@ -959,6 +1262,11 @@ class StageRunner {
   const std::vector<Rule>& rules_;
   const EvalOptions& options_;
   EvalStats* stats_;
+  EvalMetrics* metrics_ = nullptr;
+  // Parallel to rules_ (empty when metrics are off): pointers into
+  // metrics_->rules, stable because all of this stage's entries are
+  // appended before any pointer is taken.
+  std::vector<RuleMetrics*> rule_metrics_;
   uint64_t choose_rng_ = 0;
   bool has_deletions_ = false;
 
@@ -1006,6 +1314,221 @@ Result<Instance> RunUnit(Universe* universe, ParsedUnit* unit,
   if (unit->output_names.empty()) return full;
   IQL_ASSIGN_OR_RETURN(Schema out, unit->schema.Project(unit->output_names));
   return full.Project(std::make_shared<const Schema>(std::move(out)));
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EvalMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"rules\":[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RuleMetrics& r = rules[i];
+    if (i > 0) os << ",";
+    os << "{\"stage\":" << r.stage << ",\"index\":" << r.index
+       << ",\"text\":\"" << JsonEscape(r.text) << "\""
+       << ",\"invocations\":" << r.invocations
+       << ",\"derivations\":" << r.derivations
+       << ",\"facts_added\":" << r.facts_added
+       << ",\"index_probes\":" << r.index_probes
+       << ",\"index_scans\":" << r.index_scans << ",\"seconds\":" << r.seconds
+       << "}";
+  }
+  os << "],\"rounds\":[";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const RoundMetrics& r = rounds[i];
+    if (i > 0) os << ",";
+    os << "{\"stage\":" << r.stage << ",\"round\":" << r.round
+       << ",\"seminaive\":" << (r.seminaive ? "true" : "false")
+       << ",\"delta_facts\":" << r.delta_facts
+       << ",\"total_facts\":" << r.total_facts << ",\"seconds\":" << r.seconds
+       << "}";
+  }
+  os << "],\"index_builds\":" << index_builds
+     << ",\"index_probes\":" << index_probes
+     << ",\"index_hits\":" << index_hits << "}";
+  return os.str();
+}
+
+Result<std::string> ExplainSchedule(Universe* universe, const Schema& schema,
+                                    Program* program, const Instance& input) {
+  if (!program->type_checked) {
+    IQL_RETURN_IF_ERROR(TypeCheck(universe, schema, program));
+  }
+  const Program& prog = *program;
+  CardinalityEstimator estimator(&input);
+  std::ostringstream os;
+  for (const Rule* rule_ptr : program->AllRules()) {
+    const Rule& rule = *rule_ptr;
+    os << "rule " << rule.stage << "." << rule.index << ": "
+       << prog.RuleToString(rule, universe->symbols()) << "\n";
+    std::set<Symbol> bound;
+    std::vector<bool> done(rule.body.size(), false);
+    size_t remaining = 0;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.body[i].kind == Literal::Kind::kChoose) {
+        done[i] = true;
+      } else {
+        ++remaining;
+      }
+    }
+    auto covered = [&](const std::set<Symbol>& vars) {
+      return std::includes(bound.begin(), bound.end(), vars.begin(),
+                           vars.end());
+    };
+    auto literal_vars = [&](size_t i) {
+      std::set<Symbol> vars;
+      prog.CollectVars(rule.body[i], &vars);
+      return vars;
+    };
+    int step = 0;
+    while (remaining > 0) {
+      // 1. Fully-bound literals are pure filters.
+      bool progressed = false;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (done[i] || !covered(literal_vars(i))) continue;
+        done[i] = true;
+        --remaining;
+        os << "  " << ++step << ". check literal #" << (i + 1) << "\n";
+        progressed = true;
+      }
+      if (progressed) continue;
+      // 2. The cheapest eligible generator, scored as the solver scores it
+      //    from an empty valuation.
+      struct Candidate {
+        size_t literal = 0;
+        double estimate = 0;
+        std::string describe;
+      };
+      std::optional<Candidate> best;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (done[i]) continue;
+        const Literal& lit = rule.body[i];
+        if (!lit.positive) continue;
+        Candidate c;
+        c.literal = i;
+        if (lit.kind == Literal::Kind::kEquality) {
+          std::set<Symbol> lv, rv;
+          prog.CollectVars(lit.lhs, &lv);
+          prog.CollectVars(lit.rhs, &rv);
+          if (!covered(lv) && !covered(rv)) continue;
+          c.estimate = 0.5;
+          c.describe = "bind via equality";
+        } else if (lit.kind == Literal::Kind::kMembership) {
+          const Term& lhs = prog.term(lit.lhs);
+          std::vector<Symbol> attrs;
+          const Term& rhs = prog.term(lit.rhs);
+          if (rhs.kind == Term::Kind::kTuple) {
+            for (const auto& [attr, child] : rhs.fields) {
+              std::set<Symbol> vs;
+              prog.CollectVars(child, &vs);
+              if (covered(vs)) attrs.push_back(attr);
+            }
+          }
+          std::ostringstream d;
+          if (lhs.kind == Term::Kind::kRelName) {
+            size_t size = estimator.RelationSize(lhs.name);
+            c.estimate = attrs.empty()
+                             ? static_cast<double>(size)
+                             : estimator.EstimateMatches(lhs.name, attrs);
+            d << (attrs.empty() ? "scan relation " : "probe relation ")
+              << universe->Name(lhs.name) << " (|extent| " << size;
+          } else if (lhs.kind == Term::Kind::kClassName) {
+            size_t size = estimator.ClassSize(lhs.name);
+            c.estimate = static_cast<double>(size);
+            for (size_t k = 0; k < attrs.size() && c.estimate > 1.0; ++k) {
+              c.estimate = std::max(1.0, c.estimate / 4.0);
+            }
+            d << (attrs.empty() ? "scan class " : "probe class ")
+              << universe->Name(lhs.name) << " (|extent| " << size;
+          } else if (lhs.kind == Term::Kind::kVar ||
+                     lhs.kind == Term::Kind::kDeref) {
+            std::set<Symbol> lv;
+            prog.CollectVars(lit.lhs, &lv);
+            if (!covered(lv)) continue;  // container not evaluable yet
+            c.estimate = 8.0;  // set sizes are unknowable statically
+            d << "enumerate set value (size unknown";
+          } else {
+            continue;
+          }
+          if (!attrs.empty()) {
+            d << ", keyed on {";
+            for (size_t k = 0; k < attrs.size(); ++k) {
+              if (k > 0) d << ", ";
+              d << universe->Name(attrs[k]);
+            }
+            d << "}";
+          }
+          d << ")";
+          c.describe = d.str();
+        } else {
+          continue;
+        }
+        if (!best.has_value() || c.estimate < best->estimate) best = c;
+      }
+      if (best.has_value()) {
+        done[best->literal] = true;
+        --remaining;
+        std::set<Symbol> vars = literal_vars(best->literal);
+        bound.insert(vars.begin(), vars.end());
+        os << "  " << ++step << ". generate from literal #"
+           << (best->literal + 1) << ": " << best->describe << " -- est. "
+           << best->estimate << " branches\n";
+        continue;
+      }
+      // 3. No literal processable: the solver ranges an unbound variable
+      //    over its type extent.
+      std::optional<Symbol> unbound;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (done[i]) continue;
+        for (Symbol v : literal_vars(i)) {
+          if (!bound.count(v) && (!unbound.has_value() || v < *unbound)) {
+            unbound = v;
+          }
+        }
+      }
+      if (!unbound.has_value()) break;  // unreachable: all-bound is a check
+      bound.insert(*unbound);
+      os << "  " << ++step << ". range " << universe->Name(*unbound)
+         << " over its type extent\n";
+    }
+  }
+  return os.str();
 }
 
 }  // namespace iqlkit

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "base/result.h"
@@ -14,6 +15,44 @@
 #include "model/universe.h"
 
 namespace iqlkit {
+
+// Per-rule evaluation counters (see EvalMetrics).
+struct RuleMetrics {
+  int stage = 0;
+  int index = 0;        // rule index within its stage
+  std::string text;     // the rule, rendered in the concrete syntax
+  uint64_t invocations = 0;   // solver runs (one per step, or per delta)
+  uint64_t derivations = 0;   // satisfying body valuations enumerated
+  uint64_t facts_added = 0;   // new facts this rule actually contributed
+  uint64_t index_probes = 0;  // generator visits served by an index bucket
+  uint64_t index_scans = 0;   // generator visits that fell back to a scan
+  double seconds = 0.0;       // wall time spent inside this rule's solver
+};
+
+// Per-fixpoint-round counters (see EvalMetrics).
+struct RoundMetrics {
+  int stage = 0;
+  uint64_t round = 0;
+  bool seminaive = false;
+  uint64_t delta_facts = 0;  // facts added by this round
+  uint64_t total_facts = 0;  // ground facts after the round
+  double seconds = 0.0;
+};
+
+// Where fixpoint time goes: filled when EvalOptions::metrics is set.
+// Per-rule entries appear in program order (all stages); per-round entries
+// in execution order. Index counters aggregate over the whole run.
+struct EvalMetrics {
+  std::vector<RuleMetrics> rules;
+  std::vector<RoundMetrics> rounds;
+  uint64_t index_builds = 0;
+  uint64_t index_probes = 0;
+  uint64_t index_hits = 0;  // probes that returned a non-empty bucket
+
+  // Renders the metrics as a JSON object (stable key order), for --metrics
+  // dumps and the benchmark harness.
+  std::string ToJson() const;
+};
 
 // Budgets and policies for the naive inflationary evaluator (§3.2). IQL is
 // computationally complete, so programs can legitimately diverge
@@ -50,6 +89,25 @@ struct EvalOptions {
   // differential test suite cross-checks this). Ineligible stages always
   // run the paper's naive operator.
   bool enable_seminaive = true;
+
+  // Hash-indexed generators: when a positive membership literal ranges
+  // over a relation (or a bound set value) with a tuple pattern whose
+  // fields are partially bound, the solver probes a per-step hash index on
+  // the bound fields instead of scanning the full extent (iql/index.h).
+  // Pure optimization -- every candidate is still pattern-matched -- so
+  // results are identical with it off; the differential tests check this.
+  bool enable_indexing = true;
+
+  // Greedy selectivity-aware generator scheduling: at each choice point the
+  // solver picks the eligible generator with the smallest estimated result
+  // (bound-field selectivity via model/stats, extent cardinality) instead
+  // of the first eligible literal in body order. Join order never changes
+  // the set of satisfying valuations, only the work to enumerate them.
+  bool enable_scheduling = true;
+
+  // When set, per-rule and per-round evaluation metrics are accumulated
+  // here (appended; zero-initialize to measure one run).
+  EvalMetrics* metrics = nullptr;
 
   // Permit negative heads (IQL*, §4.5). Off by default: plain IQL is
   // inflationary, and a deletion rule is rejected at evaluation time.
@@ -94,6 +152,15 @@ Result<Instance> RunUnit(Universe* universe, ParsedUnit* unit,
                          const Instance& input,
                          const EvalOptions& options = {},
                          EvalStats* stats = nullptr);
+
+// A static scheduling report against `input`: for each rule, the greedy
+// generator order the solver would choose from an empty valuation, with
+// extent cardinalities and the fields each probe can be indexed on. Type
+// checks the program if needed. This is the `:explain` view -- estimates
+// come from the *input* instance, so they describe the first round; the
+// solver re-plans dynamically as extents grow.
+Result<std::string> ExplainSchedule(Universe* universe, const Schema& schema,
+                                    Program* program, const Instance& input);
 
 }  // namespace iqlkit
 

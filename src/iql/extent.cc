@@ -21,7 +21,11 @@ Status ExtentEnumerator::Charge(uint64_t n) {
 
 Result<const std::vector<ValueId>*> ExtentEnumerator::Enumerate(TypeId t) {
   auto it = cache_.find(t);
-  if (it != cache_.end()) return &it->second;
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return &it->second;
+  }
+  ++cache_misses_;
   IQL_ASSIGN_OR_RETURN(std::vector<ValueId> values, Compute(t));
   auto [pos, inserted] = cache_.emplace(t, std::move(values));
   IQL_CHECK(inserted);

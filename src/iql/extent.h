@@ -38,6 +38,13 @@ class ExtentEnumerator {
 
   uint64_t produced() const { return produced_; }
 
+  // Cache effectiveness over the enumerator's lifetime: a hit is an
+  // Enumerate call answered from the per-type cache, a miss is one that had
+  // to compute the interpretation (including nested Enumerate calls made
+  // while computing set/tuple/union extents).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
  private:
   Result<std::vector<ValueId>> Compute(TypeId t);
   Status Charge(uint64_t n);
@@ -45,6 +52,8 @@ class ExtentEnumerator {
   const Instance* instance_;
   uint64_t budget_;
   uint64_t produced_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
   std::unordered_map<TypeId, std::vector<ValueId>> cache_;
 };
 

@@ -40,6 +40,46 @@ size_t ValueDepth(const ValueStore& values, ValueId v) {
   return best + 1;
 }
 
+size_t CardinalityEstimator::RelationSize(Symbol r) const {
+  return instance_->Relation(r).size();
+}
+
+size_t CardinalityEstimator::ClassSize(Symbol p) const {
+  return instance_->ClassExtent(p).size();
+}
+
+size_t CardinalityEstimator::DistinctAtAttr(Symbol r, Symbol attr) {
+  auto key = std::make_pair(r, attr);
+  auto it = distinct_cache_.find(key);
+  if (it != distinct_cache_.end()) return it->second;
+  const ValueStore& values = instance_->universe()->values();
+  std::set<ValueId> seen;
+  for (ValueId v : instance_->Relation(r)) {
+    const ValueNode& n = values.node(v);
+    if (n.kind != ValueKind::kTuple) continue;
+    for (const auto& [a, child] : n.fields) {
+      if (a == attr) {
+        seen.insert(child);
+        break;
+      }
+    }
+  }
+  size_t count = seen.size();
+  distinct_cache_.emplace(key, count);
+  return count;
+}
+
+double CardinalityEstimator::EstimateMatches(
+    Symbol r, const std::vector<Symbol>& bound_attrs) {
+  double size = static_cast<double>(RelationSize(r));
+  if (size == 0) return 0;
+  for (Symbol attr : bound_attrs) {
+    size_t distinct = DistinctAtAttr(r, attr);
+    if (distinct > 1) size /= static_cast<double>(distinct);
+  }
+  return size < 1.0 ? 1.0 : size;
+}
+
 InstanceStats ComputeInstanceStats(const Instance& instance) {
   const ValueStore& values = instance.universe()->values();
   InstanceStats stats;

@@ -2,6 +2,9 @@
 #define IQLKIT_MODEL_STATS_H_
 
 #include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "model/instance.h"
 
@@ -28,6 +31,35 @@ size_t ValueBranchingFactor(const ValueStore& values, ValueId v);
 
 // The depth of a single o-value tree (leaves have depth 1).
 size_t ValueDepth(const ValueStore& values, ValueId v);
+
+// Cheap cardinality estimates over one instance, for the evaluator's
+// literal scheduler: extent sizes are O(1) reads, and per-attribute
+// distinct counts over a relation's top-level tuples (the classic
+// selectivity denominator, |R| / ndv(R, A)) are computed by a single scan
+// on first use and cached. Estimates may go stale as the instance grows;
+// the scheduler only uses them to *order* joins, so staleness costs
+// performance, never correctness.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Instance* instance)
+      : instance_(instance) {}
+
+  size_t RelationSize(Symbol r) const;
+  size_t ClassSize(Symbol p) const;
+
+  // Distinct values at top-level attribute `attr` across relation `r`'s
+  // tuples (non-tuple elements and tuples lacking `attr` are skipped).
+  size_t DistinctAtAttr(Symbol r, Symbol attr);
+
+  // Expected number of tuples of `r` matching an equality probe that fixes
+  // every attribute in `bound_attrs`, assuming independent uniform
+  // attributes: |R| / prod(ndv(R, A)), clamped to >= 1 when |R| > 0.
+  double EstimateMatches(Symbol r, const std::vector<Symbol>& bound_attrs);
+
+ private:
+  const Instance* instance_;
+  std::map<std::pair<Symbol, Symbol>, size_t> distinct_cache_;
+};
 
 }  // namespace iqlkit
 

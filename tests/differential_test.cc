@@ -80,21 +80,43 @@ TEST_P(TcDifferentialTest, IqlAndDatalogAgree) {
                               {PositionalAttr(&u, 2), v.ConstInt(b)}}))
             .ok());
   }
-  auto out = RunUnit(&u, &*unit, input);
-  ASSERT_TRUE(out.ok()) << out.status();
+  // Three evaluator configurations -- naive, semi-naive without indexes,
+  // semi-naive with indexing and scheduling -- must all reproduce the
+  // reference result.
+  struct ModeConfig {
+    const char* name;
+    bool seminaive;
+    bool indexing;
+    bool scheduling;
+  };
+  constexpr ModeConfig kModes[] = {
+      {"naive", false, false, false},
+      {"seminaive", true, false, false},
+      {"seminaive+indexed", true, true, true},
+  };
+  for (const ModeConfig& mode : kModes) {
+    EvalOptions options;
+    options.enable_seminaive = mode.seminaive;
+    options.enable_indexing = mode.indexing;
+    options.enable_scheduling = mode.scheduling;
+    auto out = RunUnit(&u, &*unit, input, options);
+    ASSERT_TRUE(out.ok()) << out.status();
 
-  // Same cardinality and same pairs.
-  const auto& iql_tc = out->Relation(u.Intern("TC"));
-  ASSERT_EQ(iql_tc.size(), db.FactCount(tc)) << "seed " << seed;
-  for (ValueId t2 : iql_tc) {
-    const ValueNode& node = v.node(t2);
-    ASSERT_EQ(node.fields.size(), 2u);
-    datalog::Tuple key = {
-        db.InternConstant(
-            std::string(u.Name(v.node(node.fields[0].second).atom))),
-        db.InternConstant(
-            std::string(u.Name(v.node(node.fields[1].second).atom)))};
-    EXPECT_TRUE(db.Contains(tc, key)) << "seed " << seed;
+    // Same cardinality and same pairs.
+    const auto& iql_tc = out->Relation(u.Intern("TC"));
+    ASSERT_EQ(iql_tc.size(), db.FactCount(tc))
+        << "seed " << seed << " mode " << mode.name;
+    for (ValueId t2 : iql_tc) {
+      const ValueNode& node = v.node(t2);
+      ASSERT_EQ(node.fields.size(), 2u);
+      datalog::Tuple key = {
+          db.InternConstant(
+              std::string(u.Name(v.node(node.fields[0].second).atom))),
+          db.InternConstant(
+              std::string(u.Name(v.node(node.fields[1].second).atom)))};
+      EXPECT_TRUE(db.Contains(tc, key))
+          << "seed " << seed << " mode " << mode.name;
+    }
   }
 }
 
@@ -129,7 +151,7 @@ TEST_P(DeterminacySweepTest, GraphEncodingDeterminateUpToIsomorphism) {
   Universe u;
   int n = 4 + seed % 5;
   auto edges = RandomEdges(n, n + 2, seed * 31 + 1);
-  auto run_once = [&]() {
+  auto run_once = [&](const EvalOptions& options) {
     auto unit = ParseUnit(&u, kSource);
     EXPECT_TRUE(unit.ok());
     auto in_schema = unit->schema.Project({"R"});
@@ -145,16 +167,33 @@ TEST_P(DeterminacySweepTest, GraphEncodingDeterminateUpToIsomorphism) {
                                 {PositionalAttr(&u, 2), v.ConstInt(b)}}))
               .ok());
     }
-    auto out = RunUnit(&u, &*unit, input);
+    auto out = RunUnit(&u, &*unit, input, options);
     EXPECT_TRUE(out.ok()) << out.status();
     auto out_schema = unit->schema.Project({"P", "P'"});
     EXPECT_TRUE(out_schema.ok());
     return out->Project(
         std::make_shared<const Schema>(std::move(*out_schema)));
   };
-  Instance out1 = run_once();
-  Instance out2 = run_once();
+  Instance out1 = run_once(EvalOptions{});
+  Instance out2 = run_once(EvalOptions{});
   EXPECT_TRUE(OIsomorphic(out1, out2)) << "seed " << seed;
+  // An invention program under each evaluator configuration: join order
+  // and indexing may renumber invented oids, but the result must stay
+  // O-isomorphic (Theorem 4.1.3).
+  EvalOptions naive;
+  naive.enable_seminaive = false;
+  naive.enable_indexing = false;
+  naive.enable_scheduling = false;
+  Instance out_naive = run_once(naive);
+  EXPECT_TRUE(OIsomorphic(out1, out_naive)) << "seed " << seed;
+  EvalOptions unindexed;
+  unindexed.enable_indexing = false;
+  Instance out_unindexed = run_once(unindexed);
+  EXPECT_TRUE(OIsomorphic(out1, out_unindexed)) << "seed " << seed;
+  EvalOptions unscheduled;
+  unscheduled.enable_scheduling = false;
+  Instance out_unscheduled = run_once(unscheduled);
+  EXPECT_TRUE(OIsomorphic(out1, out_unscheduled)) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminacySweepTest,
@@ -253,12 +292,16 @@ TEST_P(DatalogModesTest, SameGenerationAgrees) {
     *count = db.FactCount(sg);
     for (const auto& tuple : db.Facts(sg)) result->insert(tuple);
   };
-  size_t naive_count = 0, semi_count = 0;
-  std::set<datalog::Tuple> naive_result, semi_result;
+  size_t naive_count = 0, semi_count = 0, indexed_count = 0;
+  std::set<datalog::Tuple> naive_result, semi_result, indexed_result;
   build(datalog::EvalMode::kNaive, &naive_count, &naive_result);
   build(datalog::EvalMode::kSemiNaive, &semi_count, &semi_result);
+  build(datalog::EvalMode::kSemiNaiveIndexed, &indexed_count,
+        &indexed_result);
   EXPECT_EQ(naive_count, semi_count) << "seed " << seed;
   EXPECT_EQ(naive_result, semi_result) << "seed " << seed;
+  EXPECT_EQ(naive_count, indexed_count) << "seed " << seed;
+  EXPECT_EQ(naive_result, indexed_result) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DatalogModesTest,

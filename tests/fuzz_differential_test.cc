@@ -218,6 +218,49 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
         << source;
   }
 
+  // Indexing and scheduling are pure optimizations: turning both off (the
+  // default `out` runs with both on) must not change a single fact.
+  EvalOptions plain;
+  plain.enable_indexing = false;
+  plain.enable_scheduling = false;
+  auto out_plain = RunUnit(&u, &*unit, input, plain);
+  ASSERT_TRUE(out_plain.ok()) << out_plain.status() << "\n" << source;
+  for (int r = 3; r < GenProgram::kRelations; ++r) {
+    EXPECT_EQ(out->Relation(u.Intern(GenProgram::Name(r))),
+              out_plain->Relation(u.Intern(GenProgram::Name(r))))
+        << "indexed vs plain divergence, seed " << GetParam() << "\n"
+        << source;
+  }
+
+  // The flat engine's indexed mode against its own scan-based mode.
+  {
+    datalog::Database db2;
+    for (int r = 0; r < GenProgram::kRelations; ++r) {
+      ASSERT_TRUE(
+          db2.AddRelation(GenProgram::Name(r), GenProgram::Arity(r)).ok());
+    }
+    for (int r = 0; r < 3; ++r) {
+      for (const auto& t : edb[r]) {
+        datalog::Tuple tuple;
+        for (int c : t) tuple.push_back(db2.InternConstant(c));
+        db2.AddFact(rel_ids[r], std::move(tuple));
+      }
+    }
+    ASSERT_TRUE(datalog::Evaluate(dprog, &db2,
+                                  datalog::EvalMode::kSemiNaiveIndexed)
+                    .ok());
+    for (int r = 3; r < GenProgram::kRelations; ++r) {
+      ASSERT_EQ(db2.FactCount(rel_ids[r]), db.FactCount(rel_ids[r]))
+          << "indexed datalog divergence, seed " << GetParam() << "\n"
+          << source;
+      for (const auto& t : db2.Facts(rel_ids[r])) {
+        EXPECT_TRUE(db.Contains(rel_ids[r], t))
+            << "indexed datalog divergence, seed " << GetParam() << "\n"
+            << source;
+      }
+    }
+  }
+
   // --- compare all IDB relations ---
   for (int r = 3; r < GenProgram::kRelations; ++r) {
     const auto& iql_rel = out->Relation(u.Intern(GenProgram::Name(r)));

@@ -1,0 +1,158 @@
+#include "golden_runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "iql/eval.h"
+#include "iql/parser.h"
+#include "iql/typecheck.h"
+#include "model/universe.h"
+#include "transform/isomorphism.h"
+
+namespace iqlkit::golden {
+
+bool regen = false;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path ExamplesDir() {
+  return fs::path(IQLKIT_SOURCE_DIR) / "examples" / "iql";
+}
+
+fs::path GoldenDir() { return fs::path(IQLKIT_SOURCE_DIR) / "tests" / "golden"; }
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The `schema { ... }` block of a source unit, verbatim. Brace counting
+// skips `#` comments and string literals, matching the lexer's rules.
+std::string ExtractSchemaBlock(const std::string& source) {
+  size_t start = source.find("schema");
+  if (start == std::string::npos) return "";
+  int depth = 0;
+  bool seen_brace = false;
+  for (size_t i = start; i < source.size(); ++i) {
+    char c = source[i];
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+    } else if (c == '"') {
+      for (++i; i < source.size() && source[i] != '"'; ++i) {
+      }
+    } else if (c == '{') {
+      ++depth;
+      seen_brace = true;
+    } else if (c == '}') {
+      if (--depth == 0 && seen_brace) {
+        return source.substr(start, i - start + 1);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::set<std::string> ListExamples() {
+  std::set<std::string> names;
+  for (const auto& entry : fs::directory_iterator(ExamplesDir())) {
+    if (entry.path().extension() == ".iql") {
+      names.insert(entry.path().stem().string());
+    }
+  }
+  return names;
+}
+
+std::set<std::string> ListGoldens() {
+  std::set<std::string> names;
+  if (!fs::exists(GoldenDir())) return names;
+  for (const auto& entry : fs::directory_iterator(GoldenDir())) {
+    if (entry.path().extension() == ".expected") {
+      names.insert(entry.path().stem().string());
+    }
+  }
+  return names;
+}
+
+void RunGolden(const std::string& name) {
+  fs::path source_path = ExamplesDir() / (name + ".iql");
+  std::string source = ReadFile(source_path);
+  ASSERT_FALSE(source.empty());
+
+  Universe u;
+  auto unit = ParseUnit(&u, source);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+
+  // Mirror iqlsh: the input instance lives over the input projection when
+  // one is declared, otherwise over the full schema.
+  std::shared_ptr<const Schema> input_schema;
+  if (unit->input_names.empty()) {
+    input_schema =
+        std::shared_ptr<const Schema>(&unit->schema, [](const Schema*) {});
+  } else {
+    auto projected = unit->schema.Project(unit->input_names);
+    ASSERT_TRUE(projected.ok()) << projected.status();
+    input_schema = std::make_shared<const Schema>(std::move(*projected));
+  }
+  Instance input(input_schema, &u);
+  ASSERT_TRUE(ApplyFacts(*unit, &input).ok());
+  ASSERT_TRUE(input.Validate().ok());
+
+  EvalOptions options;
+  options.allow_deletions = true;  // updates.iql exercises IQL*
+  auto actual = RunUnit(&u, &*unit, input, options);
+  ASSERT_TRUE(actual.ok()) << actual.status();
+
+  fs::path golden_path = GoldenDir() / (name + ".expected");
+  if (regen) {
+    fs::create_directories(GoldenDir());
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << "# Golden output of examples/iql/" << name
+        << ".iql -- compared up to O-isomorphism.\n"
+        << "# Regenerate with: golden_test --regen\n"
+        << WriteFacts(*actual);
+    return;
+  }
+
+  ASSERT_TRUE(fs::exists(golden_path))
+      << golden_path << " missing; run golden_test --regen and review it";
+  std::string golden = ReadFile(golden_path);
+
+  // Re-parse the golden instance block against the example's own schema,
+  // in the same universe, then compare up to oid renaming: a semantic
+  // drift in the evaluator fails, renumbered invented oids do not.
+  std::string schema_block = ExtractSchemaBlock(source);
+  ASSERT_FALSE(schema_block.empty());
+  auto golden_unit = ParseUnit(&u, schema_block + "\n" + golden);
+  ASSERT_TRUE(golden_unit.ok()) << golden_unit.status();
+  std::shared_ptr<const Schema> expected_schema;
+  if (unit->output_names.empty()) {
+    expected_schema = std::shared_ptr<const Schema>(&golden_unit->schema,
+                                                    [](const Schema*) {});
+  } else {
+    auto projected = golden_unit->schema.Project(unit->output_names);
+    ASSERT_TRUE(projected.ok()) << projected.status();
+    expected_schema = std::make_shared<const Schema>(std::move(*projected));
+  }
+  Instance expected(expected_schema, &u);
+  ASSERT_TRUE(ApplyFacts(*golden_unit, &expected).ok());
+
+  EXPECT_TRUE(OIsomorphic(*actual, expected))
+      << name << ": output is not O-isomorphic to " << golden_path
+      << "\n--- actual ---\n"
+      << WriteFacts(*actual) << "--- golden ---\n"
+      << WriteFacts(expected);
+}
+
+}  // namespace iqlkit::golden

@@ -1,0 +1,33 @@
+#ifndef IQLKIT_TESTS_GOLDEN_RUNNER_H_
+#define IQLKIT_TESTS_GOLDEN_RUNNER_H_
+
+#include <set>
+#include <string>
+
+// Golden-file harness for the example .iql programs: each
+// examples/iql/<name>.iql is evaluated against its embedded instance block
+// and the result is compared -- up to O-isomorphism, so oid numbering is
+// free to drift -- with tests/golden/<name>.expected, a re-parseable
+// instance block produced by WriteFacts. Regenerate with
+//   golden_test --regen
+// after an intentional semantic change, and review the diff like any other
+// code change.
+namespace iqlkit::golden {
+
+// Set by golden_test's main when --regen is passed: RunGolden rewrites the
+// .expected file instead of comparing against it.
+extern bool regen;
+
+// Evaluates examples/iql/<name>.iql and compares (or regenerates) its
+// golden. Reports failures through GTest assertions.
+void RunGolden(const std::string& name);
+
+// The <name>s of every examples/iql/*.iql (sorted).
+std::set<std::string> ListExamples();
+
+// The <name>s of every tests/golden/*.expected (sorted).
+std::set<std::string> ListGoldens();
+
+}  // namespace iqlkit::golden
+
+#endif  // IQLKIT_TESTS_GOLDEN_RUNNER_H_

@@ -1,0 +1,40 @@
+// Golden-file tests over the example programs: every examples/iql/*.iql is
+// evaluated and compared -- up to O-isomorphism -- against
+// tests/golden/<name>.expected. Pass --regen to rewrite the goldens after
+// an intentional semantic change (then review the diff).
+
+#include <string>
+
+#include "golden_runner.h"
+#include "gtest/gtest.h"
+
+namespace iqlkit::golden {
+namespace {
+
+TEST(GoldenTest, Genesis) { RunGolden("genesis"); }
+TEST(GoldenTest, GraphEncoding) { RunGolden("graph_encoding"); }
+TEST(GoldenTest, Powerset) { RunGolden("powerset"); }
+TEST(GoldenTest, Tc) { RunGolden("tc"); }
+TEST(GoldenTest, Updates) { RunGolden("updates"); }
+
+// Coverage guard: a new example without a golden (or a TEST above), or a
+// stale golden without an example, fails here.
+TEST(GoldenTest, EveryExampleHasAGolden) {
+  if (regen) GTEST_SKIP() << "goldens are being regenerated";
+  EXPECT_EQ(ListExamples(), ListGoldens());
+  std::set<std::string> covered = {"genesis", "graph_encoding", "powerset",
+                                   "tc", "updates"};
+  EXPECT_EQ(ListExamples(), covered)
+      << "examples/iql changed: add a GoldenTest case and regen";
+}
+
+}  // namespace
+}  // namespace iqlkit::golden
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") iqlkit::golden::regen = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -3,14 +3,35 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "iql/parser.h"
 #include "model/universe.h"
 
 namespace iqlkit {
 namespace {
+
+// Seed corpus: every example program doubles as a fuzz seed, so mutation
+// starts from realistic inputs that exercise deep parser paths.
+std::vector<std::pair<std::string, std::string>> SeedCorpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  std::filesystem::path dir =
+      std::filesystem::path(IQLKIT_SOURCE_DIR) / "examples" / "iql";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".iql") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    corpus.emplace_back(entry.path().stem().string(), text.str());
+  }
+  std::sort(corpus.begin(), corpus.end());
+  return corpus;
+}
 
 constexpr std::string_view kValid = R"(
   schema {
@@ -90,6 +111,64 @@ TEST(ParserFuzzSanityTest, TheValidSourceActuallyParses) {
   Universe u;
   auto unit = ParseUnit(&u, kValid);
   EXPECT_TRUE(unit.ok()) << unit.status();
+}
+
+TEST(ParserFuzzSanityTest, EveryCorpusSeedParses) {
+  auto corpus = SeedCorpus();
+  ASSERT_GE(corpus.size(), 5u);
+  for (const auto& [name, source] : corpus) {
+    Universe u;
+    auto unit = ParseUnit(&u, source);
+    EXPECT_TRUE(unit.ok()) << name << ": " << unit.status();
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedCorpusSeedNeverCrashes) {
+  static const auto corpus = SeedCorpus();
+  std::mt19937 rng(GetParam() * 2654435761u + 11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string source = corpus[rng() % corpus.size()].second;
+    int mutations = 1 + rng() % 5;
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % source.size();
+      switch (rng() % 4) {
+        case 0:
+          source.erase(pos, 1 + rng() % 8);
+          break;
+        case 1:
+          source.insert(pos, 1, static_cast<char>(' ' + rng() % 95));
+          break;
+        case 2:
+          // Splice a random chunk of another seed in.
+          {
+            const std::string& other =
+                corpus[rng() % corpus.size()].second;
+            size_t start = rng() % other.size();
+            size_t len = rng() % 30;
+            source.insert(pos, other.substr(start, len));
+          }
+          break;
+        default:
+          source[pos] = static_cast<char>(' ' + rng() % 95);
+          break;
+      }
+    }
+    Universe u;
+    auto unit = ParseUnit(&u, source);
+    (void)unit;
+  }
+}
+
+TEST_P(ParserFuzzTest, TruncatedCorpusSeedNeverCrashes) {
+  static const auto corpus = SeedCorpus();
+  std::mt19937 rng(GetParam() * 69069u + 29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string& full = corpus[rng() % corpus.size()].second;
+    std::string source = full.substr(0, rng() % full.size());
+    Universe u;
+    auto unit = ParseUnit(&u, source);
+    (void)unit;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,

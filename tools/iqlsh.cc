@@ -19,6 +19,13 @@
 //   --trace              stream per-step fixpoint progress to stderr
 //   --write-facts        emit the output as a re-parseable instance block
 //   --ground-facts       emit ground-facts(I) in the paper's notation
+//   --metrics, :metrics  evaluate, then dump per-rule/per-round metrics
+//                        as JSON (EvalMetrics::ToJson)
+//   --explain, :explain  print the static greedy join schedule per rule
+//                        (no evaluation unless --metrics is also set)
+//   --no-seminaive       force the paper's naive operator on every stage
+//   --no-index           disable hash-indexed generators
+//   --no-schedule        disable selectivity-aware literal scheduling
 
 #include <fstream>
 #include <iostream>
@@ -53,10 +60,18 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool write_facts = false;
   bool ground_facts = false;
+  bool metrics_flag = false;
+  bool explain_flag = false;
+  bool no_seminaive = false;
+  bool no_index = false;
+  bool no_schedule = false;
   uint64_t max_steps = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // `:name` is shell-friendly shorthand for `--name` (":metrics" reads
+    // like a REPL command).
+    if (arg.size() > 1 && arg[0] == ':') arg = "--" + arg.substr(1);
     if (arg == "--allow-deletions") {
       allow_deletions = true;
     } else if (arg == "--choose-max") {
@@ -77,6 +92,16 @@ int main(int argc, char** argv) {
       write_facts = true;
     } else if (arg == "--ground-facts") {
       ground_facts = true;
+    } else if (arg == "--metrics") {
+      metrics_flag = true;
+    } else if (arg == "--explain") {
+      explain_flag = true;
+    } else if (arg == "--no-seminaive") {
+      no_seminaive = true;
+    } else if (arg == "--no-index") {
+      no_index = true;
+    } else if (arg == "--no-schedule") {
+      no_schedule = true;
     } else if (arg.rfind("--max-steps=", 0) == 0) {
       max_steps = std::stoull(arg.substr(12));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -143,6 +168,12 @@ int main(int argc, char** argv) {
     std::cout << "OK: parsed, type checked, input validates\n";
     return 0;
   }
+  if (explain_flag) {
+    auto schedule = ExplainSchedule(&u, unit->schema, &unit->program, input);
+    if (!schedule.ok()) return Fail(schedule.status());
+    std::cout << "=== join schedule (static, vs. input) ===\n" << *schedule;
+    if (!metrics_flag) return 0;
+  }
 
   EvalOptions options;
   options.allow_deletions = allow_deletions;
@@ -151,21 +182,30 @@ int main(int argc, char** argv) {
   }
   if (max_steps > 0) options.max_steps_per_stage = max_steps;
   if (trace) options.trace = &std::cerr;
+  options.enable_seminaive = !no_seminaive;
+  options.enable_indexing = !no_index;
+  options.enable_scheduling = !no_schedule;
+  EvalMetrics metrics;
+  if (metrics_flag) options.metrics = &metrics;
   EvalStats stats;
   auto out = RunUnit(&u, &*unit, input, options, &stats);
   if (!out.ok()) return Fail(out.status());
 
   if (dot) {
     std::cout << InstanceToDot(*out, path);
+    // Keep stdout machine-readable; metrics go to stderr here.
+    if (metrics_flag) std::cerr << metrics.ToJson() << "\n";
     return 0;
   }
   if (write_facts) {
     // Re-parseable: paste below the schema to reload the output.
     std::cout << WriteFacts(*out);
+    if (metrics_flag) std::cerr << metrics.ToJson() << "\n";
     return 0;
   }
   if (ground_facts) {
     std::cout << out->GroundFactsToString();
+    if (metrics_flag) std::cerr << metrics.ToJson() << "\n";
     return 0;
   }
   std::cout << "=== output instance ===\n" << out->ToString();
@@ -176,6 +216,9 @@ int main(int argc, char** argv) {
               << "  invented oids: " << stats.invented_oids << "\n"
               << "  facts added:   " << stats.facts_added << "\n"
               << "  facts deleted: " << stats.facts_deleted << "\n";
+  }
+  if (metrics_flag) {
+    std::cout << "=== metrics ===\n" << metrics.ToJson() << "\n";
   }
   return 0;
 }
