@@ -1,0 +1,237 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace iqlkit {
+
+namespace {
+
+// The line of `source` containing byte `offset`, without its newline.
+std::string_view LineAt(std::string_view source, int offset) {
+  if (offset < 0 || static_cast<size_t>(offset) > source.size()) return {};
+  size_t pos = static_cast<size_t>(offset);
+  size_t begin = source.rfind('\n', pos == 0 ? 0 : pos - 1);
+  begin = (begin == std::string_view::npos || pos == 0) ? 0 : begin + 1;
+  // rfind can land on the newline *at* pos-1 when offset starts a line.
+  if (begin > pos) begin = pos;
+  size_t end = source.find('\n', pos);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+void AppendExcerpt(std::string* out, std::string_view source,
+                   const SourceSpan& span) {
+  if (!span.valid() || span.offset < 0 ||
+      static_cast<size_t>(span.offset) > source.size()) {
+    return;
+  }
+  std::string_view line = LineAt(source, span.offset);
+  std::string number = std::to_string(span.line);
+  std::string gutter(number.size() + 2, ' ');
+  *out += "  " + number + " | ";
+  // Tabs would misalign the caret column; render them as single spaces.
+  for (char c : line) out->push_back(c == '\t' ? ' ' : c);
+  *out += "\n  " + gutter + "| ";
+  int col = span.column > 0 ? span.column : 1;
+  for (int i = 1; i < col; ++i) out->push_back(' ');
+  // Clamp the caret run to the excerpted line; multi-line spans (whole
+  // rules) underline from the start column to the end of the first line.
+  int line_remaining = static_cast<int>(line.size()) - (col - 1);
+  int run = std::max(1, std::min(span.length, line_remaining));
+  out->push_back('^');
+  for (int i = 1; i < run; ++i) out->push_back('~');
+  out->push_back('\n');
+}
+
+void AppendHeader(std::string* out, std::string_view filename,
+                  const SourceSpan& span, std::string_view label,
+                  std::string_view message, std::string_view code) {
+  if (!filename.empty()) {
+    *out += filename;
+    *out += ':';
+  }
+  if (span.valid()) {
+    *out += std::to_string(span.line) + ":" + std::to_string(span.column) +
+            ":";
+  }
+  if (!out->empty() && out->back() == ':') *out += ' ';
+  *out += label;
+  *out += ": ";
+  *out += message;
+  if (!code.empty()) {
+    *out += " [";
+    *out += code;
+    *out += ']';
+  }
+  *out += '\n';
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonSpan(std::string* out, const SourceSpan& span) {
+  *out += "\"line\": " + std::to_string(span.line) +
+          ", \"column\": " + std::to_string(span.column) +
+          ", \"offset\": " + std::to_string(span.offset) +
+          ", \"length\": " + std::to_string(span.length);
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kHint: return "hint";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+Diagnostic& DiagnosticSink::Report(Diagnostic d) {
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+Diagnostic& DiagnosticSink::Error(std::string code, SourceSpan span,
+                                  std::string message) {
+  return Report(Diagnostic{std::move(code), Severity::kError, span,
+                           std::move(message), {}, std::nullopt});
+}
+
+Diagnostic& DiagnosticSink::Warning(std::string code, SourceSpan span,
+                                    std::string message) {
+  return Report(Diagnostic{std::move(code), Severity::kWarning, span,
+                           std::move(message), {}, std::nullopt});
+}
+
+Diagnostic& DiagnosticSink::Hint(std::string code, SourceSpan span,
+                                 std::string message) {
+  return Report(Diagnostic{std::move(code), Severity::kHint, span,
+                           std::move(message), {}, std::nullopt});
+}
+
+size_t DiagnosticSink::count(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::optional<Severity> DiagnosticSink::max_severity() const {
+  std::optional<Severity> max;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!max.has_value() || d.severity > *max) max = d.severity;
+  }
+  return max;
+}
+
+std::string RenderText(const Diagnostic& diagnostic, std::string_view source,
+                       std::string_view filename) {
+  std::string out;
+  AppendHeader(&out, filename, diagnostic.span,
+               SeverityName(diagnostic.severity), diagnostic.message,
+               diagnostic.code);
+  AppendExcerpt(&out, source, diagnostic.span);
+  for (const DiagnosticNote& note : diagnostic.notes) {
+    AppendHeader(&out, filename, note.span, "note", note.message, "");
+    AppendExcerpt(&out, source, note.span);
+  }
+  if (diagnostic.fixit.has_value()) {
+    AppendHeader(&out, filename, diagnostic.fixit->span, "fix-it",
+                 diagnostic.fixit->replacement.empty()
+                     ? "delete this"
+                     : "replace with '" + diagnostic.fixit->replacement + "'",
+                 "");
+  }
+  return out;
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view source, std::string_view filename) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += RenderText(d, source, filename);
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view filename) {
+  std::string out = "{\"file\": ";
+  AppendJsonString(&out, filename);
+  out += ", \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"code\": ";
+    AppendJsonString(&out, d.code);
+    out += ", \"severity\": ";
+    AppendJsonString(&out, SeverityName(d.severity));
+    out += ", ";
+    AppendJsonSpan(&out, d.span);
+    out += ", \"message\": ";
+    AppendJsonString(&out, d.message);
+    if (!d.notes.empty()) {
+      out += ", \"notes\": [";
+      bool first_note = true;
+      for (const DiagnosticNote& note : d.notes) {
+        if (!first_note) out += ", ";
+        first_note = false;
+        out += "{";
+        AppendJsonSpan(&out, note.span);
+        out += ", \"message\": ";
+        AppendJsonString(&out, note.message);
+        out += "}";
+      }
+      out += "]";
+    }
+    if (d.fixit.has_value()) {
+      out += ", \"fixit\": {";
+      AppendJsonSpan(&out, d.fixit->span);
+      out += ", \"replacement\": ";
+      AppendJsonString(&out, d.fixit->replacement);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OneLine(const Diagnostic& diagnostic, std::string_view filename) {
+  std::string out;
+  AppendHeader(&out, filename, diagnostic.span,
+               SeverityName(diagnostic.severity), diagnostic.message,
+               diagnostic.code);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+Status ToStatus(const Diagnostic& diagnostic, StatusCode code) {
+  return Status(code, OneLine(diagnostic));
+}
+
+}  // namespace iqlkit

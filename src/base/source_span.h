@@ -1,0 +1,35 @@
+#ifndef IQLKIT_BASE_SOURCE_SPAN_H_
+#define IQLKIT_BASE_SOURCE_SPAN_H_
+
+namespace iqlkit {
+
+// A half-open region of a source buffer, carried from the lexer through the
+// parser into AST nodes so every diagnostic can point at the text that
+// produced it. `line`/`column` are 1-based and name the first character;
+// `offset`/`length` are byte positions into the original buffer (a span may
+// cross lines, e.g. a whole rule -- renderers clamp the caret run to the
+// first line). A default-constructed span (line 0) means "no position".
+struct SourceSpan {
+  int line = 0;
+  int column = 1;
+  int offset = 0;
+  int length = 0;
+
+  bool valid() const { return line > 0; }
+
+  // The smallest span covering both operands; invalid spans are identities.
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.valid()) return b;
+    if (!b.valid()) return a;
+    const SourceSpan& first = b.offset < a.offset ? b : a;
+    int end_a = a.offset + a.length;
+    int end_b = b.offset + b.length;
+    SourceSpan out = first;
+    out.length = (end_a > end_b ? end_a : end_b) - first.offset;
+    return out;
+  }
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_BASE_SOURCE_SPAN_H_

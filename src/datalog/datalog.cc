@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/diagnostic.h"
 #include "base/hash.h"
 #include "base/logging.h"
 
@@ -93,8 +94,11 @@ Result<std::vector<int>> Stratify(const Program& program,
 
 namespace {
 
-// Checks rule safety and computes the number of variables.
-Status CheckRule(const Rule& rule, const Database& db, int* var_count) {
+// Checks rule safety and computes the number of variables. `rule_index`
+// labels the rule in error messages (rules carry no source positions, so
+// the diagnostic anchors on the program-order index instead).
+Status CheckRule(const Rule& rule, const Database& db, int rule_index,
+                 int* var_count) {
   std::unordered_set<int> positive_vars;
   int max_var = -1;
   auto scan = [&](const Atom& a, bool collect) -> Status {
@@ -116,17 +120,26 @@ Status CheckRule(const Rule& rule, const Database& db, int* var_count) {
   for (const Atom& a : rule.negated) IQL_RETURN_IF_ERROR(scan(a, false));
   IQL_RETURN_IF_ERROR(scan(rule.head, false));
   // Safety: every head / negated variable occurs positively.
-  auto check_covered = [&](const Atom& a) -> Status {
+  auto check_covered = [&](const Atom& a, std::string_view where) -> Status {
     for (const Term& t : a.terms) {
       if (t.is_var && !positive_vars.count(static_cast<int>(t.value))) {
-        return InvalidArgumentError(
-            "unsafe rule: variable not bound by a positive body atom");
+        Diagnostic d;
+        d.code = "E005";
+        d.severity = Severity::kError;
+        d.message = "unsafe rule " + std::to_string(rule_index) +
+                    ": variable v" + std::to_string(t.value) + " in the " +
+                    std::string(where) + " atom '" +
+                    std::string(db.name(a.relation)) +
+                    "' is not bound by a positive body atom";
+        return ToStatus(d, StatusCode::kInvalidArgument);
       }
     }
     return Status::Ok();
   };
-  IQL_RETURN_IF_ERROR(check_covered(rule.head));
-  for (const Atom& a : rule.negated) IQL_RETURN_IF_ERROR(check_covered(a));
+  IQL_RETURN_IF_ERROR(check_covered(rule.head, "head"));
+  for (const Atom& a : rule.negated) {
+    IQL_RETURN_IF_ERROR(check_covered(a, "negated"));
+  }
   *var_count = max_var + 1;
   return Status::Ok();
 }
@@ -146,8 +159,8 @@ class Engine {
                          Stratify(program_, db_->relation_count()));
     var_counts_.resize(program_.rules.size());
     for (size_t i = 0; i < program_.rules.size(); ++i) {
-      IQL_RETURN_IF_ERROR(
-          CheckRule(program_.rules[i], *db_, &var_counts_[i]));
+      IQL_RETURN_IF_ERROR(CheckRule(program_.rules[i], *db_,
+                                    static_cast<int>(i), &var_counts_[i]));
     }
     indexed_ = mode == EvalMode::kSemiNaiveIndexed;
     if (indexed_) pos_indexes_.resize(db_->relation_count());

@@ -6,42 +6,48 @@
 
 namespace iqlkit {
 
-TermId Program::Var(Symbol name) {
+TermId Program::Var(Symbol name, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kVar;
   t.name = name;
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::Const(Symbol atom) {
+TermId Program::Const(Symbol atom, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kConst;
   t.name = atom;
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::RelName(Symbol name) {
+TermId Program::RelName(Symbol name, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kRelName;
   t.name = name;
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::ClassName(Symbol name) {
+TermId Program::ClassName(Symbol name, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kClassName;
   t.name = name;
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::Deref(Symbol var) {
+TermId Program::Deref(Symbol var, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kDeref;
   t.name = var;
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::TupleTerm(std::vector<std::pair<Symbol, TermId>> fields) {
+TermId Program::TupleTerm(std::vector<std::pair<Symbol, TermId>> fields,
+                          SourceSpan span) {
   std::sort(fields.begin(), fields.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (size_t i = 1; i < fields.size(); ++i) {
@@ -51,13 +57,15 @@ TermId Program::TupleTerm(std::vector<std::pair<Symbol, TermId>> fields) {
   Term t;
   t.kind = Term::Kind::kTuple;
   t.fields = std::move(fields);
+  t.span = span;
   return AddTerm(std::move(t));
 }
 
-TermId Program::SetTerm(std::vector<TermId> elems) {
+TermId Program::SetTerm(std::vector<TermId> elems, SourceSpan span) {
   Term t;
   t.kind = Term::Kind::kSet;
   t.elems = std::move(elems);
+  t.span = span;
   return AddTerm(std::move(t));
 }
 

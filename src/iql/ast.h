@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/interner.h"
+#include "base/source_span.h"
 #include "model/schema.h"
 #include "model/type.h"
 
@@ -37,6 +38,8 @@ struct Term {
   Symbol name = kInvalidSymbol;
   std::vector<std::pair<Symbol, TermId>> fields;  // kTuple (sorted by attr)
   std::vector<TermId> elems;                      // kSet
+  // Source position (invalid for programs built programmatically).
+  SourceSpan span;
 };
 
 // A literal (§3.1): membership t1(t2), equality t1 = t2, their negations
@@ -48,6 +51,8 @@ struct Literal {
   bool positive = true;
   TermId lhs = kInvalidTerm;  // membership: the set-typed side; equality: lhs
   TermId rhs = kInvalidTerm;
+  // The whole literal, negation included.
+  SourceSpan span;
 };
 
 // A rule L <- L1, ..., Lk. The head must be a *fact* (§3.1): R(t), P(t),
@@ -63,9 +68,11 @@ struct Rule {
   std::vector<Symbol> invented_vars;    // head-only variables (class-typed)
   bool has_choose = false;              // body contains `choose`
 
-  // Position (for diagnostics): stage index and rule index within stage.
+  // Position (for diagnostics): stage index and rule index within stage,
+  // plus the source span from the first head token through the final '.'.
   int stage = 0;
   int index = 0;
+  SourceSpan span;
 };
 
 // An IQL program: stages separated by ';' (the composition shorthand the
@@ -77,6 +84,9 @@ struct Program {
   std::vector<std::vector<Rule>> stages;
   // Program-wide `var x: t` declarations; per-rule inference fills the rest.
   std::map<Symbol, TypeId> declared_var_types;
+  // Span of each `x: t` declaration item (name through type), when parsed
+  // from source; used by W004 (unused declaration) and W006 (empty type).
+  std::map<Symbol, SourceSpan> declared_var_spans;
   // Set by TypeCheck once every rule's var_types/invented_vars are filled.
   bool type_checked = false;
 
@@ -86,13 +96,14 @@ struct Program {
     terms.push_back(std::move(t));
     return static_cast<TermId>(terms.size() - 1);
   }
-  TermId Var(Symbol name);
-  TermId Const(Symbol atom);
-  TermId RelName(Symbol name);
-  TermId ClassName(Symbol name);
-  TermId Deref(Symbol var);
-  TermId TupleTerm(std::vector<std::pair<Symbol, TermId>> fields);
-  TermId SetTerm(std::vector<TermId> elems);
+  TermId Var(Symbol name, SourceSpan span = {});
+  TermId Const(Symbol atom, SourceSpan span = {});
+  TermId RelName(Symbol name, SourceSpan span = {});
+  TermId ClassName(Symbol name, SourceSpan span = {});
+  TermId Deref(Symbol var, SourceSpan span = {});
+  TermId TupleTerm(std::vector<std::pair<Symbol, TermId>> fields,
+                   SourceSpan span = {});
+  TermId SetTerm(std::vector<TermId> elems, SourceSpan span = {});
 
   // All rules across stages, in order.
   std::vector<const Rule*> AllRules() const;

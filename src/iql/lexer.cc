@@ -3,6 +3,8 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "analysis/diagnostic.h"
+
 namespace iqlkit {
 
 namespace {
@@ -73,7 +75,8 @@ std::string_view TokenKindName(TokenKind kind) {
   return "?";
 }
 
-Result<std::vector<Token>> Lex(std::string_view source) {
+Result<std::vector<Token>> Lex(std::string_view source,
+                               DiagnosticSink* diags) {
   std::vector<Token> tokens;
   int line = 1;
   int column = 1;
@@ -90,22 +93,33 @@ Result<std::vector<Token>> Lex(std::string_view source) {
     }
   };
   auto error = [&](std::string_view what) {
+    if (diags != nullptr) {
+      SourceSpan span{line, column, static_cast<int>(i),
+                      i < source.size() ? 1 : 0};
+      diags->Error("E001", span, std::string(what));
+    }
     return ParseError(std::string(what) + " at line " +
                       std::to_string(line) + ", column " +
                       std::to_string(column));
   };
-  auto push = [&](TokenKind kind, std::string text, int l, int c) {
+  // `to` is the byte offset where the token's lexeme starts; by the time
+  // push runs, `i` sits one past its last byte, so the length falls out.
+  auto push = [&](TokenKind kind, std::string text, int l, int c,
+                  size_t to) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.line = l;
     t.column = c;
+    t.offset = static_cast<int>(to);
+    t.length = static_cast<int>(i - to);
     tokens.push_back(std::move(t));
   };
 
   while (i < source.size()) {
     char c = source[i];
     int tl = line, tc = column;
+    size_t to = i;
     // whitespace
     if (std::isspace(static_cast<unsigned char>(c))) {
       advance();
@@ -123,9 +137,9 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       std::string_view word = source.substr(start, i - start);
       auto kw = Keywords().find(word);
       if (kw != Keywords().end()) {
-        push(kw->second, std::string(word), tl, tc);
+        push(kw->second, std::string(word), tl, tc, to);
       } else {
-        push(TokenKind::kIdent, std::string(word), tl, tc);
+        push(TokenKind::kIdent, std::string(word), tl, tc, to);
       }
       continue;
     }
@@ -136,7 +150,7 @@ Result<std::vector<Token>> Lex(std::string_view source) {
         advance();
       }
       push(TokenKind::kInt, std::string(source.substr(start, i - start)), tl,
-           tc);
+           tc, to);
       continue;
     }
     if (c == '"') {
@@ -155,47 +169,49 @@ Result<std::vector<Token>> Lex(std::string_view source) {
       }
       if (i >= source.size()) return error("unterminated string literal");
       advance();  // closing quote
-      push(TokenKind::kString, std::move(text), tl, tc);
+      push(TokenKind::kString, std::move(text), tl, tc, to);
       continue;
     }
+    auto push1 = [&](TokenKind kind, const char* text) {
+      advance();
+      push(kind, text, tl, tc, to);
+    };
     switch (c) {
-      case '(': push(TokenKind::kLParen, "(", tl, tc); advance(); continue;
-      case ')': push(TokenKind::kRParen, ")", tl, tc); advance(); continue;
-      case '[': push(TokenKind::kLBracket, "[", tl, tc); advance(); continue;
-      case ']': push(TokenKind::kRBracket, "]", tl, tc); advance(); continue;
-      case '{': push(TokenKind::kLBrace, "{", tl, tc); advance(); continue;
-      case '}': push(TokenKind::kRBrace, "}", tl, tc); advance(); continue;
-      case ',': push(TokenKind::kComma, ",", tl, tc); advance(); continue;
-      case ';': push(TokenKind::kSemi, ";", tl, tc); advance(); continue;
-      case '.': push(TokenKind::kDot, ".", tl, tc); advance(); continue;
-      case '^': push(TokenKind::kCaret, "^", tl, tc); advance(); continue;
-      case '=': push(TokenKind::kEq, "=", tl, tc); advance(); continue;
-      case '|': push(TokenKind::kPipe, "|", tl, tc); advance(); continue;
-      case '&': push(TokenKind::kAmp, "&", tl, tc); advance(); continue;
-      case '@': push(TokenKind::kAt, "@", tl, tc); advance(); continue;
+      case '(': push1(TokenKind::kLParen, "("); continue;
+      case ')': push1(TokenKind::kRParen, ")"); continue;
+      case '[': push1(TokenKind::kLBracket, "["); continue;
+      case ']': push1(TokenKind::kRBracket, "]"); continue;
+      case '{': push1(TokenKind::kLBrace, "{"); continue;
+      case '}': push1(TokenKind::kRBrace, "}"); continue;
+      case ',': push1(TokenKind::kComma, ","); continue;
+      case ';': push1(TokenKind::kSemi, ";"); continue;
+      case '.': push1(TokenKind::kDot, "."); continue;
+      case '^': push1(TokenKind::kCaret, "^"); continue;
+      case '=': push1(TokenKind::kEq, "="); continue;
+      case '|': push1(TokenKind::kPipe, "|"); continue;
+      case '&': push1(TokenKind::kAmp, "&"); continue;
+      case '@': push1(TokenKind::kAt, "@"); continue;
       case ':':
         if (i + 1 < source.size() && source[i + 1] == '-') {
-          push(TokenKind::kTurnstile, ":-", tl, tc);
           advance(2);
+          push(TokenKind::kTurnstile, ":-", tl, tc, to);
         } else {
-          push(TokenKind::kColon, ":", tl, tc);
-          advance();
+          push1(TokenKind::kColon, ":");
         }
         continue;
       case '!':
         if (i + 1 < source.size() && source[i + 1] == '=') {
-          push(TokenKind::kNeq, "!=", tl, tc);
           advance(2);
+          push(TokenKind::kNeq, "!=", tl, tc, to);
         } else {
-          push(TokenKind::kBang, "!", tl, tc);
-          advance();
+          push1(TokenKind::kBang, "!");
         }
         continue;
       default:
         return error(std::string("unexpected character '") + c + "'");
     }
   }
-  push(TokenKind::kEof, "", line, column);
+  push(TokenKind::kEof, "", line, column, i);
   return tokens;
 }
 

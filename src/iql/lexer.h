@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/source_span.h"
 #include "base/status.h"
 
 namespace iqlkit {
@@ -55,11 +56,20 @@ struct Token {
   std::string text;  // identifier / string contents / digits
   int line = 1;
   int column = 1;
+  int offset = 0;  // byte position of the lexeme in the source buffer
+  int length = 0;  // lexeme length in source bytes (quotes/escapes included)
+
+  SourceSpan span() const { return SourceSpan{line, column, offset, length}; }
 };
 
 // Tokenizes `source`. Comments run from "//" or "#" to end of line.
-// Reports the first lexical error with line/column.
-Result<std::vector<Token>> Lex(std::string_view source);
+// Reports the first lexical error with line/column; when `diags` is
+// non-null the error is also recorded as an E001 diagnostic with an exact
+// span (see analysis/diagnostic.h -- the sink type is forward-declared so
+// base-level users need not link the analysis library).
+class DiagnosticSink;
+Result<std::vector<Token>> Lex(std::string_view source,
+                               DiagnosticSink* diags = nullptr);
 
 // Human-readable token name for diagnostics.
 std::string_view TokenKindName(TokenKind kind);

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "base/logging.h"
 #include "iql/lexer.h"
 
@@ -23,11 +24,13 @@ namespace {
 // classified as relation names, class names, or variables.
 class Parser {
  public:
-  Parser(Universe* universe, std::vector<Token> tokens)
-      : universe_(universe), tokens_(std::move(tokens)) {}
+  Parser(Universe* universe, std::vector<Token> tokens,
+         DiagnosticSink* diags = nullptr)
+      : universe_(universe), tokens_(std::move(tokens)), diags_(diags) {}
 
   Result<ParsedUnit> ParseUnit() {
     ParsedUnit unit(universe_);
+    decl_spans_ = &unit.decl_spans;
     bool saw_schema = false;
     while (!At(TokenKind::kEof)) {
       if (At(TokenKind::kKwSchema)) {
@@ -123,8 +126,18 @@ class Parser {
     return Status::Ok();
   }
   Status Error(std::string message) const {
+    if (diags_ != nullptr) diags_->Error("E002", Cur().span(), message);
     return ParseError(message + " at line " + std::to_string(Cur().line) +
                       ", column " + std::to_string(Cur().column));
+  }
+
+  // The span from `start`'s first byte through the last consumed token.
+  SourceSpan SpanFrom(const Token& start) const {
+    const Token& end = tokens_[pos_ > 0 ? pos_ - 1 : 0];
+    SourceSpan span = start.span();
+    int close = end.offset + end.length;
+    if (close > span.offset) span.length = close - span.offset;
+    return span;
   }
 
   // ---- schema ------------------------------------------------------------
@@ -132,12 +145,16 @@ class Parser {
   Status ParseSchemaItems(Schema* schema) {
     while (At(TokenKind::kKwRelation) || At(TokenKind::kKwClass)) {
       bool is_relation = At(TokenKind::kKwRelation);
+      const Token& start = Cur();
       Next();
       if (!At(TokenKind::kIdent)) return Error("expected name");
       std::string name = Cur().text;
       Next();
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
       IQL_ASSIGN_OR_RETURN(TypeId t, ParseType());
+      if (decl_spans_ != nullptr) {
+        decl_spans_->emplace(universe_->Intern(name), SpanFrom(start));
+      }
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
       IQL_RETURN_IF_ERROR(is_relation ? schema->DeclareRelation(name, t)
                                       : schema->DeclareClass(name, t));
@@ -243,6 +260,7 @@ class Parser {
         Next();
         do {
           if (!At(TokenKind::kIdent)) return Error("expected variable name");
+          const Token& item_start = Cur();
           Symbol var = universe_->Intern(Cur().text);
           Next();
           IQL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
@@ -252,6 +270,7 @@ class Parser {
             return Error("conflicting declaration for variable '" +
                          std::string(universe_->Name(var)) + "'");
           }
+          program->declared_var_spans.emplace(var, SpanFrom(item_start));
         } while (Accept(TokenKind::kComma));
         IQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
         continue;
@@ -266,6 +285,7 @@ class Parser {
   }
 
   Status ParseRule(Program* program) {
+    const Token& start = Cur();
     Rule rule;
     rule.head_negative = Accept(TokenKind::kBang);
     IQL_ASSIGN_OR_RETURN(rule.head, ParseHeadLiteral(program));
@@ -279,6 +299,7 @@ class Parser {
     IQL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
     rule.stage = static_cast<int>(program->stages.size()) - 1;
     rule.index = static_cast<int>(program->stages.back().size());
+    rule.span = SpanFrom(start);
     program->stages.back().push_back(std::move(rule));
     return Status::Ok();
   }
@@ -286,36 +307,41 @@ class Parser {
   // head := Name "(" args ")" | var "^" "(" term ")" | var "^" "=" term
   Result<Literal> ParseHeadLiteral(Program* program) {
     if (!At(TokenKind::kIdent)) return Error("expected head literal");
+    const Token& start = Cur();
     Symbol name = universe_->Intern(Cur().text);
     Next();
     Literal lit;
     if (Accept(TokenKind::kCaret)) {
+      TermId deref = program->Deref(name, SpanFrom(start));
       if (Accept(TokenKind::kEq)) {
         lit.kind = Literal::Kind::kEquality;
-        lit.lhs = program->Deref(name);
+        lit.lhs = deref;
         IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+        lit.span = SpanFrom(start);
         return lit;
       }
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
       lit.kind = Literal::Kind::kMembership;
-      lit.lhs = program->Deref(name);
+      lit.lhs = deref;
       IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      lit.span = SpanFrom(start);
       return lit;
     }
     IQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
     IQL_ASSIGN_OR_RETURN(TermId args, ParseCallArgs(program, name));
     lit.kind = Literal::Kind::kMembership;
     if (schema_->HasRelation(name)) {
-      lit.lhs = program->RelName(name);
+      lit.lhs = program->RelName(name, start.span());
     } else if (schema_->HasClass(name)) {
-      lit.lhs = program->ClassName(name);
+      lit.lhs = program->ClassName(name, start.span());
     } else {
       return Error("head predicate '" +
                    std::string(universe_->Name(name)) +
                    "' is not a declared relation or class");
     }
     lit.rhs = args;
+    lit.span = SpanFrom(start);
     return lit;
   }
 
@@ -323,6 +349,7 @@ class Parser {
   // k != 1 arguments are the positional-tuple shorthand of §3.4.
   Result<TermId> ParseCallArgs(Program* program, Symbol name) {
     (void)name;
+    const Token& start = Cur();
     std::vector<TermId> args;
     if (!At(TokenKind::kRParen)) {
       do {
@@ -338,7 +365,7 @@ class Parser {
       fields.emplace_back(PositionalAttr(universe_, static_cast<int>(i + 1)),
                           args[i]);
     }
-    return program->TupleTerm(std::move(fields));
+    return program->TupleTerm(std::move(fields), SpanFrom(start));
   }
 
   Result<Literal> ParseBodyLiteral(Program* program) {
@@ -347,10 +374,12 @@ class Parser {
       lit.kind = Literal::Kind::kChoose;
       return lit;
     }
+    const Token& start = Cur();
     bool negative = Accept(TokenKind::kBang);
     // Membership with a name/var/deref left-hand side?
     if (At(TokenKind::kIdent)) {
       if (Peek(1).kind == TokenKind::kLParen) {
+        const Token& name_tok = Cur();
         Symbol name = universe_->Intern(Cur().text);
         Next();
         Next();  // '('
@@ -359,27 +388,32 @@ class Parser {
         lit.kind = Literal::Kind::kMembership;
         lit.positive = !negative;
         if (schema_->HasRelation(name)) {
-          lit.lhs = program->RelName(name);
+          lit.lhs = program->RelName(name, name_tok.span());
         } else if (schema_->HasClass(name)) {
-          lit.lhs = program->ClassName(name);
+          lit.lhs = program->ClassName(name, name_tok.span());
         } else {
-          lit.lhs = program->Var(name);  // set-typed variable, e.g. Y(y)
+          // set-typed variable, e.g. Y(y)
+          lit.lhs = program->Var(name, name_tok.span());
         }
         lit.rhs = args;
+        lit.span = SpanFrom(start);
         return lit;
       }
       if (Peek(1).kind == TokenKind::kCaret &&
           Peek(2).kind == TokenKind::kLParen) {
+        const Token& name_tok = Cur();
         Symbol var = universe_->Intern(Cur().text);
         Next();
         Next();  // '^'
+        SourceSpan deref_span = SpanFrom(name_tok);
         Next();  // '('
         Literal lit;
         lit.kind = Literal::Kind::kMembership;
         lit.positive = !negative;
-        lit.lhs = program->Deref(var);
+        lit.lhs = program->Deref(var, deref_span);
         IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
         IQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        lit.span = SpanFrom(start);
         return lit;
       }
     }
@@ -400,22 +434,30 @@ class Parser {
     }
     lit.lhs = lhs;
     IQL_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(program));
+    lit.span = SpanFrom(start);
     return lit;
   }
 
   Result<TermId> ParseTerm(Program* program) {
+    const Token& start = Cur();
     if (At(TokenKind::kString) || At(TokenKind::kInt)) {
-      TermId t = program->Const(universe_->Intern(Cur().text));
+      Symbol atom = universe_->Intern(Cur().text);
       Next();
-      return t;
+      return program->Const(atom, SpanFrom(start));
     }
     if (At(TokenKind::kIdent)) {
       Symbol name = universe_->Intern(Cur().text);
       Next();
-      if (Accept(TokenKind::kCaret)) return program->Deref(name);
-      if (schema_->HasRelation(name)) return program->RelName(name);
-      if (schema_->HasClass(name)) return program->ClassName(name);
-      return program->Var(name);
+      if (Accept(TokenKind::kCaret)) {
+        return program->Deref(name, SpanFrom(start));
+      }
+      if (schema_->HasRelation(name)) {
+        return program->RelName(name, SpanFrom(start));
+      }
+      if (schema_->HasClass(name)) {
+        return program->ClassName(name, SpanFrom(start));
+      }
+      return program->Var(name, SpanFrom(start));
     }
     if (Accept(TokenKind::kLBrace)) {
       std::vector<TermId> elems;
@@ -426,7 +468,7 @@ class Parser {
         } while (Accept(TokenKind::kComma));
       }
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
-      return program->SetTerm(std::move(elems));
+      return program->SetTerm(std::move(elems), SpanFrom(start));
     }
     if (Accept(TokenKind::kLBracket)) {
       std::vector<std::pair<Symbol, TermId>> fields;
@@ -452,7 +494,7 @@ class Parser {
         } while (Accept(TokenKind::kComma));
       }
       IQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
-      return program->TupleTerm(std::move(fields));
+      return program->TupleTerm(std::move(fields), SpanFrom(start));
     }
     return Error("expected term");
   }
@@ -590,20 +632,25 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   const Schema* schema_ = nullptr;
+  DiagnosticSink* diags_ = nullptr;
+  // When parsing a full unit, schema declaration spans land here.
+  std::map<Symbol, SourceSpan>* decl_spans_ = nullptr;
 };
 
 }  // namespace
 
-Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source) {
-  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
-  Parser parser(universe, std::move(tokens));
+Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source,
+                             DiagnosticSink* diags) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source, diags));
+  Parser parser(universe, std::move(tokens), diags);
   return parser.ParseUnit();
 }
 
 Result<Program> ParseProgramText(Universe* universe, const Schema& schema,
-                                 std::string_view source) {
-  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
-  Parser parser(universe, std::move(tokens));
+                                 std::string_view source,
+                                 DiagnosticSink* diags) {
+  IQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source, diags));
+  Parser parser(universe, std::move(tokens), diags);
   return parser.ParseProgramOnly(schema);
 }
 

@@ -56,15 +56,24 @@ struct ParsedUnit {
   // From `instance { ... }` blocks, in order.
   std::vector<ParsedFact> facts;
   std::map<std::string, Oid> named_oids;
+  // Source span of each schema declaration (`relation R : t` / `class P :
+  // t`, keyword through type), keyed by the declared name's symbol.
+  std::map<Symbol, SourceSpan> decl_spans;
 };
 
+class DiagnosticSink;
+
 // Parses a full unit (schema required; input/output/program optional).
-Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source);
+// When `diags` is non-null, lex/parse failures are additionally reported
+// as E001/E002 diagnostics with exact source spans.
+Result<ParsedUnit> ParseUnit(Universe* universe, std::string_view source,
+                             DiagnosticSink* diags = nullptr);
 
 // Parses rule/var items (the inside of a `program { ... }` block, with or
 // without the wrapper) against an existing schema.
 Result<Program> ParseProgramText(Universe* universe, const Schema& schema,
-                                 std::string_view source);
+                                 std::string_view source,
+                                 DiagnosticSink* diags = nullptr);
 
 // Parses a single type expression, e.g. "[A: D, B: {P | Q}]".
 Result<TypeId> ParseTypeText(Universe* universe, std::string_view source);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "base/logging.h"
 
 namespace iqlkit {
@@ -445,23 +446,30 @@ class RuleChecker {
 
 }  // namespace
 
-Status TypeCheck(Universe* universe, const Schema& schema,
-                 Program* program) {
+Status TypeCheck(Universe* universe, const Schema& schema, Program* program,
+                 DiagnosticSink* diags) {
+  auto fail = [&](const Status& status, SourceSpan span) {
+    if (diags != nullptr) diags->Error("E004", span, status.message());
+    return status;
+  };
   // Predicate names must be declared.
   for (const Term& t : program->terms) {
     if (t.kind == Term::Kind::kRelName && !schema.HasRelation(t.name)) {
-      return TypeError("undeclared relation '" +
-                       std::string(universe->Name(t.name)) + "'");
+      return fail(TypeError("undeclared relation '" +
+                            std::string(universe->Name(t.name)) + "'"),
+                  t.span);
     }
     if (t.kind == Term::Kind::kClassName && !schema.HasClass(t.name)) {
-      return TypeError("undeclared class '" +
-                       std::string(universe->Name(t.name)) + "'");
+      return fail(TypeError("undeclared class '" +
+                            std::string(universe->Name(t.name)) + "'"),
+                  t.span);
     }
   }
   for (auto& stage : program->stages) {
     for (Rule& rule : stage) {
       RuleChecker checker(universe, schema, *program, &rule);
-      IQL_RETURN_IF_ERROR(checker.Check());
+      Status status = checker.Check();
+      if (!status.ok()) return fail(status, rule.span);
     }
   }
   program->type_checked = true;

@@ -9,6 +9,8 @@
 
 namespace iqlkit {
 
+class DiagnosticSink;
+
 // Structural assignability `actual <= expected`:
 //   - the empty type is assignable to everything;
 //   - a type is assignable to any union containing it (the paper's
@@ -28,7 +30,10 @@ bool AssignableType(TypePool* pool, TypeId actual, TypeId expected);
 //   - head-only variables have class type (§3.1 rule condition (3));
 //   - all predicate names are declared in the schema.
 // Variables the checker cannot infer must be declared with `var x: t;`.
-Status TypeCheck(Universe* universe, const Schema& schema, Program* program);
+// When `diags` is non-null, failures are additionally reported as E004
+// diagnostics carrying the offending rule's (or term's) source span.
+Status TypeCheck(Universe* universe, const Schema& schema, Program* program,
+                 DiagnosticSink* diags = nullptr);
 
 // The type of `term` under `rule.var_types` (§3.1 term typing). The rule
 // must already be type checked.

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "gtest/gtest.h"
 #include "iql/eval.h"
 #include "iql/parser.h"
@@ -90,8 +91,11 @@ void RunGolden(const std::string& name) {
   ASSERT_FALSE(source.empty());
 
   Universe u;
-  auto unit = ParseUnit(&u, source);
-  ASSERT_TRUE(unit.ok()) << unit.status();
+  DiagnosticSink diags;
+  auto unit = ParseUnit(&u, source, &diags);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\n"
+                         << RenderText(diags.diagnostics(), source,
+                                       source_path.string());
 
   // Mirror iqlsh: the input instance lives over the input projection when
   // one is declared, otherwise over the full schema.
@@ -107,6 +111,14 @@ void RunGolden(const std::string& name) {
   Instance input(input_schema, &u);
   ASSERT_TRUE(ApplyFacts(*unit, &input).ok());
   ASSERT_TRUE(input.Validate().ok());
+
+  // Type check explicitly so a failure shows the caret-rendered
+  // diagnostic, not just the Status headline; RunUnit skips the pass once
+  // type_checked is set.
+  Status checked = TypeCheck(&u, unit->schema, &unit->program, &diags);
+  ASSERT_TRUE(checked.ok()) << checked << "\n"
+                            << RenderText(diags.diagnostics(), source,
+                                          source_path.string());
 
   EvalOptions options;
   options.allow_deletions = true;  // updates.iql exercises IQL*
@@ -134,8 +146,13 @@ void RunGolden(const std::string& name) {
   // drift in the evaluator fails, renumbered invented oids do not.
   std::string schema_block = ExtractSchemaBlock(source);
   ASSERT_FALSE(schema_block.empty());
-  auto golden_unit = ParseUnit(&u, schema_block + "\n" + golden);
-  ASSERT_TRUE(golden_unit.ok()) << golden_unit.status();
+  std::string golden_source = schema_block + "\n" + golden;
+  DiagnosticSink golden_diags;
+  auto golden_unit = ParseUnit(&u, golden_source, &golden_diags);
+  ASSERT_TRUE(golden_unit.ok())
+      << golden_unit.status() << "\n"
+      << RenderText(golden_diags.diagnostics(), golden_source,
+                    golden_path.string());
   std::shared_ptr<const Schema> expected_schema;
   if (unit->output_names.empty()) {
     expected_schema = std::shared_ptr<const Schema>(&golden_unit->schema,

@@ -1,5 +1,7 @@
 // Parser robustness: random garbage and mutated valid sources must yield
-// Status errors, never crashes or hangs.
+// Status errors, never crashes or hangs. Every input is also pushed
+// through the full lint pipeline (type check + analyzer passes), which
+// must likewise survive and may only report spans inside the buffer.
 
 #include <gtest/gtest.h>
 
@@ -10,11 +12,43 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "iql/parser.h"
 #include "model/universe.h"
 
 namespace iqlkit {
 namespace {
+
+// Parses and lints `source`; asserts that every diagnostic (and every
+// attached note and fix-it) carries a span that lies inside the buffer.
+void ParseAndLint(const std::string& source) {
+  {
+    Universe u;
+    auto unit = ParseUnit(&u, source);  // must return, either way
+    (void)unit;
+  }
+  Universe u;
+  DiagnosticSink sink;
+  LintSource(&u, source, AnalyzerOptions{}, &sink);
+  auto check_span = [&](const SourceSpan& span) {
+    if (!span.valid()) return;
+    EXPECT_GE(span.line, 1);
+    EXPECT_GE(span.column, 1);
+    EXPECT_GE(span.offset, 0);
+    EXPECT_GE(span.length, 0);
+    EXPECT_LE(static_cast<size_t>(span.offset) +
+                  static_cast<size_t>(span.length),
+              source.size())
+        << "span [" << span.offset << ", +" << span.length
+        << ") escapes a " << source.size() << "-byte buffer";
+  };
+  for (const Diagnostic& d : sink.diagnostics()) {
+    check_span(d.span);
+    for (const DiagnosticNote& note : d.notes) check_span(note.span);
+    if (d.fixit) check_span(d.fixit->span);
+  }
+}
 
 // Seed corpus: every example program doubles as a fuzz seed, so mutation
 // starts from realistic inputs that exercise deep parser paths.
@@ -66,9 +100,7 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
       source += kAtoms[rng() % (sizeof(kAtoms) / sizeof(kAtoms[0]))];
       source += ' ';
     }
-    Universe u;
-    auto unit = ParseUnit(&u, source);  // must return, either way
-    (void)unit;
+    ParseAndLint(source);
   }
 }
 
@@ -91,9 +123,7 @@ TEST_P(ParserFuzzTest, MutatedValidSourceNeverCrashes) {
           break;
       }
     }
-    Universe u;
-    auto unit = ParseUnit(&u, source);
-    (void)unit;
+    ParseAndLint(source);
   }
 }
 
@@ -101,9 +131,7 @@ TEST_P(ParserFuzzTest, TruncatedValidSourceNeverCrashes) {
   std::mt19937 rng(GetParam() + 17);
   for (int trial = 0; trial < 40; ++trial) {
     std::string source(kValid.substr(0, rng() % kValid.size()));
-    Universe u;
-    auto unit = ParseUnit(&u, source);
-    (void)unit;
+    ParseAndLint(source);
   }
 }
 
@@ -153,9 +181,7 @@ TEST_P(ParserFuzzTest, MutatedCorpusSeedNeverCrashes) {
           break;
       }
     }
-    Universe u;
-    auto unit = ParseUnit(&u, source);
-    (void)unit;
+    ParseAndLint(source);
   }
 }
 
@@ -165,9 +191,7 @@ TEST_P(ParserFuzzTest, TruncatedCorpusSeedNeverCrashes) {
   for (int trial = 0; trial < 30; ++trial) {
     const std::string& full = corpus[rng() % corpus.size()].second;
     std::string source = full.substr(0, rng() % full.size());
-    Universe u;
-    auto unit = ParseUnit(&u, source);
-    (void)unit;
+    ParseAndLint(source);
   }
 }
 

@@ -1,0 +1,86 @@
+// iqlint: the IQL static analyzer.
+//
+//   iqlint [flags] <file.iql> [more files...]
+//
+// Lexes, parses, type checks, and runs the analyzer passes over each file,
+// printing every diagnostic with a clang-style source excerpt (or as JSON).
+// See docs/LANGUAGE.md ("Static analysis") for the code catalogue.
+//
+// Flags:
+//   --format=text|json   output format (default text)
+//   --no-hints           suppress O-level optimizer hints
+//
+// Exit status: 2 if any file has an error, 1 if any has a warning,
+// 0 otherwise (hints never fail a run).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "model/universe.h"
+
+int main(int argc, char** argv) {
+  using namespace iqlkit;
+  bool json = false;
+  bool hints = true;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--no-hints") {
+      hints = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "iqlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: iqlint [--format=text|json] [--no-hints] "
+                 "<file.iql>...\n";
+    return 2;
+  }
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "iqlint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string source = buffer.str();
+
+    Universe u;
+    AnalyzerOptions options;
+    options.hints = hints;
+    DiagnosticSink sink;
+    LintSource(&u, source, options, &sink);
+
+    if (json) {
+      std::cout << RenderJson(sink.diagnostics(), path) << "\n";
+    } else {
+      std::cout << RenderText(sink.diagnostics(), source, path);
+      if (sink.empty() && paths.size() == 1) {
+        std::cout << path << ": no issues\n";
+      }
+    }
+    auto max = sink.max_severity();
+    if (max.has_value()) {
+      if (*max == Severity::kError) {
+        exit_code = std::max(exit_code, 2);
+      } else if (*max == Severity::kWarning) {
+        exit_code = std::max(exit_code, 1);
+      }
+    }
+  }
+  return exit_code;
+}

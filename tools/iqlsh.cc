@@ -23,6 +23,8 @@
 //                        as JSON (EvalMetrics::ToJson)
 //   --explain, :explain  print the static greedy join schedule per rule
 //                        (no evaluation unless --metrics is also set)
+//   --lint, :lint        run the iqlint static analyzer and exit (exit
+//                        code 2 on errors, 1 on warnings, 0 otherwise)
 //   --no-seminaive       force the paper's naive operator on every stage
 //   --no-index           disable hash-indexed generators
 //   --no-schedule        disable selectivity-aware literal scheduling
@@ -32,6 +34,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "iql/eval.h"
 #include "iql/parser.h"
 #include "iql/restrict.h"
@@ -43,6 +47,16 @@ namespace {
 
 int Fail(const iqlkit::Status& status) {
   std::cerr << "iqlsh: " << status << "\n";
+  return 1;
+}
+
+// Parse/typecheck failures print through the diagnostic renderer when the
+// sink caught them (caret excerpt); otherwise fall back to the Status line.
+int FailWithDiagnostics(const iqlkit::DiagnosticSink& sink,
+                        const iqlkit::Status& status,
+                        const std::string& source, const std::string& path) {
+  if (sink.empty()) return Fail(status);
+  std::cerr << iqlkit::RenderText(sink.diagnostics(), source, path);
   return 1;
 }
 
@@ -65,6 +79,7 @@ int main(int argc, char** argv) {
   bool no_seminaive = false;
   bool no_index = false;
   bool no_schedule = false;
+  bool lint_flag = false;
   uint64_t max_steps = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +117,8 @@ int main(int argc, char** argv) {
       no_index = true;
     } else if (arg == "--no-schedule") {
       no_schedule = true;
+    } else if (arg == "--lint") {
+      lint_flag = true;
     } else if (arg.rfind("--max-steps=", 0) == 0) {
       max_steps = std::stoull(arg.substr(12));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -123,12 +140,30 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
+  std::string source = buffer.str();
   Universe u;
-  auto unit = ParseUnit(&u, buffer.str());
-  if (!unit.ok()) return Fail(unit.status());
 
-  Status checked = TypeCheck(&u, unit->schema, &unit->program);
-  if (!checked.ok()) return Fail(checked);
+  if (lint_flag) {
+    AnalyzerOptions lint_options;
+    DiagnosticSink sink;
+    LintSource(&u, source, lint_options, &sink);
+    std::cout << RenderText(sink.diagnostics(), source, path);
+    if (sink.empty()) std::cout << path << ": no issues\n";
+    auto max = sink.max_severity();
+    if (!max.has_value() || *max == Severity::kHint) return 0;
+    return *max == Severity::kError ? 2 : 1;
+  }
+
+  DiagnosticSink diags;
+  auto unit = ParseUnit(&u, source, &diags);
+  if (!unit.ok()) {
+    return FailWithDiagnostics(diags, unit.status(), source, path);
+  }
+
+  Status checked = TypeCheck(&u, unit->schema, &unit->program, &diags);
+  if (!checked.ok()) {
+    return FailWithDiagnostics(diags, checked, source, path);
+  }
 
   if (restrictions) {
     RestrictionReport report =
