@@ -1,0 +1,174 @@
+// Parallel scaling: the same three workloads the per-experiment benches
+// measure serially -- transitive closure (E10's IQL side), powerset via
+// invented oids (E4), and the flagship graph encoding (E2) -- swept over
+// EvalOptions::num_threads in {1, 2, 4, 8}. The merge is deterministic, so
+// every sweep point computes the identical instance; only wall time may
+// move. Speedup over the 1-thread row is the figure of merit, and the
+// `eval_threads` / `partitions` counters record what the run actually used
+// (on a machine with fewer cores than the sweep point, extra workers just
+// time-slice, so scaling tops out at the physical core count).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datalog/datalog.h"
+
+namespace iqlkit::bench {
+namespace {
+
+constexpr std::string_view kTc = R"(
+  schema {
+    relation E  : [D, D];
+    relation TC : [D, D];
+  }
+  input E;
+  output TC;
+  program {
+    TC(x, y) :- E(x, y).
+    TC(x, z) :- TC(x, y), E(y, z).
+  }
+)";
+
+constexpr std::string_view kPowerset = R"(
+  schema {
+    relation R  : D;
+    relation R1 : {D};
+    relation R2 : [{D}, {D}, P];
+    class P : {D};
+  }
+  input R;
+  output R1;
+  program {
+    R1({}).
+    R1({x}) :- R(x).
+    R2(X, Y, z) :- R1(X), R1(Y).
+    z^(x) :- R2(X, Y, z), X(x).
+    z^(y) :- R2(X, Y, z), Y(y).
+    R1(z^) :- P(z).
+  }
+)";
+
+constexpr std::string_view kGraphEncoding = R"(
+  schema {
+    relation R  : [D, D];
+    relation R0 : D;
+    relation R9 : [D, P, P'];
+    class P  : [D, {P}];
+    class P' : {P};
+  }
+  input R;
+  output P, P';
+  program {
+    R0(x) :- R(x, y).
+    R0(x) :- R(y, x).
+    R9(x, p, p') :- R0(x).
+    p'^(q) :- R9(x, p, p'), R9(y, q, q'), R(x, y).
+    ;
+    p^ = [x, p'^] :- R9(x, p, p').
+  }
+)";
+
+// Shared driver: builds the input with `fill`, runs with the sweep
+// point's thread count, and exports the resolved thread count and total
+// partitions next to the wall time.
+template <typename Fill>
+void RunScaling(benchmark::State& state, std::string_view source,
+                Fill fill) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  EvalMetrics metrics;
+  for (auto _ : state) {
+    metrics = EvalMetrics{};
+    EvalOptions options;
+    options.num_threads = threads;
+    options.metrics = &metrics;
+    PreparedRun run(source);
+    fill(run);
+    auto start = std::chrono::steady_clock::now();
+    auto out = run.Run(options);
+    auto end = std::chrono::steady_clock::now();
+    IQL_CHECK(out.ok()) << out.status();
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+  }
+  uint64_t partitions = 0;
+  for (const RuleMetrics& r : metrics.rules) {
+    partitions += r.parallel_partitions;
+  }
+  // "threads" would collide with google-benchmark's own JSON field.
+  state.counters["eval_threads"] = static_cast<double>(metrics.threads);
+  state.counters["partitions"] = static_cast<double>(partitions);
+}
+
+void BM_ParallelTc(benchmark::State& state) {
+  auto edges = RandomGraph(160, 480, 29);
+  RunScaling(state, kTc, [&](PreparedRun& run) {
+    for (auto [a, b] : edges) run.AddEdge("E", a, b);
+  });
+}
+BENCHMARK(BM_ParallelTc)
+    ->DenseRange(1, 8, 1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelPowerset(benchmark::State& state) {
+  RunScaling(state, kPowerset, [](PreparedRun& run) {
+    for (int i = 0; i < 6; ++i) run.AddUnary("R", i);
+  });
+}
+BENCHMARK(BM_ParallelPowerset)
+    ->DenseRange(1, 8, 1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelGraphEncoding(benchmark::State& state) {
+  auto edges = RandomGraph(96, 192, 13);
+  RunScaling(state, kGraphEncoding, [&](PreparedRun& run) {
+    for (auto [a, b] : edges) run.AddEdge("R", a, b);
+  });
+}
+BENCHMARK(BM_ParallelGraphEncoding)
+    ->DenseRange(1, 8, 1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The flat Datalog engine's parallel join on the same closure, as a
+// baseline for the object evaluator's scaling curve.
+void BM_ParallelDatalogTc(benchmark::State& state) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  auto edges = RandomGraph(160, 480, 29);
+  for (auto _ : state) {
+    datalog::Database db;
+    datalog::Program prog;
+    int e = *db.AddRelation("E", 2);
+    int tc = *db.AddRelation("TC", 2);
+    using datalog::Atom;
+    using datalog::Term;
+    prog.rules.push_back(datalog::Rule{
+        Atom{tc, {Term::Var(0), Term::Var(1)}},
+        {Atom{e, {Term::Var(0), Term::Var(1)}}},
+        {}});
+    prog.rules.push_back(datalog::Rule{
+        Atom{tc, {Term::Var(0), Term::Var(2)}},
+        {Atom{tc, {Term::Var(0), Term::Var(1)}},
+         Atom{e, {Term::Var(1), Term::Var(2)}}},
+        {}});
+    for (auto [a, b] : edges) {
+      db.AddFact(e, {db.InternConstant(a), db.InternConstant(b)});
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto status = datalog::Evaluate(prog, &db,
+                                    datalog::EvalMode::kSemiNaiveIndexed,
+                                    nullptr, threads);
+    auto end = std::chrono::steady_clock::now();
+    IQL_CHECK(status.ok()) << status;
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+  }
+}
+BENCHMARK(BM_ParallelDatalogTc)
+    ->DenseRange(1, 8, 1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iqlkit::bench

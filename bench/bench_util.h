@@ -18,7 +18,10 @@
 namespace iqlkit::bench {
 
 // Publishes the evaluator-internal counters of a run into the benchmark's
-// counter set, so BENCH_*.json carries them next to the wall times.
+// counter set. Every bench binary emits machine-readable results with
+// `--benchmark_format=json`; `bench/run_all.sh` drives all of them that
+// way and merges the outputs (wall times, these counters, thread counts)
+// into BENCH_RESULTS.json at the repository root.
 inline void ExportMetrics(benchmark::State& state,
                           const EvalMetrics& metrics) {
   state.counters["rounds"] = static_cast<double>(metrics.rounds.size());
@@ -34,7 +37,13 @@ inline void ExportMetrics(benchmark::State& state,
     scans += r.index_scans;
   }
   state.counters["rule_derivations"] = static_cast<double>(derivations);
+  // kIsRate divides by elapsed time, recording derivations per second.
+  state.counters["derivations_per_sec"] = benchmark::Counter(
+      static_cast<double>(derivations), benchmark::Counter::kIsRate);
   state.counters["extent_scans"] = static_cast<double>(scans);
+  // "threads" would collide with google-benchmark's own field of that
+  // name in the JSON output.
+  state.counters["eval_threads"] = static_cast<double>(metrics.threads);
 }
 
 // Deterministic random digraph: `n` nodes, `m` edges (duplicates collapse).

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in JSON mode and merges the outputs into one
+# BENCH_RESULTS.json at the repository root, so a single file records the
+# numbers behind DESIGN.md's experiment table.
+#
+# Usage: bench/run_all.sh [build-dir] [min-time-seconds]
+#
+# Each google-benchmark binary is invoked with --benchmark_format=json;
+# per-binary results land in <build-dir>/bench/*.json and are merged with
+# host context (cores, date, build type) under "runs". Pass a larger
+# min-time for publication-quality numbers; the default 0.05s keeps a full
+# sweep under a few minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_TIME="${2:-0.05}"
+OUT="BENCH_RESULTS.json"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; build the project first" >&2
+  exit 1
+fi
+
+benches=()
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bin" && ! "$bin" == *.json ]] || continue
+  benches+=("$bin")
+done
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries under $BUILD_DIR/bench" >&2
+  exit 1
+fi
+
+jsons=()
+for bin in "${benches[@]}"; do
+  name="$(basename "$bin")"
+  json="$BUILD_DIR/bench/$name.json"
+  echo "== $name"
+  "$bin" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$json"
+  jsons+=("$json")
+done
+
+# Merge: {"context": {...host facts...}, "runs": {bench name: output}}.
+jq -n \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  --arg cores "$(nproc)" \
+  --arg build_type "$(grep -m1 CMAKE_BUILD_TYPE "$BUILD_DIR/CMakeCache.txt" \
+                      | cut -d= -f2)" \
+  --arg min_time "$MIN_TIME" \
+  '{context: {date: $date, cores: ($cores | tonumber),
+              build_type: $build_type,
+              min_time_seconds: ($min_time | tonumber)},
+    runs: {}}' > "$OUT.tmp"
+for json in "${jsons[@]}"; do
+  name="$(basename "$json" .json)"
+  jq --arg name "$name" --slurpfile run "$json" \
+    '.runs[$name] = $run[0]' "$OUT.tmp" > "$OUT.tmp2"
+  mv "$OUT.tmp2" "$OUT.tmp"
+done
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"

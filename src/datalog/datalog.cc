@@ -1,10 +1,12 @@
 #include "datalog/datalog.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/diagnostic.h"
 #include "base/hash.h"
 #include "base/logging.h"
+#include "base/thread_pool.h"
 
 namespace iqlkit::datalog {
 
@@ -146,13 +148,18 @@ Status CheckRule(const Rule& rule, const Database& db, int rule_index,
 
 constexpr Value kUnbound = 0xFFFFFFFFu;
 
+// Below this many facts in the outermost atom's range, a join runs
+// serially: the fork/join handshake costs more than the scan.
+constexpr size_t kParallelMinFacts = 4;
+
 // Nested-loop join driver shared by naive and semi-naive evaluation. For
 // semi-naive, `delta_pos` forces one body atom to range over the delta
 // facts of the previous round.
 class Engine {
  public:
-  Engine(const Program& program, Database* db, Stats* stats)
-      : program_(program), db_(db), stats_(stats) {}
+  Engine(const Program& program, Database* db, Stats* stats,
+         ThreadPool* pool)
+      : program_(program), db_(db), stats_(stats), pool_(pool) {}
 
   Status Run(EvalMode mode) {
     IQL_ASSIGN_OR_RETURN(std::vector<int> strata,
@@ -163,8 +170,14 @@ class Engine {
                                     static_cast<int>(i), &var_counts_[i]));
     }
     indexed_ = mode == EvalMode::kSemiNaiveIndexed;
-    if (indexed_) pos_indexes_.resize(db_->relation_count());
     stats_->rule_derivations.assign(program_.rules.size(), 0);
+    // Context 0 serves serial joins; 1..workers are fan-out slots. Each
+    // keeps its own positional indexes, so workers never share an index.
+    ctxs_.resize(pool_ != nullptr ? pool_->workers() + 1 : 1);
+    for (JoinCtx& ctx : ctxs_) {
+      ctx.rule_derivations.assign(program_.rules.size(), 0);
+      if (indexed_) ctx.pos_indexes.resize(db_->relation_count());
+    }
     int max_stratum = 0;
     for (const Rule& rule : program_.rules) {
       max_stratum = std::max(max_stratum, strata[rule.head.relation]);
@@ -179,22 +192,47 @@ class Engine {
                               ? RunStratumNaive(active)
                               : RunStratumSemiNaive(active));
     }
+    for (const JoinCtx& ctx : ctxs_) {
+      stats_->derivations += ctx.derivations;
+      stats_->index_probes += ctx.index_probes;
+      stats_->index_hits += ctx.index_hits;
+      for (size_t i = 0; i < program_.rules.size(); ++i) {
+        stats_->rule_derivations[i] += ctx.rule_derivations[i];
+      }
+    }
     return Status::Ok();
   }
 
  private:
+  // A lazily built, incrementally extended hash index over the bound
+  // positions of one relation. facts_ vectors are append-only, so `stamp`
+  // (the indexed prefix length) is all the invalidation state needed.
+  struct PosIndex {
+    size_t stamp = 0;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  };
+
+  // Join-time state private to one worker (or to the serial path): the
+  // derivation buffer, counters folded into Stats at the end of the run,
+  // and -- under kSemiNaiveIndexed -- this worker's positional indexes.
+  // Indexes persist across rounds (facts_ is append-only), so each worker
+  // amortizes its own builds exactly like the serial engine does.
+  struct JoinCtx {
+    std::vector<std::pair<int, Tuple>> pending;
+    uint64_t derivations = 0;
+    uint64_t index_probes = 0;
+    uint64_t index_hits = 0;
+    std::vector<uint64_t> rule_derivations;
+    std::vector<std::unordered_map<uint32_t, PosIndex>> pos_indexes;
+  };
+
   Status RunStratumNaive(const std::vector<size_t>& active) {
     bool changed = true;
     while (changed) {
       changed = false;
       ++stats_->iterations;
       std::vector<std::pair<int, Tuple>> pending;
-      for (size_t i : active) {
-        const Rule& rule = program_.rules[i];
-        current_rule_ = i;
-        std::vector<Value> env(var_counts_[i], kUnbound);
-        JoinBody(rule, env, 0, -1, 0, &pending);
-      }
+      for (size_t i : active) SolveRule(i, -1, 0, &pending);
       for (auto& [rel, t] : pending) {
         if (db_->AddFact(rel, std::move(t))) {
           changed = true;
@@ -218,18 +256,14 @@ class Engine {
       std::vector<std::pair<int, Tuple>> pending;
       for (size_t i : active) {
         const Rule& rule = program_.rules[i];
-        current_rule_ = i;
         if (first) {
-          std::vector<Value> env(var_counts_[i], kUnbound);
-          JoinBody(rule, env, 0, -1, 0, &pending);
+          SolveRule(i, -1, 0, &pending);
         } else {
           // One delta atom per evaluation; others range over all facts.
           for (size_t d = 0; d < rule.body.size(); ++d) {
             int rel = rule.body[d].relation;
             if (frontier[rel] >= snapshot[rel]) continue;  // empty delta
-            std::vector<Value> env(var_counts_[i], kUnbound);
-            JoinBody(rule, env, 0, static_cast<int>(d), frontier[rel],
-                     &pending);
+            SolveRule(i, static_cast<int>(d), frontier[rel], &pending);
           }
         }
       }
@@ -247,6 +281,54 @@ class Engine {
       if (!changed) break;
     }
     return Status::Ok();
+  }
+
+  // Evaluates rule `i` (with an optional delta atom) and appends its
+  // derivations, in canonical enumeration order, to `pending`. With a
+  // worker pool and a wide enough outermost range, that range is sliced
+  // contiguously across workers and the per-worker buffers are
+  // concatenated in slice order -- exactly the serial scan order, so
+  // facts_ insertion order (and with it every later delta range) is
+  // independent of the worker count. Workers skip the level-0 index probe
+  // (a bucket scan visits the same facts in the same ascending order a
+  // slice scan does) and keep private indexes for the inner levels.
+  void SolveRule(size_t i, int delta_atom, size_t delta_begin,
+                 std::vector<std::pair<int, Tuple>>* pending) {
+    const Rule& rule = program_.rules[i];
+    current_rule_ = i;
+    if (pool_ != nullptr && !rule.body.empty()) {
+      const std::vector<Tuple>& facts = db_->Facts(rule.body[0].relation);
+      size_t begin = delta_atom == 0 ? delta_begin : 0;
+      size_t width = facts.size() > begin ? facts.size() - begin : 0;
+      if (width >= kParallelMinFacts) {
+        size_t workers = std::min<size_t>(pool_->workers(), width);
+        pool_->ParallelRun(workers, [&](size_t w) {
+          JoinCtx& ctx = ctxs_[w + 1];
+          std::vector<Value> env(var_counts_[i], kUnbound);
+          size_t lo = begin + width * w / workers;
+          size_t hi = begin + width * (w + 1) / workers;
+          for (size_t f = lo; f < hi; ++f) {
+            std::vector<int> trail;
+            if (MatchAtom(rule.body[0], facts[f], &env, &trail)) {
+              JoinBody(rule, env, 1, delta_atom, delta_begin, ctx);
+            }
+            for (int v : trail) env[v] = kUnbound;
+          }
+        });
+        for (size_t w = 0; w < workers; ++w) {
+          JoinCtx& ctx = ctxs_[w + 1];
+          std::move(ctx.pending.begin(), ctx.pending.end(),
+                    std::back_inserter(*pending));
+          ctx.pending.clear();
+        }
+        return;
+      }
+    }
+    std::vector<Value> env(var_counts_[i], kUnbound);
+    JoinBody(rule, env, 0, delta_atom, delta_begin, ctxs_[0]);
+    std::move(ctxs_[0].pending.begin(), ctxs_[0].pending.end(),
+              std::back_inserter(*pending));
+    ctxs_[0].pending.clear();
   }
 
   bool MatchAtom(const Atom& atom, const Tuple& fact,
@@ -269,10 +351,10 @@ class Engine {
   }
 
   // Recursively joins body atoms j..end; atom delta_atom (if >= 0) ranges
-  // only over facts at positions >= delta_begin.
+  // only over facts at positions >= delta_begin. Derivations and counters
+  // go to `ctx`, which must be private to the calling thread.
   void JoinBody(const Rule& rule, std::vector<Value>& env, size_t j,
-                int delta_atom, size_t delta_begin,
-                std::vector<std::pair<int, Tuple>>* pending) {
+                int delta_atom, size_t delta_begin, JoinCtx& ctx) {
     if (j == rule.body.size()) {
       // Negated atoms, then emit.
       for (const Atom& a : rule.negated) {
@@ -283,14 +365,14 @@ class Engine {
         }
         if (db_->Contains(a.relation, t)) return;
       }
-      ++stats_->derivations;
-      ++stats_->rule_derivations[current_rule_];
+      ++ctx.derivations;
+      ++ctx.rule_derivations[current_rule_];
       Tuple t(rule.head.terms.size());
       for (size_t k = 0; k < rule.head.terms.size(); ++k) {
         const Term& term = rule.head.terms[k];
         t[k] = term.is_var ? env[term.value] : term.value;
       }
-      pending->emplace_back(rule.head.relation, std::move(t));
+      ctx.pending.emplace_back(rule.head.relation, std::move(t));
       return;
     }
     const Atom& atom = rule.body[j];
@@ -304,7 +386,7 @@ class Engine {
         if (!t.is_var || env[t.value] != kUnbound) mask |= uint32_t{1} << k;
       }
       if (mask != 0) {
-        const std::vector<size_t>* bucket = ProbeIndex(atom, mask, env);
+        const std::vector<size_t>* bucket = ProbeIndex(atom, mask, env, ctx);
         if (bucket != nullptr) {
           // Bucket positions ascend, so the delta constraint is a lower
           // bound; every candidate is still re-verified by MatchAtom
@@ -313,7 +395,7 @@ class Engine {
           for (; it != bucket->end(); ++it) {
             std::vector<int> trail;
             if (MatchAtom(atom, facts[*it], &env, &trail)) {
-              JoinBody(rule, env, j + 1, delta_atom, delta_begin, pending);
+              JoinBody(rule, env, j + 1, delta_atom, delta_begin, ctx);
             }
             for (int v : trail) env[v] = kUnbound;
           }
@@ -324,19 +406,11 @@ class Engine {
     for (size_t f = begin; f < facts.size(); ++f) {
       std::vector<int> trail;
       if (MatchAtom(atom, facts[f], &env, &trail)) {
-        JoinBody(rule, env, j + 1, delta_atom, delta_begin, pending);
+        JoinBody(rule, env, j + 1, delta_atom, delta_begin, ctx);
       }
       for (int v : trail) env[v] = kUnbound;
     }
   }
-
-  // A lazily built, incrementally extended hash index over the bound
-  // positions of one relation. facts_ vectors are append-only, so `stamp`
-  // (the indexed prefix length) is all the invalidation state needed.
-  struct PosIndex {
-    size_t stamp = 0;
-    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
-  };
 
   static uint64_t MaskKey(const Tuple& fact, uint32_t mask) {
     uint64_t h = 0;
@@ -348,14 +422,16 @@ class Engine {
 
   // Returns the bucket of fact positions whose masked fields hash like the
   // current environment's bound values, or nullptr for a guaranteed miss.
+  // Builds and extends only `ctx`'s own index.
   const std::vector<size_t>* ProbeIndex(const Atom& atom, uint32_t mask,
-                                        const std::vector<Value>& env) {
-    PosIndex& index = pos_indexes_[atom.relation][mask];
+                                        const std::vector<Value>& env,
+                                        JoinCtx& ctx) {
+    PosIndex& index = ctx.pos_indexes[atom.relation][mask];
     const std::vector<Tuple>& facts = db_->Facts(atom.relation);
     for (; index.stamp < facts.size(); ++index.stamp) {
       index.buckets[MaskKey(facts[index.stamp], mask)].push_back(index.stamp);
     }
-    ++stats_->index_probes;
+    ++ctx.index_probes;
     uint64_t key = 0;
     for (size_t k = 0; k < atom.terms.size(); ++k) {
       if (!(mask & (uint32_t{1} << k))) continue;
@@ -364,26 +440,31 @@ class Engine {
     }
     auto it = index.buckets.find(key);
     if (it == index.buckets.end() || it->second.empty()) return nullptr;
-    ++stats_->index_hits;
+    ++ctx.index_hits;
     return &it->second;
   }
 
   const Program& program_;
   Database* db_;
   Stats* stats_;
+  ThreadPool* pool_ = nullptr;
   std::vector<int> var_counts_;
   bool indexed_ = false;
   size_t current_rule_ = 0;
-  std::vector<std::unordered_map<uint32_t, PosIndex>> pos_indexes_;  // by rel
+  // ctxs_[0] is the serial context; ctxs_[1 + w] belongs to worker w.
+  std::vector<JoinCtx> ctxs_;
 };
 
 }  // namespace
 
 Status Evaluate(const Program& program, Database* db, EvalMode mode,
-                Stats* stats) {
+                Stats* stats, uint32_t num_threads) {
   Stats local;
   if (stats == nullptr) stats = &local;
-  Engine engine(program, db, stats);
+  size_t threads = ResolveThreadCount(num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  Engine engine(program, db, stats, pool.has_value() ? &*pool : nullptr);
   return engine.Run(mode);
 }
 

@@ -119,8 +119,16 @@ struct Stats {
 // same result; kSemiNaive avoids rediscovering old derivations, and
 // kSemiNaiveIndexed additionally replaces inner-loop relation scans with
 // hash-index probes.
+//
+// `num_threads` mirrors EvalOptions::num_threads on the IQL side: 0 means
+// hardware concurrency, 1 the serial engine. With N > 1 workers, each
+// (rule, delta-atom) join partitions its outermost fact range across
+// workers; each worker joins into a private pending buffer (with private
+// positional indexes for the inner atoms), and buffers are concatenated in
+// slice order, so facts_ insertion order -- and therefore every later
+// delta range -- is bit-for-bit the serial one.
 Status Evaluate(const Program& program, Database* db, EvalMode mode,
-                Stats* stats = nullptr);
+                Stats* stats = nullptr, uint32_t num_threads = 1);
 
 // Computes the stratification: stratum index per relation, or an error if
 // the program recurses through negation.

@@ -1,6 +1,7 @@
 #include "iql/eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -14,6 +15,7 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "base/thread_pool.h"
 #include "iql/extent.h"
 #include "iql/index.h"
 #include "iql/parser.h"
@@ -43,10 +45,15 @@ using Bindings = std::map<Symbol, ValueId>;
 // is not yet evaluable: an unbound variable, or a dereference x^ whose oid
 // has an undefined nu-value (a valuation must be *defined* on every term of
 // a literal for the literal to be satisfied, §3.2).
+//
+// All interning goes through `values`, so a parallel worker evaluating with
+// a snapshot arena builds new o-values in its private side store while the
+// serial path (a passthrough arena) interns into the shared store exactly
+// as before.
 std::optional<ValueId> EvalTerm(const Program& prog, TermId id,
-                                const Bindings& b, const Instance& inst) {
+                                const Bindings& b, const Instance& inst,
+                                ValueArena& values) {
   const Term& t = prog.term(id);
-  ValueStore& values = inst.universe()->values();
   switch (t.kind) {
     case Term::Kind::kVar: {
       auto it = b.find(t.name);
@@ -75,7 +82,7 @@ std::optional<ValueId> EvalTerm(const Program& prog, TermId id,
       std::vector<std::pair<Symbol, ValueId>> fields;
       fields.reserve(t.fields.size());
       for (const auto& [attr, child] : t.fields) {
-        auto v = EvalTerm(prog, child, b, inst);
+        auto v = EvalTerm(prog, child, b, inst, values);
         if (!v.has_value()) return std::nullopt;
         fields.emplace_back(attr, *v);
       }
@@ -85,7 +92,7 @@ std::optional<ValueId> EvalTerm(const Program& prog, TermId id,
       std::vector<ValueId> elems;
       elems.reserve(t.elems.size());
       for (TermId child : t.elems) {
-        auto v = EvalTerm(prog, child, b, inst);
+        auto v = EvalTerm(prog, child, b, inst, values);
         if (!v.has_value()) return std::nullopt;
         elems.push_back(*v);
       }
@@ -134,10 +141,9 @@ bool TermReady(const Program& prog, TermId id, const Bindings& b) {
 // leaving any partial bindings for the caller to undo.
 bool MatchTerm(const Program& prog, const Rule& rule,
                TypeMembership* membership, TermId id, ValueId value,
-               Bindings* b, std::vector<Symbol>* trail,
-               const Instance& inst) {
+               Bindings* b, std::vector<Symbol>* trail, const Instance& inst,
+               ValueArena& values) {
   const Term& t = prog.term(id);
-  ValueStore& values = inst.universe()->values();
   switch (t.kind) {
     case Term::Kind::kVar: {
       auto it = b->find(t.name);
@@ -154,7 +160,7 @@ bool MatchTerm(const Program& prog, const Rule& rule,
     case Term::Kind::kClassName:
     case Term::Kind::kDeref:
     case Term::Kind::kSet: {
-      auto v = EvalTerm(prog, id, *b, inst);
+      auto v = EvalTerm(prog, id, *b, inst, values);
       return v.has_value() && *v == value;
     }
     case Term::Kind::kTuple: {
@@ -166,7 +172,7 @@ bool MatchTerm(const Program& prog, const Rule& rule,
       for (size_t i = 0; i < t.fields.size(); ++i) {
         if (n.fields[i].first != t.fields[i].first) return false;
         if (!MatchTerm(prog, rule, membership, t.fields[i].second,
-                       n.fields[i].second, b, trail, inst)) {
+                       n.fields[i].second, b, trail, inst, values)) {
           return false;
         }
       }
@@ -189,9 +195,9 @@ void UndoTrail(Bindings* b, std::vector<Symbol>* trail, size_t mark) {
 std::optional<std::vector<ValueId>> ContainerElems(const Program& prog,
                                                    TermId lhs,
                                                    const Bindings& b,
-                                                   const Instance& inst) {
+                                                   const Instance& inst,
+                                                   ValueArena& values) {
   const Term& t = prog.term(lhs);
-  ValueStore& values = inst.universe()->values();
   switch (t.kind) {
     case Term::Kind::kRelName: {
       const auto& tuples = inst.Relation(t.name);
@@ -204,7 +210,7 @@ std::optional<std::vector<ValueId>> ContainerElems(const Program& prog,
     }
     case Term::Kind::kVar:
     case Term::Kind::kDeref: {
-      auto v = EvalTerm(prog, lhs, b, inst);
+      auto v = EvalTerm(prog, lhs, b, inst, values);
       if (!v.has_value()) return std::nullopt;
       const ValueNode& n = values.node(*v);
       if (n.kind != ValueKind::kSet) return std::vector<ValueId>{};
@@ -221,12 +227,15 @@ std::optional<std::vector<ValueId>> ContainerElems(const Program& prog,
 
 // Shared per-step machinery handed to every RuleSolver of that step.
 // `index` and `estimator` may be null (indexing / scheduling disabled);
-// `rule_metrics` may be null (metrics not requested).
+// `rule_metrics` may be null (metrics not requested). `values` is required:
+// the serial path passes a passthrough arena over the shared store, a
+// parallel worker its private snapshot arena.
 struct SolverContext {
   ExtentEnumerator* extents = nullptr;
   RelationIndex* index = nullptr;
   CardinalityEstimator* estimator = nullptr;
   RuleMetrics* rule_metrics = nullptr;
+  ValueArena* values = nullptr;
   bool schedule = false;
 };
 
@@ -246,8 +255,7 @@ class RuleSolver {
         ctx_(ctx),
         delta_literal_(delta_literal),
         delta_facts_(delta_facts),
-        membership_(&inst.universe()->types(), &inst.universe()->values(),
-                    &inst) {
+        membership_(&inst.universe()->types(), ctx.values, &inst) {
     done_.assign(rule.body.size(), false);
     lhs_vars_.resize(rule.body.size());
     rhs_vars_.resize(rule.body.size());
@@ -285,6 +293,24 @@ class RuleSolver {
     return Step(cb);
   }
 
+  // Probe mode: Solve() runs the (deterministic, single-path) prefix of
+  // the enumeration up to the first multi-way branch -- a candidate-list
+  // iteration or a type-extent range -- stores that branch's width in
+  // `*width`, and returns without descending into it. The callback is
+  // only reached when the enumeration has no multi-way branch at all, in
+  // which case `*width` keeps its caller-initialized value.
+  void SetProbe(size_t* width) { probe_width_ = width; }
+
+  // Slice mode: the first multi-way branch iterates only candidates
+  // [begin, end) of its list; every deeper branch iterates fully. The
+  // candidate list is deterministic given the frozen instance, so slicing
+  // [0, w) across workers partitions exactly the serial enumeration, in
+  // order.
+  void SetSlice(size_t begin, size_t end) {
+    slice_begin_ = begin;
+    slice_end_ = end;
+  }
+
  private:
   bool VarsBound(const std::vector<Symbol>& vars) const {
     for (Symbol v : vars) {
@@ -300,24 +326,27 @@ class RuleSolver {
 
   // Evaluates a fully-bound literal.
   bool Check(size_t index, const Literal& lit) const {
-    auto rv = EvalTerm(prog_, lit.rhs, bindings_, inst_);
+    ValueArena& values = *ctx_.values;
+    auto rv = EvalTerm(prog_, lit.rhs, bindings_, inst_, values);
     if (!rv.has_value()) return false;
     if (index == delta_literal_) {
-      // Semi-naive: the delta literal checks against the delta facts.
+      // Semi-naive: the delta literal checks against the delta facts. The
+      // delta holds shared-store ids; a side-store *rv is by construction
+      // a value the shared store has never interned, so an id-level search
+      // failing on it is the structurally correct answer.
       return std::binary_search(delta_facts_->begin(), delta_facts_->end(),
                                 *rv);
     }
-    auto lv = EvalTerm(prog_, lit.lhs, bindings_, inst_);
+    auto lv = EvalTerm(prog_, lit.lhs, bindings_, inst_, values);
     // A valuation must be defined on both terms (undefined x^ fails both
     // polarities, §3.2).
     if (!lv.has_value()) return false;
     if (lit.kind == Literal::Kind::kEquality) {
       return (*lv == *rv) == lit.positive;
     }
-    const ValueNode& ln = inst_.universe()->values().node(*lv);
+    const ValueNode& ln = values.node(*lv);
     if (ln.kind != ValueKind::kSet) return false;
-    bool in = std::binary_search(ln.elems.begin(), ln.elems.end(), *rv);
-    return in == lit.positive;
+    return values.ElemsContain(ln.elems, *rv) == lit.positive;
   }
 
   // A generator the solver could branch on at the current choice point.
@@ -360,9 +389,9 @@ class RuleSolver {
           break;
         case Term::Kind::kVar:
         case Term::Kind::kDeref: {
-          auto v = EvalTerm(prog_, lit.lhs, bindings_, inst_);
+          auto v = EvalTerm(prog_, lit.lhs, bindings_, inst_, *ctx_.values);
           if (!v.has_value()) return false;  // lhs not evaluable yet
-          const ValueNode& n = inst_.universe()->values().node(*v);
+          const ValueNode& n = ctx_.values->node(*v);
           if (n.kind != ValueKind::kSet) {
             c->impossible = true;  // non-set container: no elements
             return true;
@@ -387,7 +416,7 @@ class RuleSolver {
         for (const auto& [a, t] : rhs.fields) {
           if (a == attr) child = t;
         }
-        auto v = EvalTerm(prog_, child, bindings_, inst_);
+        auto v = EvalTerm(prog_, child, bindings_, inst_, *ctx_.values);
         if (!v.has_value()) {
           c->impossible = true;
           break;
@@ -469,7 +498,8 @@ class RuleSolver {
       elems = &ctx_.index->Elems(c.container);
       if (ctx_.rule_metrics != nullptr) ++ctx_.rule_metrics->index_scans;
     } else {
-      auto container = ContainerElems(prog_, lit.lhs, bindings_, inst_);
+      auto container =
+          ContainerElems(prog_, lit.lhs, bindings_, inst_, *ctx_.values);
       if (container.has_value()) {
         scan = std::move(*container);
         elems = &scan;
@@ -478,10 +508,23 @@ class RuleSolver {
     }
     done_[c.literal] = true;
     if (elems != nullptr) {
-      for (ValueId elem : *elems) {
+      size_t lo = 0;
+      size_t hi = elems->size();
+      if (at_first_branch_) {
+        at_first_branch_ = false;
+        if (probe_width_ != nullptr) {
+          *probe_width_ = elems->size();
+          done_[c.literal] = false;
+          return Status::Ok();
+        }
+        lo = std::min(slice_begin_, hi);
+        hi = std::min(slice_end_, hi);
+      }
+      for (size_t k = lo; k < hi; ++k) {
+        ValueId elem = (*elems)[k];
         size_t mark = trail_.size();
         if (MatchTerm(prog_, rule_, &membership_, lit.rhs, elem,
-                      &bindings_, &trail_, inst_)) {
+                      &bindings_, &trail_, inst_, *ctx_.values)) {
           Status s = Step(cb);
           if (!s.ok()) {
             done_[c.literal] = false;
@@ -501,13 +544,13 @@ class RuleSolver {
     const Literal& lit = rule_.body[c.literal];
     TermId src = c.flip ? lit.rhs : lit.lhs;
     TermId dst = c.flip ? lit.lhs : lit.rhs;
-    auto v = EvalTerm(prog_, src, bindings_, inst_);
+    auto v = EvalTerm(prog_, src, bindings_, inst_, *ctx_.values);
     if (!v.has_value()) return Status::Ok();  // undefined: fail
     done_[c.literal] = true;
     size_t mark = trail_.size();
     Status s = Status::Ok();
     if (MatchTerm(prog_, rule_, &membership_, dst, *v, &bindings_, &trail_,
-                  inst_)) {
+                  inst_, *ctx_.values)) {
       s = Step(cb);
     }
     UndoTrail(&bindings_, &trail_, mark);
@@ -546,8 +589,19 @@ class RuleSolver {
       TypeId t = rule_.var_types.at(*unbound);
       IQL_ASSIGN_OR_RETURN(const std::vector<ValueId>* extent,
                            ctx_.extents->Enumerate(t));
-      for (ValueId v : *extent) {
-        bindings_.emplace(*unbound, v);
+      size_t lo = 0;
+      size_t hi = extent->size();
+      if (at_first_branch_) {
+        at_first_branch_ = false;
+        if (probe_width_ != nullptr) {
+          *probe_width_ = extent->size();
+          return Status::Ok();
+        }
+        lo = std::min(slice_begin_, hi);
+        hi = std::min(slice_end_, hi);
+      }
+      for (size_t k = lo; k < hi; ++k) {
+        bindings_.emplace(*unbound, (*extent)[k]);
         Status s = Step(cb);
         bindings_.erase(*unbound);
         IQL_RETURN_IF_ERROR(s);
@@ -573,6 +627,12 @@ class RuleSolver {
       field_vars_;
   Bindings bindings_;
   std::vector<Symbol> trail_;
+  // Probe/slice state (see SetProbe/SetSlice): consumed at the first
+  // multi-way branch of the enumeration.
+  bool at_first_branch_ = true;
+  size_t* probe_width_ = nullptr;
+  size_t slice_begin_ = 0;
+  size_t slice_end_ = static_cast<size_t>(-1);
 };
 
 // ---------------------------------------------------------------------------
@@ -583,13 +643,14 @@ class RuleSolver {
 class HeadSatisfiability {
  public:
   HeadSatisfiability(const Program& prog, const Rule& rule,
-                     const Instance& inst, bool use_fast_path = true)
+                     const Instance& inst, ValueArena* values,
+                     bool use_fast_path = true)
       : prog_(prog),
         rule_(rule),
         inst_(inst),
+        values_(values),
         use_fast_path_(use_fast_path),
-        membership_(&inst.universe()->types(), &inst.universe()->values(),
-                    &inst) {
+        membership_(&inst.universe()->types(), values, &inst) {
     std::set<Symbol> vars;
     prog.CollectVars(rule.head.rhs, &vars);
     rhs_vars_.assign(vars.begin(), vars.end());
@@ -608,7 +669,7 @@ class HeadSatisfiability {
     Bindings b = theta;
     std::vector<Symbol> trail;
     const Literal& head = rule_.head;
-    ValueStore& values = inst_.universe()->values();
+    ValueArena& values = *values_;
     if (head.kind == Literal::Kind::kMembership) {
       const Term& lhs = prog_.term(head.lhs);
       if (lhs.kind == Term::Kind::kDeref && !b.count(lhs.name)) {
@@ -646,30 +707,34 @@ class HeadSatisfiability {
     // Fast path: a fully-bound head needs a membership lookup, not a scan
     // (the common case for rules without invention).
     if (use_fast_path_ && RhsVarsBound(*b)) {
-      auto rv = EvalTerm(prog_, head.rhs, *b, inst_);
+      auto rv = EvalTerm(prog_, head.rhs, *b, inst_, *values_);
       if (!rv.has_value()) return false;
       const Term& lhs = prog_.term(head.lhs);
       switch (lhs.kind) {
         case Term::Kind::kRelName:
+          // A side-store value is structurally new, so it cannot occur in
+          // any relation of the frozen instance; asking the instance (whose
+          // comparator only reads the shared store) would be ill-formed.
+          if (values_->IsSide(*rv)) return false;
           return inst_.RelationContains(lhs.name, *rv);
         case Term::Kind::kClassName: {
-          const ValueNode& rn = inst_.universe()->values().node(*rv);
+          const ValueNode& rn = values_->node(*rv);
           return rn.kind == ValueKind::kOid &&
                  inst_.OidInClass(rn.oid, lhs.name);
         }
         case Term::Kind::kVar:
         case Term::Kind::kDeref: {
-          auto lv = EvalTerm(prog_, head.lhs, *b, inst_);
+          auto lv = EvalTerm(prog_, head.lhs, *b, inst_, *values_);
           if (!lv.has_value()) return false;
-          const ValueNode& ln = inst_.universe()->values().node(*lv);
+          const ValueNode& ln = values_->node(*lv);
           if (ln.kind != ValueKind::kSet) return false;
-          return std::binary_search(ln.elems.begin(), ln.elems.end(), *rv);
+          return values_->ElemsContain(ln.elems, *rv);
         }
         default:
           return false;
       }
     }
-    auto container = ContainerElems(prog_, head.lhs, *b, inst_);
+    auto container = ContainerElems(prog_, head.lhs, *b, inst_, *values_);
     if (!container.has_value()) return false;
     std::vector<Symbol> trail;
     for (ValueId elem : *container) {
@@ -679,7 +744,7 @@ class HeadSatisfiability {
       // conservative direction: the rule fires more often, and the
       // application layer deduplicates.
       if (MatchTerm(prog_, rule_, &membership_, head.rhs, elem, b, &trail,
-                    inst_)) {
+                    inst_, *values_)) {
         UndoTrail(b, &trail, mark);
         return true;
       }
@@ -689,13 +754,13 @@ class HeadSatisfiability {
   }
 
   bool EqualitySatisfiable(const Literal& head, Bindings* b) {
-    auto lv = EvalTerm(prog_, head.lhs, *b, inst_);
+    auto lv = EvalTerm(prog_, head.lhs, *b, inst_, *values_);
     if (!lv.has_value()) return false;  // nu undefined: no extension
     std::vector<Symbol> trail;
     size_t mark = trail.size();
     bool ok = TermReady(prog_, head.rhs, *b) &&
               MatchTerm(prog_, rule_, &membership_, head.rhs, *lv, b,
-                        &trail, inst_);
+                        &trail, inst_, *values_);
     UndoTrail(b, &trail, mark);
     return ok;
   }
@@ -703,6 +768,7 @@ class HeadSatisfiability {
   const Program& prog_;
   const Rule& rule_;
   const Instance& inst_;
+  ValueArena* values_;
   bool use_fast_path_;
   TypeMembership membership_;
   std::vector<Symbol> rhs_vars_;
@@ -719,9 +785,11 @@ struct Derivation {
 
 class StageRunner {
  public:
+  // `pool` is null when the run is serial (num_threads resolved to 1);
+  // otherwise it is shared across the program's stages.
   StageRunner(Universe* universe, const Schema& schema, const Program& prog,
               const std::vector<Rule>& rules, const EvalOptions& options,
-              EvalStats* stats)
+              EvalStats* stats, ThreadPool* pool)
       : u_(universe),
         schema_(schema),
         prog_(prog),
@@ -729,9 +797,28 @@ class StageRunner {
         options_(options),
         stats_(stats),
         metrics_(options.metrics),
+        pool_(pool),
         choose_rng_(options.choose_seed) {
     for (const Rule& rule : rules_) {
       if (rule.head_negative) has_deletions_ = true;
+    }
+    // A rule's enumeration may fan out only when every variable type is
+    // intersection-free: extent enumeration compiles intersections away by
+    // interning new nodes into the shared TypePool, which workers must not
+    // mutate. Such rules (and any whose first branch is narrow) take the
+    // serial path.
+    rule_parallel_.assign(rules_.size(), false);
+    if (pool_ != nullptr) {
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        bool ok = true;
+        for (const auto& [var, t] : rules_[i].var_types) {
+          if (!u_->types().IsIntersectionFree(t)) {
+            ok = false;
+            break;
+          }
+        }
+        rule_parallel_[i] = ok;
+      }
     }
     if (metrics_ != nullptr) {
       size_t first = metrics_->rules.size();
@@ -781,7 +868,11 @@ class StageRunner {
         *options_.trace << "stage " << stage_index_ << " step " << step
                         << ": val-dom " << derivations.size()
                         << ", facts " << work->GroundFactCount()
-                        << ", invented " << stats_->invented_oids << "\n";
+                        << ", invented " << stats_->invented_oids;
+        if (step_partitions_ > 0) {
+          *options_.trace << ", parallel partitions " << step_partitions_;
+        }
+        *options_.trace << "\n";
       }
       if (!changed) return Status::Ok();
       if (before.has_value() && work->EqualGroundFacts(*before)) {
@@ -870,6 +961,7 @@ class StageRunner {
     if (options_.enable_indexing) index.emplace(work);
     std::optional<CardinalityEstimator> estimator;
     if (options_.enable_scheduling) estimator.emplace(work);
+    ValueArena arena = ValueArena::Passthrough(&u_->values());
     auto solve_into = [&](size_t rule_idx, ExtentEnumerator* extents,
                           size_t delta_literal,
                           const std::vector<ValueId>* delta_facts,
@@ -883,7 +975,32 @@ class StageRunner {
       ctx.index = index.has_value() ? &*index : nullptr;
       ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
       ctx.rule_metrics = rm;
+      ctx.values = &arena;
       ctx.schedule = options_.enable_scheduling;
+      if (pool_ != nullptr && rule_parallel_[rule_idx]) {
+        // Parallel semi-naive: partition this solve's first candidate
+        // list (the delta itself whenever the planner ranges the delta
+        // literal first) across the pool; heads are evaluated by the
+        // coordinator from the rehomed thetas, in canonical order.
+        IQL_ASSIGN_OR_RETURN(size_t width,
+                             ProbeBranchWidth(rule_idx, *work, ctx,
+                                              delta_literal, delta_facts));
+        if (width >= options_.parallel_min_candidates) {
+          auto start = std::chrono::steady_clock::now();
+          if (rm != nullptr) ++rm->invocations;
+          IQL_ASSIGN_OR_RETURN(
+              std::vector<Bindings> thetas,
+              ParallelEnumerate(*work, rule_idx, width, rm,
+                                /*filter_head=*/false, delta_literal,
+                                delta_facts));
+          for (const Bindings& theta : thetas) {
+            auto v = EvalTerm(prog_, rule.head.rhs, theta, *work, arena);
+            if (v.has_value()) pending->push_back({head_rel, *v, rm});
+          }
+          if (rm != nullptr) rm->seconds += Seconds(start);
+          return Status::Ok();
+        }
+      }
       RuleSolver solver(prog_, rule, *work, ctx, delta_literal, delta_facts);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
@@ -892,7 +1009,7 @@ class StageRunner {
           return ResourceExhaustedError("derivation budget exhausted");
         }
         if (rm != nullptr) ++rm->derivations;
-        auto v = EvalTerm(prog_, rule.head.rhs, theta, *work);
+        auto v = EvalTerm(prog_, rule.head.rhs, theta, *work, arena);
         if (v.has_value()) pending->push_back({head_rel, *v, rm});
         return Status::Ok();
       });
@@ -928,6 +1045,7 @@ class StageRunner {
     {
       // Round 0: full evaluation of every rule.
       auto round_start = std::chrono::steady_clock::now();
+      step_partitions_ = 0;
       ExtentEnumerator extents(work, options_.extent_budget);
       Pending pending;
       for (size_t r = 0; r < rules_.size(); ++r) {
@@ -944,6 +1062,7 @@ class StageRunner {
         return ResourceExhaustedError("semi-naive round budget exhausted");
       }
       auto round_start = std::chrono::steady_clock::now();
+      step_partitions_ = 0;
       for (auto& [rel, facts] : delta) std::sort(facts.begin(), facts.end());
       ExtentEnumerator extents(work, options_.extent_budget);
       Pending pending;
@@ -969,28 +1088,171 @@ class StageRunner {
       record_round(rounds, round_start, delta);
       if (options_.trace != nullptr) {
         *options_.trace << "stage " << stage_index_ << " (semi-naive) round "
-                        << rounds << ": facts "
-                        << work->GroundFactCount() << "\n";
+                        << rounds << ": facts " << work->GroundFactCount();
+        if (step_partitions_ > 0) {
+          *options_.trace << ", parallel partitions " << step_partitions_;
+        }
+        *options_.trace << "\n";
       }
     }
     if (index.has_value()) FoldIndexCounters(*index);
     return Status::Ok();
   }
 
+  // One worker's private view of the frozen step instance: a snapshot
+  // arena over the shared store plus arena-backed enumeration machinery.
+  // Estimates and extents are deterministic functions of the frozen
+  // instance, so every worker (and the coordinator's probe) makes the same
+  // generator choices and sees the same candidate lists.
+  struct WorkerState {
+    std::optional<ValueArena> arena;
+    std::optional<ExtentEnumerator> extents;
+    std::optional<RelationIndex> index;
+    std::optional<CardinalityEstimator> estimator;
+    RuleMetrics shard;  // derivation/index counters, summed at merge
+  };
+
+  // Measures the width of rule `r`'s first multi-way branch against the
+  // frozen instance without enumerating past it (ctx must be the
+  // coordinator's serial context). Zero when the enumeration dies, or
+  // never branches, before any candidate list.
+  Result<size_t> ProbeBranchWidth(size_t r, const Instance& inst,
+                                  SolverContext ctx, size_t delta_literal,
+                                  const std::vector<ValueId>* delta_facts) {
+    size_t width = 0;
+    ctx.rule_metrics = nullptr;  // probe work is not attributed to the rule
+    RuleSolver probe(prog_, rules_[r], inst, ctx, delta_literal,
+                     delta_facts);
+    probe.SetProbe(&width);
+    IQL_RETURN_IF_ERROR(
+        probe.Solve([](const Bindings&) { return Status::Ok(); }));
+    return width;
+  }
+
+  // Enumerates rule `r`'s satisfying valuations with the candidate list at
+  // the solver's first multi-way branch (width `width`, as measured by
+  // ProbeBranchWidth against the same frozen instance) partitioned into
+  // contiguous chunks that workers claim dynamically. Each worker
+  // enumerates its chunks into private buffers, interning new o-values
+  // into its side store; the coordinator then rehomes every binding into
+  // the shared store and concatenates the buffers in chunk order -- which
+  // is exactly the serial enumeration order, so downstream invention,
+  // choose, and weak assignment see the canonical derivation sequence.
+  // With `filter_head` set, the naive val-dom head filter runs inside the
+  // workers (per-worker HeadSatisfiability over the same frozen instance).
+  Result<std::vector<Bindings>> ParallelEnumerate(
+      const Instance& inst, size_t r, size_t width, RuleMetrics* rm,
+      bool filter_head, size_t delta_literal,
+      const std::vector<ValueId>* delta_facts) {
+    const Rule& rule = rules_[r];
+    // More chunks than workers smooths skew from uneven subtree sizes;
+    // chunk *order*, not assignment, determines the merged output.
+    size_t chunk_count = std::min(width, pool_->workers() * 4);
+    size_t workers = std::min(pool_->workers(), chunk_count);
+    struct Chunk {
+      size_t worker = 0;
+      std::vector<Bindings> thetas;
+      Status status = Status::Ok();
+    };
+    std::vector<Chunk> chunks(chunk_count);
+    std::vector<WorkerState> states(workers);
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<uint64_t> derivations{stats_->derivations};
+    std::atomic<bool> abort{false};
+    pool_->ParallelRun(workers, [&](size_t w) {
+      WorkerState& st = states[w];
+      st.arena.emplace(ValueArena::Snapshot(&u_->values()));
+      st.extents.emplace(&inst, options_.extent_budget, &*st.arena);
+      if (options_.enable_indexing) st.index.emplace(&inst, &*st.arena);
+      if (options_.enable_scheduling) st.estimator.emplace(&inst);
+      std::optional<HeadSatisfiability> head;
+      if (filter_head) {
+        head.emplace(prog_, rule, inst, &*st.arena,
+                     !options_.disable_head_fast_path);
+      }
+      SolverContext ctx;
+      ctx.extents = &*st.extents;
+      ctx.index = st.index.has_value() ? &*st.index : nullptr;
+      ctx.estimator = st.estimator.has_value() ? &*st.estimator : nullptr;
+      ctx.rule_metrics = &st.shard;
+      ctx.values = &*st.arena;
+      ctx.schedule = options_.enable_scheduling;
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks.size()) return;
+        Chunk& chunk = chunks[c];
+        chunk.worker = w;
+        RuleSolver solver(prog_, rule, inst, ctx, delta_literal,
+                          delta_facts);
+        solver.SetSlice(c * width / chunk_count,
+                        (c + 1) * width / chunk_count);
+        chunk.status = solver.Solve([&](const Bindings& theta) -> Status {
+          uint64_t n =
+              derivations.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (n > options_.max_derivations) {
+            return ResourceExhaustedError("derivation budget exhausted");
+          }
+          ++st.shard.derivations;
+          if (head.has_value() && !rule.head_negative &&
+              head->Satisfiable(theta)) {
+            return Status::Ok();  // not in val-dom
+          }
+          chunk.thetas.push_back(theta);
+          return Status::Ok();
+        });
+        if (!chunk.status.ok()) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+    // Any failed chunk fails the step (the serial evaluator would have
+    // surfaced the same class of error within the same enumeration).
+    for (const Chunk& chunk : chunks) {
+      IQL_RETURN_IF_ERROR(chunk.status);
+    }
+    stats_->derivations = derivations.load();
+    // Serial canonical merge: rehome each surviving binding into the
+    // shared store, chunk by chunk, in chunk order.
+    std::vector<Bindings> out;
+    for (Chunk& chunk : chunks) {
+      ValueArena& arena = *states[chunk.worker].arena;
+      for (Bindings& theta : chunk.thetas) {
+        Bindings rehomed;
+        for (const auto& [var, v] : theta) {
+          rehomed.emplace(var, arena.RehomeInto(&u_->values(), v));
+        }
+        out.push_back(std::move(rehomed));
+      }
+    }
+    for (WorkerState& st : states) {
+      if (rm != nullptr) {
+        rm->derivations += st.shard.derivations;
+        rm->index_probes += st.shard.index_probes;
+        rm->index_scans += st.shard.index_scans;
+      }
+      if (st.index.has_value()) FoldIndexCounters(*st.index);
+    }
+    if (rm != nullptr) rm->parallel_partitions += chunk_count;
+    step_partitions_ += chunk_count;
+    return out;
+  }
+
   Result<std::vector<Derivation>> ValuationDomain(const Instance& inst) {
     std::vector<Derivation> out;
-    ExtentEnumerator extents(&inst, options_.extent_budget);
+    ValueArena arena = ValueArena::Passthrough(&u_->values());
+    ExtentEnumerator extents(&inst, options_.extent_budget, &arena);
     // Naive steps evaluate against the frozen step-start instance, so a
     // fresh per-step index needs no invalidation at all.
     std::optional<RelationIndex> index;
     if (options_.enable_indexing) index.emplace(&inst);
     std::optional<CardinalityEstimator> estimator;
     if (options_.enable_scheduling) estimator.emplace(&inst);
+    step_partitions_ = 0;
     for (size_t r = 0; r < rules_.size(); ++r) {
       const Rule& rule = rules_[r];
       RuleMetrics* rm = rule_metrics_.empty() ? nullptr : rule_metrics_[r];
-      HeadSatisfiability head(prog_, rule, inst,
-                              !options_.disable_head_fast_path);
       // val-dom is a *set* of (r, theta): deduplication matters only for
       // invention rules (a duplicate theta would mint extra oids); for
       // ordinary heads, firing twice derives the same fact.
@@ -1001,7 +1263,31 @@ class StageRunner {
       ctx.index = index.has_value() ? &*index : nullptr;
       ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
       ctx.rule_metrics = rm;
+      ctx.values = &arena;
       ctx.schedule = options_.enable_scheduling;
+      if (pool_ != nullptr && rule_parallel_[r]) {
+        IQL_ASSIGN_OR_RETURN(
+            size_t width,
+            ProbeBranchWidth(r, inst, ctx, static_cast<size_t>(-1),
+                             nullptr));
+        if (width >= options_.parallel_min_candidates) {
+          auto start = std::chrono::steady_clock::now();
+          if (rm != nullptr) ++rm->invocations;
+          IQL_ASSIGN_OR_RETURN(
+              std::vector<Bindings> thetas,
+              ParallelEnumerate(inst, r, width, rm, /*filter_head=*/true,
+                                static_cast<size_t>(-1), nullptr));
+          for (Bindings& theta : thetas) {
+            if (!dedupe || seen.insert(theta).second) {
+              out.push_back({&rule, std::move(theta)});
+            }
+          }
+          if (rm != nullptr) rm->seconds += Seconds(start);
+          continue;
+        }
+      }
+      HeadSatisfiability head(prog_, rule, inst, &arena,
+                              !options_.disable_head_fast_path);
       RuleSolver solver(prog_, rule, inst, ctx);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
@@ -1043,6 +1329,8 @@ class StageRunner {
   Result<bool> Apply(const std::vector<Derivation>& derivations,
                      Instance* work) {
     ValueStore& values = u_->values();
+    // Application always runs on the coordinator against the shared store.
+    ValueArena arena = ValueArena::Passthrough(&values);
     struct PendingAssignment {
       std::set<ValueId> candidates;
       RuleMetrics* rm = nullptr;
@@ -1131,10 +1419,10 @@ class StageRunner {
       const Term& lhs = prog_.term(head.lhs);
       if (head.kind == Literal::Kind::kEquality) {
         // x^ = t (or its retraction).
-        auto xv = EvalTerm(prog_, head.lhs, b, *work);
+        auto xv = EvalTerm(prog_, head.lhs, b, *work, arena);
         auto ov = b.at(lhs.name);
         Oid o = values.node(ov).oid;
-        auto v = EvalTerm(prog_, head.rhs, b, *work);
+        auto v = EvalTerm(prog_, head.rhs, b, *work, arena);
         if (!v.has_value()) continue;  // rhs mentions an undefined x^
         if (rule.head_negative) {
           if (xv.has_value() && *xv == *v) value_retractions.emplace_back(o, *v);
@@ -1145,7 +1433,7 @@ class StageRunner {
         }
         continue;
       }
-      auto v = EvalTerm(prog_, head.rhs, b, *work);
+      auto v = EvalTerm(prog_, head.rhs, b, *work, arena);
       if (!v.has_value()) continue;  // rhs mentions an undefined x^
       switch (lhs.kind) {
         case Term::Kind::kRelName:
@@ -1267,6 +1555,9 @@ class StageRunner {
   // metrics_->rules, stable because all of this stage's entries are
   // appended before any pointer is taken.
   std::vector<RuleMetrics*> rule_metrics_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<bool> rule_parallel_;  // per rule: may its solver fan out?
+  uint64_t step_partitions_ = 0;     // partitions used by the current step
   uint64_t choose_rng_ = 0;
   bool has_deletions_ = false;
 
@@ -1294,11 +1585,20 @@ Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
   }
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  size_t threads = ResolveThreadCount(options.num_threads);
+  if (options.metrics != nullptr) {
+    options.metrics->threads = static_cast<uint32_t>(threads);
+  }
+  // One pool for the whole program; stages borrow it. threads == 1 keeps
+  // the pool (and every probe/merge code path) entirely out of the run.
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
   Instance work(&schema, universe);
   IQL_RETURN_IF_ERROR(work.Absorb(input));
   int stage_index = 0;
   for (const auto& stage : program->stages) {
-    StageRunner runner(universe, schema, *program, stage, options, stats);
+    StageRunner runner(universe, schema, *program, stage, options, stats,
+                       pool.has_value() ? &*pool : nullptr);
     runner.stage_index_ = stage_index++;
     IQL_RETURN_IF_ERROR(runner.Run(&work));
   }
@@ -1366,8 +1666,9 @@ std::string EvalMetrics::ToJson() const {
        << ",\"derivations\":" << r.derivations
        << ",\"facts_added\":" << r.facts_added
        << ",\"index_probes\":" << r.index_probes
-       << ",\"index_scans\":" << r.index_scans << ",\"seconds\":" << r.seconds
-       << "}";
+       << ",\"index_scans\":" << r.index_scans
+       << ",\"parallel_partitions\":" << r.parallel_partitions
+       << ",\"seconds\":" << r.seconds << "}";
   }
   os << "],\"rounds\":[";
   for (size_t i = 0; i < rounds.size(); ++i) {
@@ -1381,7 +1682,8 @@ std::string EvalMetrics::ToJson() const {
   }
   os << "],\"index_builds\":" << index_builds
      << ",\"index_probes\":" << index_probes
-     << ",\"index_hits\":" << index_hits << "}";
+     << ",\"index_hits\":" << index_hits << ",\"threads\":" << threads
+     << "}";
   return os.str();
 }
 
@@ -1527,6 +1829,22 @@ Result<std::string> ExplainSchedule(Universe* universe, const Schema& schema,
       os << "  " << ++step << ". range " << universe->Name(*unbound)
          << " over its type extent\n";
     }
+    // Parallel eligibility (EvalOptions::num_threads): with workers
+    // available, step 1's candidate list is partitioned across them when
+    // it is wide enough; partition counts for an actual run appear in the
+    // metrics (parallel_partitions).
+    bool parallel_ok = true;
+    for (const auto& [var, t] : rule.var_types) {
+      if (!universe->types().IsIntersectionFree(t)) {
+        parallel_ok = false;
+        break;
+      }
+    }
+    os << "  parallel: "
+       << (parallel_ok ? "eligible (first generator partitions across "
+                         "workers when wide enough)"
+                       : "serial only (intersection type in rule scope)")
+       << "\n";
   }
   return os.str();
 }

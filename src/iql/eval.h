@@ -26,6 +26,9 @@ struct RuleMetrics {
   uint64_t facts_added = 0;   // new facts this rule actually contributed
   uint64_t index_probes = 0;  // generator visits served by an index bucket
   uint64_t index_scans = 0;   // generator visits that fell back to a scan
+  // Partitions this rule's enumeration was split into across the run (0
+  // when every solver invocation ran serially).
+  uint64_t parallel_partitions = 0;
   double seconds = 0.0;       // wall time spent inside this rule's solver
 };
 
@@ -48,6 +51,7 @@ struct EvalMetrics {
   uint64_t index_builds = 0;
   uint64_t index_probes = 0;
   uint64_t index_hits = 0;  // probes that returned a non-empty bucket
+  uint32_t threads = 1;     // resolved worker count the run executed with
 
   // Renders the metrics as a JSON object (stable key order), for --metrics
   // dumps and the benchmark harness.
@@ -114,8 +118,25 @@ struct EvalOptions {
   bool allow_deletions = false;
 
   // When set, a one-line summary of every one-step-operator application
-  // (stage, step, |val-dom|, facts added so far) is streamed here.
+  // (stage, step, |val-dom|, facts added so far) is streamed here. Trace
+  // lines are emitted by the coordinator after each step's merge, so they
+  // stay in step order regardless of num_threads.
   std::ostream* trace = nullptr;
+
+  // Worker-pool parallel enumeration. 0 = hardware concurrency, 1 = the
+  // serial evaluator (bit-for-bit today's path, no pool, no probes). With
+  // N > 1 workers, each fixpoint step partitions the candidate list at a
+  // rule's first multi-way branch across workers; workers enumerate into
+  // private buffers against the immutable start-of-round instance,
+  // interning new values into per-worker side stores, and a deterministic
+  // serial merge rehomes and applies them in canonical (rule, partition,
+  // sequence) order. Outputs are bit-for-bit identical for every N.
+  uint32_t num_threads = 0;
+
+  // A rule's enumeration only fans out when the candidate list at its
+  // first multi-way branch has at least this many entries; below the
+  // threshold the serial path is cheaper than the fork/join.
+  uint32_t parallel_min_candidates = 16;
 };
 
 struct EvalStats {

@@ -35,9 +35,11 @@ Result<const std::vector<ValueId>*> ExtentEnumerator::Enumerate(TypeId t) {
 Result<std::vector<ValueId>> ExtentEnumerator::Compute(TypeId t) {
   Universe* u = instance_->universe();
   TypePool& types = u->types();
-  ValueStore& values = u->values();
+  ValueArena& values = *arena_;
   // Instances enforce disjoint oid assignments, so intersections can be
-  // compiled away up front (Prop 2.2.1 (2)).
+  // compiled away up front (Prop 2.2.1 (2)). Worker enumerators never reach
+  // this (parallel eligibility requires intersection-free types), so the
+  // shared pool is only mutated from the serial path.
   if (!types.IsIntersectionFree(t)) {
     t = EliminateIntersection(&types, t);
   }
@@ -124,7 +126,10 @@ Result<std::vector<ValueId>> ExtentEnumerator::Compute(TypeId t) {
       return InternalError("intersection survived elimination");
   }
   IQL_RETURN_IF_ERROR(Charge(out.size()));
-  std::sort(out.begin(), out.end());
+  // Canonical structural order: identical across the shared store and any
+  // worker side store, so enumeration order is thread-count independent.
+  std::sort(out.begin(), out.end(),
+            [&values](ValueId a, ValueId b) { return values.Less(a, b); });
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }

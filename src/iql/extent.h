@@ -2,12 +2,14 @@
 #define IQLKIT_IQL_EXTENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "base/result.h"
 #include "model/instance.h"
 #include "model/type.h"
+#include "model/value.h"
 
 namespace iqlkit {
 
@@ -25,12 +27,27 @@ namespace iqlkit {
 // Intersections are eliminated first (instances have disjoint oid
 // assignments, so Prop 2.2.1(2) applies).
 //
-// The result is deterministically ordered. One enumerator is built per
-// fixpoint step; it caches per-type results against the step's instance.
+// The result is ordered by the canonical structural value order, which
+// depends only on the values themselves -- parallel workers with private
+// side stores enumerate extents in exactly the same sequence. One
+// enumerator is built per fixpoint step (or per worker per fan-out); it
+// caches per-type results against the step's instance.
 class ExtentEnumerator {
  public:
+  // Serial form: interns through the universe's shared store.
   ExtentEnumerator(const Instance* instance, uint64_t budget)
-      : instance_(instance), budget_(budget) {}
+      : instance_(instance),
+        budget_(budget),
+        owned_arena_(
+            ValueArena::Passthrough(&instance->universe()->values())),
+        arena_(&*owned_arena_) {}
+
+  // Worker form: interns into `arena` (a snapshot over the shared store).
+  // The caller must only enumerate intersection-free types in this form --
+  // intersection elimination would mutate the shared TypePool.
+  ExtentEnumerator(const Instance* instance, uint64_t budget,
+                   ValueArena* arena)
+      : instance_(instance), budget_(budget), arena_(arena) {}
 
   // All values of ⟦t⟧ w.r.t. the instance. The returned pointer is owned by
   // the enumerator's cache and stays valid until destruction.
@@ -51,6 +68,8 @@ class ExtentEnumerator {
 
   const Instance* instance_;
   uint64_t budget_;
+  std::optional<ValueArena> owned_arena_;
+  ValueArena* arena_;
   uint64_t produced_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;

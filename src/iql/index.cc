@@ -4,11 +4,15 @@
 
 namespace iqlkit {
 
+const ValueNode& RelationIndex::NodeOf(ValueId v) const {
+  return arena_ != nullptr ? arena_->node(v)
+                           : instance_->universe()->values().node(v);
+}
+
 const std::vector<ValueId>& RelationIndex::Elems(Container c) {
   auto it = elems_.find(Key(c));
   if (it != elems_.end()) return it->second;
   std::vector<ValueId> out;
-  ValueStore& values = instance_->universe()->values();
   switch (c.kind) {
     case Container::Kind::kRelation: {
       const auto& tuples = instance_->Relation(static_cast<Symbol>(c.id));
@@ -17,12 +21,14 @@ const std::vector<ValueId>& RelationIndex::Elems(Container c) {
     }
     case Container::Kind::kClass: {
       for (Oid o : instance_->ClassExtent(static_cast<Symbol>(c.id))) {
-        out.push_back(values.OfOid(o));
+        out.push_back(arena_ != nullptr
+                          ? arena_->OfOid(o)
+                          : instance_->universe()->values().OfOid(o));
       }
       break;
     }
     case Container::Kind::kSetValue: {
-      const ValueNode& n = values.node(static_cast<ValueId>(c.id));
+      const ValueNode& n = NodeOf(static_cast<ValueId>(c.id));
       if (n.kind == ValueKind::kSet) out = n.elems;
       break;
     }
@@ -33,7 +39,7 @@ const std::vector<ValueId>& RelationIndex::Elems(Container c) {
 bool RelationIndex::ElementKey(ValueId elem,
                                const std::vector<Symbol>& attrs,
                                uint64_t* out) const {
-  const ValueNode& n = instance_->universe()->values().node(elem);
+  const ValueNode& n = NodeOf(elem);
   if (n.kind != ValueKind::kTuple) return false;
   uint64_t h = 0;
   // Both n.fields and attrs are ascending: one linear merge.

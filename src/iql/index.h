@@ -59,7 +59,12 @@ class RelationIndex {
     static Container SetValue(ValueId v) { return {Kind::kSetValue, v}; }
   };
 
-  explicit RelationIndex(const Instance* instance) : instance_(instance) {}
+  // Serial form: reads (and, for class extents, interns oid values into)
+  // the instance's shared ValueStore. Worker form: pass the worker's
+  // `arena` so element ids may live in its private side store; interning
+  // goes to the side store and never mutates the shared store.
+  explicit RelationIndex(const Instance* instance, ValueArena* arena = nullptr)
+      : instance_(instance), arena_(arena) {}
   RelationIndex(const RelationIndex&) = delete;
   RelationIndex& operator=(const RelationIndex&) = delete;
 
@@ -125,7 +130,10 @@ class RelationIndex {
                   uint64_t* out) const;
   void InsertElement(Index* index, ValueId elem);
 
+  const ValueNode& NodeOf(ValueId v) const;
+
   const Instance* instance_;
+  ValueArena* arena_;
   std::unordered_map<ContainerKey, std::vector<ValueId>, ContainerKeyHash>
       elems_;
   std::unordered_map<IndexKey, Index, IndexKeyHash> indexes_;

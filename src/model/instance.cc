@@ -7,16 +7,27 @@
 namespace iqlkit {
 
 namespace {
-const std::set<ValueId> kEmptyValueSet;
+// Only ever handed out empty, so the null-store comparator is never called.
+const ValueIdSet kEmptyValueSet{ValueLess{nullptr}};
 const std::set<Oid> kEmptyOidSet;
 }  // namespace
+
+ValueIdSet& Instance::MutableRelation(Symbol relation) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    it = relations_
+             .emplace(relation, ValueIdSet(ValueLess{&universe_->values()}))
+             .first;
+  }
+  return it->second;
+}
 
 Status Instance::AddToRelation(Symbol relation, ValueId v) {
   if (!schema_->HasRelation(relation)) {
     return NotFoundError("unknown relation '" +
                          std::string(universe_->Name(relation)) + "'");
   }
-  relations_[relation].insert(v);
+  MutableRelation(relation).insert(v);
   return Status::Ok();
 }
 
@@ -189,7 +200,7 @@ size_t Instance::DeleteOidCascade(Oid seed) {
   return deleted.size();
 }
 
-const std::set<ValueId>& Instance::Relation(Symbol name) const {
+const ValueIdSet& Instance::Relation(Symbol name) const {
   auto it = relations_.find(name);
   return it == relations_.end() ? kEmptyValueSet : it->second;
 }
@@ -306,7 +317,7 @@ Instance Instance::Project(std::shared_ptr<const Schema> sub_ptr) const {
   Instance out(std::move(sub_ptr), universe_);
   for (Symbol r : sub->relation_names()) {
     auto it = relations_.find(r);
-    if (it != relations_.end()) out.relations_[r] = it->second;
+    if (it != relations_.end()) out.relations_.emplace(r, it->second);
   }
   for (Symbol p : sub->class_names()) {
     auto it = classes_.find(p);
@@ -332,7 +343,7 @@ Status Instance::Absorb(const Instance& src) {
                            "' not in target schema");
     }
     const auto& tuples = src.Relation(r);
-    relations_[r].insert(tuples.begin(), tuples.end());
+    MutableRelation(r).insert(tuples.begin(), tuples.end());
   }
   for (Symbol p : src.schema_->class_names()) {
     if (!schema_->HasClass(p)) {

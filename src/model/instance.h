@@ -92,7 +92,10 @@ class Instance : public ClassResolver {
   // ---- access -------------------------------------------------------------
 
   // Extent of a relation / class; empty if the name has no tuples yet.
-  const std::set<ValueId>& Relation(Symbol name) const;
+  // Relations iterate in the canonical structural order of their values
+  // (see CompareValues in value.h), which is stable across evaluation
+  // strategies and thread counts.
+  const ValueIdSet& Relation(Symbol name) const;
   const std::set<Oid>& ClassExtent(Symbol name) const;
   bool RelationContains(Symbol name, ValueId v) const;
 
@@ -148,9 +151,13 @@ class Instance : public ClassResolver {
   std::string GroundFactsToString() const;
 
  private:
+  // Returns the (possibly fresh) mutable extent of `relation`, constructed
+  // with a comparator bound to this universe's value store.
+  ValueIdSet& MutableRelation(Symbol relation);
+
   std::shared_ptr<const Schema> schema_;
   Universe* universe_;
-  std::map<Symbol, std::set<ValueId>> relations_;
+  std::map<Symbol, ValueIdSet> relations_;
   std::map<Symbol, std::set<Oid>> classes_;
   std::unordered_map<Oid, ValueId, OidHash> nu_;
   std::unordered_map<Oid, Symbol, OidHash> class_of_;

@@ -15,7 +15,7 @@ bool TypeMembership::Contains(TypeId t, ValueId v) {
   // Insert a tentative value to cut (impossible, since values are finite
   // trees, but cheap) recursion; overwritten below.
   const TypeNode& tn = types_->node(t);
-  const ValueNode& vn = values_->node(v);
+  const ValueNode& vn = NodeOf(v);
   bool result = false;
   switch (tn.kind) {
     case TypeKind::kEmpty:

@@ -8,9 +8,7 @@
 
 namespace iqlkit {
 
-namespace {
-
-uint64_t HashNode(const ValueNode& n) {
+uint64_t HashValueNode(const ValueNode& n) {
   uint64_t h = Mix64(static_cast<uint64_t>(n.kind) + 1);
   switch (n.kind) {
     case ValueKind::kConst:
@@ -32,7 +30,7 @@ uint64_t HashNode(const ValueNode& n) {
   return h;
 }
 
-bool SameNode(const ValueNode& a, const ValueNode& b) {
+bool SameValueNode(const ValueNode& a, const ValueNode& b) {
   if (a.kind != b.kind) return false;
   switch (a.kind) {
     case ValueKind::kConst:
@@ -47,13 +45,11 @@ bool SameNode(const ValueNode& a, const ValueNode& b) {
   return false;
 }
 
-}  // namespace
-
 ValueId ValueStore::InternNode(ValueNode node) {
-  uint64_t h = HashNode(node);
+  uint64_t h = HashValueNode(node);
   auto [begin, end] = index_.equal_range(h);
   for (auto it = begin; it != end; ++it) {
-    if (SameNode(nodes_[it->second], node)) return it->second;
+    if (SameValueNode(nodes_[it->second], node)) return it->second;
   }
   IQL_CHECK(nodes_.size() < kInvalidValue) << "value store overflow";
   ValueId id = static_cast<ValueId>(nodes_.size());
@@ -101,7 +97,10 @@ ValueId ValueStore::Tuple(std::vector<std::pair<Symbol, ValueId>> fields) {
 ValueId ValueStore::EmptyTuple() { return Tuple({}); }
 
 ValueId ValueStore::Set(std::vector<ValueId> elems) {
-  std::sort(elems.begin(), elems.end());
+  // Canonical structural element order; structurally equal elements share an
+  // id (hash consing), so duplicates are adjacent and compare equal by id.
+  std::sort(elems.begin(), elems.end(),
+            [this](ValueId a, ValueId b) { return Less(a, b); });
   elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
   ValueNode n;
   n.kind = ValueKind::kSet;
@@ -114,7 +113,9 @@ ValueId ValueStore::EmptySet() { return Set({}); }
 ValueId ValueStore::SetInsert(ValueId base, ValueId elem) {
   const ValueNode& n = node(base);
   IQL_CHECK(n.kind == ValueKind::kSet) << "SetInsert on non-set";
-  if (std::binary_search(n.elems.begin(), n.elems.end(), elem)) return base;
+  if (std::binary_search(n.elems.begin(), n.elems.end(), elem,
+                         [this](ValueId a, ValueId b) { return Less(a, b); }))
+    return base;
   std::vector<ValueId> elems = n.elems;
   elems.push_back(elem);
   return Set(std::move(elems));
@@ -128,14 +129,24 @@ ValueId ValueStore::SetUnion(ValueId a, ValueId b) {
   std::vector<ValueId> elems;
   elems.reserve(na.elems.size() + nb.elems.size());
   std::set_union(na.elems.begin(), na.elems.end(), nb.elems.begin(),
-                 nb.elems.end(), std::back_inserter(elems));
+                 nb.elems.end(), std::back_inserter(elems),
+                 [this](ValueId x, ValueId y) { return Less(x, y); });
   return Set(std::move(elems));
 }
 
 bool ValueStore::SetContains(ValueId set, ValueId elem) const {
   const ValueNode& n = node(set);
   IQL_CHECK(n.kind == ValueKind::kSet) << "SetContains on non-set";
-  return std::binary_search(n.elems.begin(), n.elems.end(), elem);
+  return std::binary_search(n.elems.begin(), n.elems.end(), elem,
+                            [this](ValueId a, ValueId b) { return Less(a, b); });
+}
+
+ValueId ValueStore::FindNode(uint64_t h, const ValueNode& n) const {
+  auto [begin, end] = index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (SameValueNode(nodes_[it->second], n)) return it->second;
+  }
+  return kInvalidValue;
 }
 
 const ValueNode& ValueStore::node(ValueId id) const {
@@ -179,6 +190,119 @@ void ValueStore::CollectConsts(ValueId v, std::set<Symbol>* out) const {
 
 std::string ValueStore::ToString(ValueId v) const {
   return ToString(v, [](Oid o) { return "@" + std::to_string(o.raw); });
+}
+
+// -- ValueArena -----------------------------------------------------------
+
+ValueId ValueArena::InternSide(ValueNode n) {
+  if (mutable_base_ != nullptr) return mutable_base_->InternNode(std::move(n));
+  uint64_t h = HashValueNode(n);
+  // Values already in the frozen base keep their base ids.
+  ValueId in_base = base_->FindNode(h, n);
+  if (in_base != kInvalidValue && in_base < base_limit_) return in_base;
+  auto [begin, end] = side_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (SameValueNode(side_nodes_[it->second - base_limit_], n)) {
+      return it->second;
+    }
+  }
+  IQL_CHECK(base_limit_ + side_nodes_.size() < kInvalidValue)
+      << "value arena overflow";
+  ValueId id = static_cast<ValueId>(base_limit_ + side_nodes_.size());
+  side_nodes_.push_back(std::move(n));
+  side_index_.emplace(h, id);
+  return id;
+}
+
+ValueId ValueArena::ConstSymbol(Symbol atom) {
+  ValueNode n;
+  n.kind = ValueKind::kConst;
+  n.atom = atom;
+  return InternSide(std::move(n));
+}
+
+ValueId ValueArena::OfOid(Oid o) {
+  ValueNode n;
+  n.kind = ValueKind::kOid;
+  n.oid = o;
+  return InternSide(std::move(n));
+}
+
+ValueId ValueArena::Tuple(std::vector<std::pair<Symbol, ValueId>> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    IQL_CHECK(fields[i - 1].first != fields[i].first)
+        << "duplicate tuple attribute";
+  }
+  ValueNode n;
+  n.kind = ValueKind::kTuple;
+  n.fields = std::move(fields);
+  return InternSide(std::move(n));
+}
+
+ValueId ValueArena::Set(std::vector<ValueId> elems) {
+  std::sort(elems.begin(), elems.end(),
+            [this](ValueId a, ValueId b) { return Less(a, b); });
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  ValueNode n;
+  n.kind = ValueKind::kSet;
+  n.elems = std::move(elems);
+  return InternSide(std::move(n));
+}
+
+ValueId ValueArena::SetInsert(ValueId base, ValueId elem) {
+  const ValueNode& n = node(base);
+  IQL_CHECK(n.kind == ValueKind::kSet) << "SetInsert on non-set";
+  if (ElemsContain(n.elems, elem)) return base;
+  std::vector<ValueId> elems = n.elems;
+  elems.push_back(elem);
+  return Set(std::move(elems));
+}
+
+bool ValueArena::SetContains(ValueId set, ValueId elem) const {
+  const ValueNode& n = node(set);
+  IQL_CHECK(n.kind == ValueKind::kSet) << "SetContains on non-set";
+  return ElemsContain(n.elems, elem);
+}
+
+bool ValueArena::ElemsContain(const std::vector<ValueId>& elems,
+                              ValueId elem) const {
+  return std::binary_search(
+      elems.begin(), elems.end(), elem,
+      [this](ValueId a, ValueId b) { return Less(a, b); });
+}
+
+ValueId ValueArena::RehomeInto(ValueStore* dst, ValueId v) {
+  IQL_CHECK(dst == base_) << "RehomeInto target must be the arena's base";
+  if (mutable_base_ != nullptr || v < base_limit_) return v;
+  auto memo = rehome_memo_.find(v);
+  if (memo != rehome_memo_.end()) return memo->second;
+  // Side node: rebuild bottom-up in the destination store. Copy the node
+  // first -- recursive rehoming of children does not touch side_nodes_, but
+  // the copy keeps the logic robust against iterator conventions.
+  ValueNode n = side_nodes_[v - base_limit_];
+  ValueId out = kInvalidValue;
+  switch (n.kind) {
+    case ValueKind::kConst:
+      out = dst->ConstSymbol(n.atom);
+      break;
+    case ValueKind::kOid:
+      out = dst->OfOid(n.oid);
+      break;
+    case ValueKind::kTuple:
+      for (auto& [attr, child] : n.fields) {
+        child = RehomeInto(dst, child);
+      }
+      out = dst->Tuple(std::move(n.fields));
+      break;
+    case ValueKind::kSet:
+      for (ValueId& child : n.elems) child = RehomeInto(dst, child);
+      out = dst->Set(std::move(n.elems));
+      break;
+  }
+  rehome_memo_.emplace(v, out);
+  return out;
 }
 
 }  // namespace iqlkit

@@ -232,6 +232,24 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
         << source;
   }
 
+  // Worker-pool parallel enumeration must be invisible: a randomized
+  // thread count (2..8) with fan-out forced on even tiny candidate lists
+  // yields the same facts as the serial default run. Relational facts are
+  // rehomed into the shared store at merge time, so id-level set equality
+  // is the right comparison.
+  EvalOptions parallel;
+  parallel.num_threads = 2 + rng() % 7;
+  parallel.parallel_min_candidates = 1;
+  auto out_parallel = RunUnit(&u, &*unit, input, parallel);
+  ASSERT_TRUE(out_parallel.ok()) << out_parallel.status() << "\n" << source;
+  for (int r = 3; r < GenProgram::kRelations; ++r) {
+    EXPECT_EQ(out->Relation(u.Intern(GenProgram::Name(r))),
+              out_parallel->Relation(u.Intern(GenProgram::Name(r))))
+        << "parallel (" << parallel.num_threads
+        << " threads) vs serial divergence, seed " << GetParam() << "\n"
+        << source;
+  }
+
   // The flat engine's indexed mode against its own scan-based mode.
   {
     datalog::Database db2;

@@ -28,6 +28,11 @@
 //   --no-seminaive       force the paper's naive operator on every stage
 //   --no-index           disable hash-indexed generators
 //   --no-schedule        disable selectivity-aware literal scheduling
+//   --threads=N          worker-pool parallel evaluation: 0 = hardware
+//                        concurrency (the default), 1 = serial. Results
+//                        are bit-for-bit identical for every N; :metrics
+//                        reports the resolved count and per-rule
+//                        partition totals
 
 #include <fstream>
 #include <iostream>
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
   bool no_schedule = false;
   bool lint_flag = false;
   uint64_t max_steps = 0;
+  uint32_t num_threads = 1;
+  bool threads_set = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -121,6 +128,9 @@ int main(int argc, char** argv) {
       lint_flag = true;
     } else if (arg.rfind("--max-steps=", 0) == 0) {
       max_steps = std::stoull(arg.substr(12));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
+      threads_set = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "iqlsh: unknown flag " << arg << "\n";
       return 2;
@@ -220,6 +230,9 @@ int main(int argc, char** argv) {
   options.enable_seminaive = !no_seminaive;
   options.enable_indexing = !no_index;
   options.enable_scheduling = !no_schedule;
+  // Without --threads the library default applies (0 = hardware
+  // concurrency); results are identical either way.
+  if (threads_set) options.num_threads = num_threads;
   EvalMetrics metrics;
   if (metrics_flag) options.metrics = &metrics;
   EvalStats stats;
