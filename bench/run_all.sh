@@ -59,5 +59,28 @@ for json in "${jsons[@]}"; do
     '.runs[$name] = $run[0]' "$OUT.tmp" > "$OUT.tmp2"
   mv "$OUT.tmp2" "$OUT.tmp"
 done
+# Governor overhead: mean governed/ungoverned real-time ratio across the
+# matched bench_governor datalog size points (the only with/without-polls
+# pair on identical work). Recorded under .governor so regressions against
+# the < 3% target show up in the merged file, not just in a CI log.
+jq '
+  (.runs.bench_governor.benchmarks // []) as $b
+  | [ $b[] | select(.name | startswith("BM_Governor_Datalog_Governed/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $gov
+  | [ $b[] | select(.name | startswith("BM_Governor_Datalog_Ungoverned/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $base
+  | [ $gov[] as $g | $base[] | select(.size == $g.size)
+      | ($g.t / .t) ] as $ratios
+  | if ($ratios | length) > 0 then
+      .governor = {overhead_ratio: (($ratios | add) / ($ratios | length)),
+                   target_max_ratio: 1.03,
+                   points: ($ratios | length)}
+    else . end
+' "$OUT.tmp" > "$OUT.tmp2"
+mv "$OUT.tmp2" "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"
+if jq -e '.governor' "$OUT" > /dev/null; then
+  echo "governor overhead ratio: $(jq '.governor.overhead_ratio' "$OUT")" \
+       "(target <= $(jq '.governor.target_max_ratio' "$OUT"))"
+fi

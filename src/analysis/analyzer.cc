@@ -283,6 +283,15 @@ void CheckInventionInRecursion(Universe* universe,
         if (definer != nullptr) note.message += ", derived here";
         d.notes.push_back(std::move(note));
       }
+      // Static analysis can only warn; the runtime limits are what turn
+      // this divergence into a clean, rolled-back error.
+      DiagnosticNote guard;
+      guard.message =
+          "if this divergence is real, the evaluation governor catches it: "
+          "ResourceLimits::max_invented_oids / max_steps_per_stage bound "
+          "the run (iqlsh: --max-steps, --timeout, --max-memory), and a "
+          "trip rolls the instance back to the last completed step";
+      d.notes.push_back(std::move(guard));
     }
   }
 }

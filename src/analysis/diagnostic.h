@@ -20,7 +20,7 @@ namespace iqlkit {
 // Code registry (catalogued with triggering programs in docs/LANGUAGE.md):
 //   E001  lexical error                      E002  syntax error
 //   E003  schema validation error            E004  type error (§3.1)
-//   E005  datalog safety violation
+//   E005  datalog safety violation           E006  nesting depth exceeded
 //   W001  unconstrained rule variable        W002  invention in recursion
 //   W003  program leaves IQLpr (§5)          W004  unused var declaration
 //   W005  dead rule                          W006  statically empty type

@@ -1,0 +1,142 @@
+#include "base/governor.h"
+
+#include <sstream>
+
+#include "base/fault_injection.h"
+
+namespace iqlkit {
+
+const char* TripReasonName(TripReason reason) {
+  switch (reason) {
+    case TripReason::kNone:
+      return "NONE";
+    case TripReason::kDeadline:
+      return "DEADLINE";
+    case TripReason::kCancelled:
+      return "CANCELLED";
+    case TripReason::kMemory:
+      return "MEMORY";
+    case TripReason::kSteps:
+      return "STEPS";
+    case TripReason::kDerivations:
+      return "DERIVATIONS";
+    case TripReason::kInventedOids:
+      return "INVENTED_OIDS";
+    case TripReason::kExtent:
+      return "EXTENT";
+    case TripReason::kFault:
+      return "FAULT";
+  }
+  return "NONE";
+}
+
+std::string ResourceReport::ToString() const {
+  std::ostringstream os;
+  os << "trip=" << TripReasonName(trip) << " elapsed=" << elapsed_seconds
+     << "s memory=" << memory_bytes << "B peak_memory=" << peak_memory_bytes
+     << "B steps=" << steps << " derivations=" << derivations
+     << " invented_oids=" << invented_oids;
+  return os.str();
+}
+
+Governor::Governor(const ResourceLimits& limits, CancellationToken* cancel)
+    : limits_(limits),
+      cancel_(cancel),
+      start_(std::chrono::steady_clock::now()) {}
+
+Status Governor::CheckNow() {
+  TripReason t = trip_.load(std::memory_order_relaxed);
+  if (t != TripReason::kNone) return TripStatus(t);
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return TripNow(TripReason::kCancelled);
+  }
+  if (accountant_.injected_failure() ||
+      (limits_.max_memory_bytes > 0 &&
+       accountant_.bytes() > limits_.max_memory_bytes)) {
+    return TripNow(TripReason::kMemory);
+  }
+  if (limits_.deadline_seconds > 0 &&
+      elapsed_seconds() > limits_.deadline_seconds) {
+    return TripNow(TripReason::kDeadline);
+  }
+  if (FaultInjector::Global().ShouldFail(FaultSite::kGovernorTrip)) {
+    return TripNow(TripReason::kFault);
+  }
+  return Status::Ok();
+}
+
+Status Governor::TripNow(TripReason reason) {
+  TripReason expected = TripReason::kNone;
+  trip_.compare_exchange_strong(expected, reason,
+                                std::memory_order_relaxed);
+  // On a lost race the first trip wins; report that one.
+  return TripStatus(trip_.load(std::memory_order_relaxed));
+}
+
+Status Governor::TripStatus(TripReason reason) const {
+  std::string detail;
+  switch (reason) {
+    case TripReason::kNone:
+      return Status::Ok();
+    case TripReason::kDeadline:
+      detail = "wall-clock deadline of " +
+               std::to_string(limits_.deadline_seconds) + "s exceeded";
+      break;
+    case TripReason::kCancelled:
+      detail = "evaluation cancelled by the caller";
+      break;
+    case TripReason::kMemory:
+      detail = accountant_.injected_failure()
+                   ? "allocation failure (fault injection)"
+                   : "memory accounting crossed " +
+                         std::to_string(limits_.max_memory_bytes) + " bytes";
+      break;
+    case TripReason::kSteps:
+      detail = "fixpoint not reached within " +
+               std::to_string(limits_.max_steps_per_stage) +
+               " steps (IQL programs may legitimately diverge; see "
+               "Example 3.4.2)";
+      break;
+    case TripReason::kDerivations:
+      detail = "derivation budget of " +
+               std::to_string(limits_.max_derivations) + " exhausted";
+      break;
+    case TripReason::kInventedOids:
+      detail = "oid-invention budget of " +
+               std::to_string(limits_.max_invented_oids) +
+               " exhausted (invention inside a recursive loop diverges; "
+               "see §3.4)";
+      break;
+    case TripReason::kExtent:
+      detail = "type-extent enumeration exceeded its budget of " +
+               std::to_string(limits_.extent_budget) + " values";
+      break;
+    case TripReason::kFault:
+      detail = "governor trip forced by fault injection";
+      break;
+  }
+  // The caller (EvaluateProgram / datalog::Evaluate) appends the full
+  // resource report; the governor alone cannot see the evaluator's
+  // counters.
+  std::string message =
+      detail + "; the instance is rolled back to the last completed step";
+  switch (reason) {
+    case TripReason::kCancelled:
+      return CancelledError(message);
+    case TripReason::kDeadline:
+      return DeadlineExceededError(message);
+    default:
+      return ResourceExhaustedError(message);
+  }
+}
+
+ResourceReport Governor::Report() const {
+  ResourceReport report;
+  report.trip = trip_.load(std::memory_order_relaxed);
+  report.elapsed_seconds = elapsed_seconds();
+  report.memory_bytes = accountant_.bytes();
+  report.peak_memory_bytes = accountant_.peak_bytes();
+  return report;
+}
+
+}  // namespace iqlkit

@@ -1,0 +1,184 @@
+#ifndef IQLKIT_BASE_GOVERNOR_H_
+#define IQLKIT_BASE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace iqlkit {
+
+// Why an evaluation was stopped early. kNone means the run is (so far)
+// within every limit. Names are stable strings (TripReasonName) used in
+// Status messages, EvalMetrics::ToJson, and the iqlsh partial report.
+enum class TripReason : uint8_t {
+  kNone = 0,
+  kDeadline,      // wall-clock deadline elapsed
+  kCancelled,     // cooperative cancellation token fired
+  kMemory,        // byte-level memory accounting crossed max_memory_bytes
+  kSteps,         // fixpoint step/round budget exhausted
+  kDerivations,   // (rule, valuation) firing budget exhausted
+  kInventedOids,  // oid-invention budget exhausted
+  kExtent,        // type-extent enumeration budget exhausted
+  kFault,         // fault injection forced a trip (tests/CI only)
+};
+
+// Stable upper-case name, e.g. "DEADLINE", "INVENTED_OIDS"; "NONE" for
+// kNone.
+const char* TripReasonName(TripReason reason);
+
+// Unified resource limits for one evaluation. The four counters are the
+// former ad-hoc EvalOptions budgets; deadline and memory are enforced by
+// the Governor's poll. A zero deadline/memory limit means "unlimited" --
+// the counters have explicit large defaults instead because IQL programs
+// legitimately diverge (Example 3.4.2) and an unbounded default would hang.
+struct ResourceLimits {
+  uint64_t max_steps_per_stage = 100000;  // fixpoint iterations / rounds
+  uint64_t max_invented_oids = 1 << 20;
+  uint64_t max_derivations = uint64_t{1} << 26;  // (rule, valuation) firings
+  uint64_t extent_budget = uint64_t{1} << 22;    // per-step type extents
+  double deadline_seconds = 0;    // 0 = no wall-clock deadline
+  uint64_t max_memory_bytes = 0;  // 0 = no memory ceiling
+};
+
+// A cooperative cancellation flag, safe to set from any thread or from a
+// signal handler (a lock-free atomic store). Evaluation loops observe it
+// through Governor::Poll; cancellation is honored at the next poll point,
+// never mid-commit, so the instance stays on a completed-step boundary.
+class CancellationToken {
+ public:
+  void Cancel() { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_.load(std::memory_order_acquire); }
+  void Reset() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Thread-safe byte accounting for one evaluation. ValueStore/ValueArena
+// charge approximate node footprints as they intern (see
+// ValueStore::set_accountant); the evaluator charges per derived fact.
+// `bytes` tracks live charge (side stores release on destruction), `peak`
+// the high-water mark the metrics report.
+class MemoryAccountant {
+ public:
+  void Charge(uint64_t n) {
+    uint64_t now = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  void Release(uint64_t n) { bytes_.fetch_sub(n, std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  // Fault injection (FaultSite::kAllocation) marks a forced allocation
+  // failure here; the governor surfaces it as a memory trip at the next
+  // poll -- interning itself cannot unwind mid-node.
+  void MarkInjectedFailure() {
+    injected_failure_.store(true, std::memory_order_relaxed);
+  }
+  bool injected_failure() const {
+    return injected_failure_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<bool> injected_failure_{false};
+};
+
+// Everything a tripped Status reports about where the run stopped. The
+// counter fields are filled by the evaluator (they live in EvalStats);
+// elapsed/memory/trip come from the governor itself.
+struct ResourceReport {
+  TripReason trip = TripReason::kNone;
+  double elapsed_seconds = 0;
+  uint64_t memory_bytes = 0;
+  uint64_t peak_memory_bytes = 0;
+  uint64_t steps = 0;
+  uint64_t derivations = 0;
+  uint64_t invented_oids = 0;
+
+  // "trip=DEADLINE elapsed=1.204s peak_memory=1048576B steps=17 ..."
+  std::string ToString() const;
+};
+
+// The evaluation governor: one per evaluation, shared (by pointer) with
+// every enumeration loop and worker. Poll() is the single cooperative
+// check -- a relaxed atomic load on the fast path, with the wall clock,
+// cancellation token, memory accountant, and fault injector re-examined
+// every kPollStride calls. A trip is sticky: the first reason wins, every
+// later Poll on any thread returns the same error immediately, which is
+// what drains in-flight pool workers promptly.
+//
+// Trips are only raised from enumeration (and step boundaries), never from
+// the commit phase, so a tripped evaluation always leaves the instance
+// identical to the last completed fixpoint step.
+class Governor {
+ public:
+  explicit Governor(const ResourceLimits& limits,
+                    CancellationToken* cancel = nullptr);
+
+  const ResourceLimits& limits() const { return limits_; }
+  MemoryAccountant* accountant() { return &accountant_; }
+
+  // Fast cooperative check; call from every enumeration loop. Ok while no
+  // limit is exceeded; the sticky trip Status afterwards.
+  Status Poll() {
+    TripReason t = trip_.load(std::memory_order_relaxed);
+    if (t != TripReason::kNone) return TripStatus(t);
+    thread_local uint64_t poll_count = 0;
+    if ((++poll_count & (kPollStride - 1)) != 0) return Status::Ok();
+    return CheckNow();
+  }
+
+  // Full check (clock + token + memory + injector), unconditionally. Used
+  // at step/round boundaries where polls are rare but cheapness irrelevant.
+  Status CheckNow();
+
+  // Trips the governor with `reason` (first trip wins) and returns the
+  // trip Status. Used by the evaluator's counter budgets and by tests.
+  Status TripNow(TripReason reason);
+
+  bool tripped() const {
+    return trip_.load(std::memory_order_relaxed) != TripReason::kNone;
+  }
+  TripReason trip_reason() const {
+    return trip_.load(std::memory_order_relaxed);
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  // Elapsed/memory/trip fields of the report; the evaluator merges in its
+  // own counters before attaching the report to a Status or the metrics.
+  ResourceReport Report() const;
+
+ private:
+  // Full checks every this many Poll() calls (per thread). Small enough
+  // that a deadline is honored within microseconds of candidate
+  // enumeration, large enough that the steady_clock read amortizes away.
+  static constexpr uint64_t kPollStride = 1024;
+
+  Status TripStatus(TripReason reason) const;
+
+  ResourceLimits limits_;
+  CancellationToken* cancel_;
+  MemoryAccountant accountant_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<TripReason> trip_{TripReason::kNone};
+};
+
+}  // namespace iqlkit
+
+#endif  // IQLKIT_BASE_GOVERNOR_H_

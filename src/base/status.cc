@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kTypeError:
       return "TYPE_ERROR";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -67,6 +71,12 @@ Status ParseError(std::string_view message) {
 }
 Status TypeError(std::string_view message) {
   return Status(StatusCode::kTypeError, std::string(message));
+}
+Status CancelledError(std::string_view message) {
+  return Status(StatusCode::kCancelled, std::string(message));
+}
+Status DeadlineExceededError(std::string_view message) {
+  return Status(StatusCode::kDeadlineExceeded, std::string(message));
 }
 
 }  // namespace iqlkit

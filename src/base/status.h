@@ -23,6 +23,8 @@ enum class StatusCode : int {
   kInternal = 8,           // invariant violation; indicates a library bug
   kParseError = 9,         // concrete-syntax error with position info
   kTypeError = 10,         // IQL/schema type-checking failure
+  kCancelled = 11,         // caller cancelled the operation (cooperative)
+  kDeadlineExceeded = 12,  // wall-clock deadline elapsed mid-operation
 };
 
 // Returns a stable human-readable name, e.g. "TYPE_ERROR".
@@ -65,6 +67,8 @@ Status UnimplementedError(std::string_view message);
 Status InternalError(std::string_view message);
 Status ParseError(std::string_view message);
 Status TypeError(std::string_view message);
+Status CancelledError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
 
 }  // namespace iqlkit
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "analysis/diagnostic.h"
+#include "base/fault_injection.h"
 #include "base/hash.h"
 #include "base/logging.h"
 #include "base/thread_pool.h"
@@ -157,9 +158,13 @@ constexpr size_t kParallelMinFacts = 4;
 // facts of the previous round.
 class Engine {
  public:
-  Engine(const Program& program, Database* db, Stats* stats,
-         ThreadPool* pool)
-      : program_(program), db_(db), stats_(stats), pool_(pool) {}
+  Engine(const Program& program, Database* db, Stats* stats, ThreadPool* pool,
+         Governor* governor)
+      : program_(program),
+        db_(db),
+        stats_(stats),
+        pool_(pool),
+        governor_(governor) {}
 
   Status Run(EvalMode mode) {
     IQL_ASSIGN_OR_RETURN(std::vector<int> strata,
@@ -182,16 +187,19 @@ class Engine {
     for (const Rule& rule : program_.rules) {
       max_stratum = std::max(max_stratum, strata[rule.head.relation]);
     }
+    Status run_status = Status::Ok();
     for (int s = 0; s <= max_stratum; ++s) {
       std::vector<size_t> active;
       for (size_t i = 0; i < program_.rules.size(); ++i) {
         if (strata[program_.rules[i].head.relation] == s) active.push_back(i);
       }
       if (active.empty()) continue;
-      IQL_RETURN_IF_ERROR(mode == EvalMode::kNaive
-                              ? RunStratumNaive(active)
-                              : RunStratumSemiNaive(active));
+      run_status = mode == EvalMode::kNaive ? RunStratumNaive(active)
+                                            : RunStratumSemiNaive(active);
+      if (!run_status.ok()) break;
     }
+    // Fold worker counters even on a governor trip, so the resource report
+    // attached by Evaluate() reflects the work actually done.
     for (const JoinCtx& ctx : ctxs_) {
       stats_->derivations += ctx.derivations;
       stats_->index_probes += ctx.index_probes;
@@ -200,7 +208,7 @@ class Engine {
         stats_->rule_derivations[i] += ctx.rule_derivations[i];
       }
     }
-    return Status::Ok();
+    return run_status;
   }
 
  private:
@@ -229,14 +237,19 @@ class Engine {
   Status RunStratumNaive(const std::vector<size_t>& active) {
     bool changed = true;
     while (changed) {
+      IQL_RETURN_IF_ERROR(RoundCheck());
       changed = false;
       ++stats_->iterations;
       std::vector<std::pair<int, Tuple>> pending;
       for (size_t i : active) SolveRule(i, -1, 0, &pending);
+      // A trip during the joins discards the whole round's pending buffer:
+      // the database stays at the last completed round.
+      IQL_RETURN_IF_ERROR(TrippedStatus());
       for (auto& [rel, t] : pending) {
         if (db_->AddFact(rel, std::move(t))) {
           changed = true;
           ++stats_->facts_added;
+          ChargeFact(rel);
         }
       }
     }
@@ -248,6 +261,7 @@ class Engine {
     std::vector<size_t> frontier(db_->relation_count(), 0);
     bool first = true;
     while (true) {
+      IQL_RETURN_IF_ERROR(RoundCheck());
       ++stats_->iterations;
       std::vector<size_t> snapshot(db_->relation_count());
       for (int r = 0; r < db_->relation_count(); ++r) {
@@ -267,11 +281,13 @@ class Engine {
           }
         }
       }
+      IQL_RETURN_IF_ERROR(TrippedStatus());
       bool changed = false;
       for (auto& [rel, t] : pending) {
         if (db_->AddFact(rel, std::move(t))) {
           changed = true;
           ++stats_->facts_added;
+          ChargeFact(rel);
         }
       }
       // Next round's deltas are exactly the facts appended by this round:
@@ -281,6 +297,35 @@ class Engine {
       if (!changed) break;
     }
     return Status::Ok();
+  }
+
+  // Full governor check at a round boundary (no-op without a governor).
+  // The round budget is checked before the round starts, like the IQL
+  // evaluator's top-of-round check, so a kSteps trip always leaves exactly
+  // max_steps_per_stage completed rounds in the database.
+  Status RoundCheck() {
+    if (governor_ == nullptr) return Status::Ok();
+    if (stats_->iterations >= governor_->limits().max_steps_per_stage) {
+      return governor_->TripNow(TripReason::kSteps);
+    }
+    return governor_->CheckNow();
+  }
+
+  // The sticky trip Status if the governor tripped mid-round (the join
+  // loops only *record* trips -- SolveRule is fan-out plumbing with no
+  // Status channel -- so round drivers re-surface them here, before any
+  // pending fact is applied).
+  Status TrippedStatus() {
+    if (governor_ != nullptr && governor_->tripped()) {
+      return governor_->Poll();
+    }
+    return Status::Ok();
+  }
+
+  void ChargeFact(int rel) {
+    if (governor_ != nullptr) {
+      governor_->accountant()->Charge(48 + db_->arity(rel) * sizeof(Value));
+    }
   }
 
   // Evaluates rule `i` (with an optional delta atom) and appends its
@@ -303,11 +348,17 @@ class Engine {
       if (width >= kParallelMinFacts) {
         size_t workers = std::min<size_t>(pool_->workers(), width);
         pool_->ParallelRun(workers, [&](size_t w) {
+          if (governor_ != nullptr &&
+              FaultInjector::Global().ShouldFail(FaultSite::kWorkerTask)) {
+            governor_->TripNow(TripReason::kFault);
+            return;
+          }
           JoinCtx& ctx = ctxs_[w + 1];
           std::vector<Value> env(var_counts_[i], kUnbound);
           size_t lo = begin + width * w / workers;
           size_t hi = begin + width * (w + 1) / workers;
           for (size_t f = lo; f < hi; ++f) {
+            if (governor_ != nullptr && governor_->tripped()) return;
             std::vector<int> trail;
             if (MatchAtom(rule.body[0], facts[f], &env, &trail)) {
               JoinBody(rule, env, 1, delta_atom, delta_begin, ctx);
@@ -393,6 +444,7 @@ class Engine {
           // (bucket keys are hashes, collisions only enlarge buckets).
           auto it = std::lower_bound(bucket->begin(), bucket->end(), begin);
           for (; it != bucket->end(); ++it) {
+            if (governor_ != nullptr && !governor_->Poll().ok()) return;
             std::vector<int> trail;
             if (MatchAtom(atom, facts[*it], &env, &trail)) {
               JoinBody(rule, env, j + 1, delta_atom, delta_begin, ctx);
@@ -404,6 +456,7 @@ class Engine {
       }
     }
     for (size_t f = begin; f < facts.size(); ++f) {
+      if (governor_ != nullptr && !governor_->Poll().ok()) return;
       std::vector<int> trail;
       if (MatchAtom(atom, facts[f], &env, &trail)) {
         JoinBody(rule, env, j + 1, delta_atom, delta_begin, ctx);
@@ -448,6 +501,7 @@ class Engine {
   Database* db_;
   Stats* stats_;
   ThreadPool* pool_ = nullptr;
+  Governor* governor_ = nullptr;
   std::vector<int> var_counts_;
   bool indexed_ = false;
   size_t current_rule_ = 0;
@@ -458,14 +512,24 @@ class Engine {
 }  // namespace
 
 Status Evaluate(const Program& program, Database* db, EvalMode mode,
-                Stats* stats, uint32_t num_threads) {
+                Stats* stats, uint32_t num_threads, Governor* governor) {
   Stats local;
   if (stats == nullptr) stats = &local;
   size_t threads = ResolveThreadCount(num_threads);
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
-  Engine engine(program, db, stats, pool.has_value() ? &*pool : nullptr);
-  return engine.Run(mode);
+  Engine engine(program, db, stats, pool.has_value() ? &*pool : nullptr,
+                governor);
+  Status run = engine.Run(mode);
+  if (!run.ok() && governor != nullptr && governor->tripped()) {
+    ResourceReport report = governor->Report();
+    report.steps = stats->iterations;
+    report.derivations = stats->derivations;
+    run = Status(run.code(),
+                 run.message() + " [resource report: " + report.ToString() +
+                     "]");
+  }
+  return run;
 }
 
 }  // namespace iqlkit::datalog

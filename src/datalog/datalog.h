@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/result.h"
 #include "base/status.h"
 
@@ -127,8 +128,15 @@ struct Stats {
 // positional indexes for the inner atoms), and buffers are concatenated in
 // slice order, so facts_ insertion order -- and therefore every later
 // delta range -- is bit-for-bit the serial one.
+//
+// `governor` (optional) bounds the run: join loops poll it per fact, every
+// round starts with a full check, and a trip aborts *before* the round's
+// pending facts are applied, so the database always equals the last
+// completed round. Worker-task fault injection is honored when a governor
+// is present (a forced fault trips it, draining the pool).
 Status Evaluate(const Program& program, Database* db, EvalMode mode,
-                Stats* stats = nullptr, uint32_t num_threads = 1);
+                Stats* stats = nullptr, uint32_t num_threads = 1,
+                Governor* governor = nullptr);
 
 // Computes the stratification: stratum index per relation, or an error if
 // the program recurses through negation.

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/fault_injection.h"
 #include "base/hash.h"
 #include "base/logging.h"
 #include "base/thread_pool.h"
@@ -31,6 +32,12 @@ double Seconds(std::chrono::steady_clock::time_point from) {
                                        from)
       .count();
 }
+
+// Approximate footprint charged to the MemoryAccountant per derived fact
+// (set node in a relation/extent container + bookkeeping). Value nodes are
+// charged exactly by the stores; facts only need an order-of-magnitude
+// charge so max_memory_bytes tracks instance growth.
+constexpr uint64_t kFactBytes = 64;
 
 // A (partial) valuation theta of a rule's body variables (§3.2). Ordered
 // map so valuations compare deterministically (for dedup and reproducible
@@ -236,6 +243,7 @@ struct SolverContext {
   CardinalityEstimator* estimator = nullptr;
   RuleMetrics* rule_metrics = nullptr;
   ValueArena* values = nullptr;
+  Governor* governor = nullptr;  // polled per enumerated candidate
   bool schedule = false;
 };
 
@@ -521,6 +529,13 @@ class RuleSolver {
         hi = std::min(slice_end_, hi);
       }
       for (size_t k = lo; k < hi; ++k) {
+        if (ctx_.governor != nullptr) {
+          Status g = ctx_.governor->Poll();
+          if (!g.ok()) {
+            done_[c.literal] = false;
+            return g;
+          }
+        }
         ValueId elem = (*elems)[k];
         size_t mark = trail_.size();
         if (MatchTerm(prog_, rule_, &membership_, lit.rhs, elem,
@@ -601,6 +616,9 @@ class RuleSolver {
         hi = std::min(slice_end_, hi);
       }
       for (size_t k = lo; k < hi; ++k) {
+        if (ctx_.governor != nullptr) {
+          IQL_RETURN_IF_ERROR(ctx_.governor->Poll());
+        }
         bindings_.emplace(*unbound, (*extent)[k]);
         Status s = Step(cb);
         bindings_.erase(*unbound);
@@ -789,7 +807,7 @@ class StageRunner {
   // otherwise it is shared across the program's stages.
   StageRunner(Universe* universe, const Schema& schema, const Program& prog,
               const std::vector<Rule>& rules, const EvalOptions& options,
-              EvalStats* stats, ThreadPool* pool)
+              EvalStats* stats, ThreadPool* pool, Governor* governor)
       : u_(universe),
         schema_(schema),
         prog_(prog),
@@ -798,6 +816,7 @@ class StageRunner {
         stats_(stats),
         metrics_(options.metrics),
         pool_(pool),
+        governor_(governor),
         choose_rng_(options.choose_seed) {
     for (const Rule& rule : rules_) {
       if (rule.head_negative) has_deletions_ = true;
@@ -839,13 +858,13 @@ class StageRunner {
       return RunSemiNaive(work);
     }
     for (uint64_t step = 0;; ++step) {
-      if (step >= options_.max_steps_per_stage) {
-        return ResourceExhaustedError(
-            "fixpoint not reached within " +
-            std::to_string(options_.max_steps_per_stage) +
-            " steps (IQL programs may legitimately diverge; see "
-            "Example 3.4.2)");
+      // Step-boundary governor check: the instance sits exactly on a
+      // completed-step boundary here, so any trip (step budget, deadline,
+      // cancel, memory) rolls back for free.
+      if (step >= options_.limits.max_steps_per_stage) {
+        return governor_->TripNow(TripReason::kSteps);
       }
+      IQL_RETURN_IF_ERROR(governor_->CheckNow());
       auto step_start = std::chrono::steady_clock::now();
       uint64_t added_before = stats_->facts_added;
       IQL_ASSIGN_OR_RETURN(std::vector<Derivation> derivations,
@@ -976,6 +995,7 @@ class StageRunner {
       ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
       ctx.rule_metrics = rm;
       ctx.values = &arena;
+      ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
       if (pool_ != nullptr && rule_parallel_[rule_idx]) {
         // Parallel semi-naive: partition this solve's first candidate
@@ -1005,8 +1025,8 @@ class StageRunner {
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
-        if (++stats_->derivations > options_.max_derivations) {
-          return ResourceExhaustedError("derivation budget exhausted");
+        if (++stats_->derivations > options_.limits.max_derivations) {
+          return governor_->TripNow(TripReason::kDerivations);
         }
         if (rm != nullptr) ++rm->derivations;
         auto v = EvalTerm(prog_, rule.head.rhs, theta, *work, arena);
@@ -1023,6 +1043,7 @@ class StageRunner {
         if (work->RelationContains(rel, v)) continue;
         IQL_RETURN_IF_ERROR(work->AddToRelation(rel, v));
         ++stats_->facts_added;
+        governor_->accountant()->Charge(kFactBytes);
         if (rm != nullptr) ++rm->facts_added;
         if (index.has_value()) index->AddRelationFact(rel, v);
         (*delta)[rel].push_back(v);
@@ -1042,11 +1063,22 @@ class StageRunner {
         };
 
     std::map<Symbol, std::vector<ValueId>> delta;
+    // Round budget and governor checks run at the top of every round
+    // (including round 0), mirroring the naive loop: a kSteps trip always
+    // leaves exactly `limits.max_steps_per_stage` completed rounds, which
+    // is what lets tests reproduce a tripped run's instance by re-running
+    // with the observed step count as the budget.
+    uint64_t rounds = 0;
     {
       // Round 0: full evaluation of every rule.
+      if (rounds >= options_.limits.max_steps_per_stage) {
+        return governor_->TripNow(TripReason::kSteps);
+      }
+      IQL_RETURN_IF_ERROR(governor_->CheckNow());
       auto round_start = std::chrono::steady_clock::now();
       step_partitions_ = 0;
-      ExtentEnumerator extents(work, options_.extent_budget);
+      ExtentEnumerator extents(work, options_.limits.extent_budget);
+      extents.set_governor(governor_);
       Pending pending;
       for (size_t r = 0; r < rules_.size(); ++r) {
         IQL_RETURN_IF_ERROR(solve_into(r, &extents, static_cast<size_t>(-1),
@@ -1054,17 +1086,19 @@ class StageRunner {
       }
       IQL_RETURN_IF_ERROR(apply(&pending, &delta));
       ++stats_->steps;
+      ++rounds;
       record_round(0, round_start, delta);
     }
-    uint64_t rounds = 0;
     while (!delta.empty()) {
-      if (++rounds > options_.max_steps_per_stage) {
-        return ResourceExhaustedError("semi-naive round budget exhausted");
+      if (rounds >= options_.limits.max_steps_per_stage) {
+        return governor_->TripNow(TripReason::kSteps);
       }
+      IQL_RETURN_IF_ERROR(governor_->CheckNow());
       auto round_start = std::chrono::steady_clock::now();
       step_partitions_ = 0;
       for (auto& [rel, facts] : delta) std::sort(facts.begin(), facts.end());
-      ExtentEnumerator extents(work, options_.extent_budget);
+      ExtentEnumerator extents(work, options_.limits.extent_budget);
+      extents.set_governor(governor_);
       Pending pending;
       for (size_t r = 0; r < rules_.size(); ++r) {
         const Rule& rule = rules_[r];
@@ -1094,6 +1128,7 @@ class StageRunner {
         }
         *options_.trace << "\n";
       }
+      ++rounds;
     }
     if (index.has_value()) FoldIndexCounters(*index);
     return Status::Ok();
@@ -1162,7 +1197,9 @@ class StageRunner {
     pool_->ParallelRun(workers, [&](size_t w) {
       WorkerState& st = states[w];
       st.arena.emplace(ValueArena::Snapshot(&u_->values()));
-      st.extents.emplace(&inst, options_.extent_budget, &*st.arena);
+      st.arena->set_accountant(governor_->accountant());
+      st.extents.emplace(&inst, options_.limits.extent_budget, &*st.arena);
+      st.extents->set_governor(governor_);
       if (options_.enable_indexing) st.index.emplace(&inst, &*st.arena);
       if (options_.enable_scheduling) st.estimator.emplace(&inst);
       std::optional<HeadSatisfiability> head;
@@ -1176,13 +1213,25 @@ class StageRunner {
       ctx.estimator = st.estimator.has_value() ? &*st.estimator : nullptr;
       ctx.rule_metrics = &st.shard;
       ctx.values = &*st.arena;
+      ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
       for (;;) {
-        if (abort.load(std::memory_order_relaxed)) return;
+        // A sticky governor trip on any thread drains the whole pool: every
+        // worker observes it either here or at its solver's next poll.
+        if (abort.load(std::memory_order_relaxed) || governor_->tripped()) {
+          return;
+        }
         size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= chunks.size()) return;
         Chunk& chunk = chunks[c];
         chunk.worker = w;
+        if (FaultInjector::Global().ShouldFail(FaultSite::kWorkerTask)) {
+          // An injected worker-task fault is reported through the governor
+          // so the step aborts with the standard rollback guarantee.
+          chunk.status = governor_->TripNow(TripReason::kFault);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
         RuleSolver solver(prog_, rule, inst, ctx, delta_literal,
                           delta_facts);
         solver.SetSlice(c * width / chunk_count,
@@ -1190,8 +1239,8 @@ class StageRunner {
         chunk.status = solver.Solve([&](const Bindings& theta) -> Status {
           uint64_t n =
               derivations.fetch_add(1, std::memory_order_relaxed) + 1;
-          if (n > options_.max_derivations) {
-            return ResourceExhaustedError("derivation budget exhausted");
+          if (n > options_.limits.max_derivations) {
+            return governor_->TripNow(TripReason::kDerivations);
           }
           ++st.shard.derivations;
           if (head.has_value() && !rule.head_negative &&
@@ -1212,6 +1261,9 @@ class StageRunner {
     for (const Chunk& chunk : chunks) {
       IQL_RETURN_IF_ERROR(chunk.status);
     }
+    // Belt and braces: a sticky trip always fails the step even if every
+    // chunk drained before storing the error.
+    IQL_RETURN_IF_ERROR(governor_->Poll());
     stats_->derivations = derivations.load();
     // Serial canonical merge: rehome each surviving binding into the
     // shared store, chunk by chunk, in chunk order.
@@ -1242,7 +1294,8 @@ class StageRunner {
   Result<std::vector<Derivation>> ValuationDomain(const Instance& inst) {
     std::vector<Derivation> out;
     ValueArena arena = ValueArena::Passthrough(&u_->values());
-    ExtentEnumerator extents(&inst, options_.extent_budget, &arena);
+    ExtentEnumerator extents(&inst, options_.limits.extent_budget, &arena);
+    extents.set_governor(governor_);
     // Naive steps evaluate against the frozen step-start instance, so a
     // fresh per-step index needs no invalidation at all.
     std::optional<RelationIndex> index;
@@ -1264,6 +1317,7 @@ class StageRunner {
       ctx.estimator = estimator.has_value() ? &*estimator : nullptr;
       ctx.rule_metrics = rm;
       ctx.values = &arena;
+      ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
       if (pool_ != nullptr && rule_parallel_[r]) {
         IQL_ASSIGN_OR_RETURN(
@@ -1292,8 +1346,8 @@ class StageRunner {
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
-        if (++stats_->derivations > options_.max_derivations) {
-          return ResourceExhaustedError("derivation budget exhausted");
+        if (++stats_->derivations > options_.limits.max_derivations) {
+          return governor_->TripNow(TripReason::kDerivations);
         }
         if (rm != nullptr) ++rm->derivations;
         // The "no extension satisfies the head" filter applies to
@@ -1402,10 +1456,10 @@ class StageRunner {
           }
           b[var] = values.OfOid(o);
         } else {
-          if (++stats_->invented_oids > options_.max_invented_oids) {
-            return ResourceExhaustedError(
-                "oid-invention budget exhausted (invention inside a "
-                "recursive loop diverges; see §3.4)");
+          // Fires during the collection phase, before any commit loop has
+          // touched `work`, so the trip is transactional.
+          if (++stats_->invented_oids > options_.limits.max_invented_oids) {
+            return governor_->TripNow(TripReason::kInventedOids);
           }
           Oid o = u_->MintOid();
           oid_adds.push_back({vt.class_name, o, rm});
@@ -1483,6 +1537,7 @@ class StageRunner {
     }
 
     bool changed = false;
+    uint64_t committed_before = stats_->facts_added;
     for (const auto& [cls, o, rm] : oid_adds) {
       if (!work->HasOid(o)) {
         IQL_RETURN_IF_ERROR(work->AddOid(cls, o));
@@ -1541,6 +1596,11 @@ class StageRunner {
         stats_->facts_deleted += n;
       }
     }
+    // Charge the committed growth; the commit loops themselves never poll
+    // (and never fail on a governor trip), so a trip between here and the
+    // next step boundary still observes a completed step.
+    governor_->accountant()->Charge(
+        (stats_->facts_added - committed_before) * kFactBytes);
     return changed;
   }
 
@@ -1556,6 +1616,7 @@ class StageRunner {
   // appended before any pointer is taken.
   std::vector<RuleMetrics*> rule_metrics_;
   ThreadPool* pool_ = nullptr;
+  Governor* governor_ = nullptr;  // owned by EvaluateProgram, never null
   std::vector<bool> rule_parallel_;  // per rule: may its solver fan out?
   uint64_t step_partitions_ = 0;     // partitions used by the current step
   uint64_t choose_rng_ = 0;
@@ -1589,18 +1650,54 @@ Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
   if (options.metrics != nullptr) {
     options.metrics->threads = static_cast<uint32_t>(threads);
   }
+  Governor governor(options.limits, options.cancel);
+  // Hook byte accounting into the shared store for the duration of the
+  // run: only nodes interned by this evaluation are charged. The guard
+  // unhooks on every return path (stores must not outlive the accountant).
+  universe->values().set_accountant(governor.accountant());
+  struct AccountantGuard {
+    ValueStore* store;
+    ~AccountantGuard() { store->set_accountant(nullptr); }
+  } unhook{&universe->values()};
   // One pool for the whole program; stages borrow it. threads == 1 keeps
   // the pool (and every probe/merge code path) entirely out of the run.
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
   Instance work(&schema, universe);
   IQL_RETURN_IF_ERROR(work.Absorb(input));
+  Status run_status = Status::Ok();
   int stage_index = 0;
   for (const auto& stage : program->stages) {
     StageRunner runner(universe, schema, *program, stage, options, stats,
-                       pool.has_value() ? &*pool : nullptr);
+                       pool.has_value() ? &*pool : nullptr, &governor);
     runner.stage_index_ = stage_index++;
-    IQL_RETURN_IF_ERROR(runner.Run(&work));
+    run_status = runner.Run(&work);
+    if (!run_status.ok()) break;
+  }
+  stats->elapsed_seconds = governor.elapsed_seconds();
+  stats->peak_memory_bytes = governor.accountant()->peak_bytes();
+  stats->trip = governor.trip_reason();
+  if (options.metrics != nullptr) {
+    options.metrics->elapsed_seconds = stats->elapsed_seconds;
+    options.metrics->peak_memory_bytes = stats->peak_memory_bytes;
+    options.metrics->trip = stats->trip;
+  }
+  if (!run_status.ok()) {
+    if (governor.tripped()) {
+      // Attach the full resource report (the governor alone cannot see the
+      // evaluator's counters) and hand out the rolled-back instance: every
+      // trip is raised during enumeration or at a step boundary, never
+      // mid-commit, so `work` equals the last completed fixpoint step.
+      ResourceReport report = governor.Report();
+      report.steps = stats->steps;
+      report.derivations = stats->derivations;
+      report.invented_oids = stats->invented_oids;
+      run_status = Status(run_status.code(),
+                          run_status.message() + " [resource report: " +
+                              report.ToString() + "]");
+      if (options.partial != nullptr) *options.partial = std::move(work);
+    }
+    return run_status;
   }
   return work;
 }
@@ -1683,7 +1780,9 @@ std::string EvalMetrics::ToJson() const {
   os << "],\"index_builds\":" << index_builds
      << ",\"index_probes\":" << index_probes
      << ",\"index_hits\":" << index_hits << ",\"threads\":" << threads
-     << "}";
+     << ",\"elapsed_seconds\":" << elapsed_seconds
+     << ",\"peak_memory_bytes\":" << peak_memory_bytes << ",\"trip\":\""
+     << TripReasonName(trip) << "\"}";
   return os.str();
 }
 

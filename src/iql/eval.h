@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/result.h"
 #include "iql/ast.h"
 #include "iql/parser.h"
@@ -52,6 +54,11 @@ struct EvalMetrics {
   uint64_t index_probes = 0;
   uint64_t index_hits = 0;  // probes that returned a non-empty bucket
   uint32_t threads = 1;     // resolved worker count the run executed with
+  double elapsed_seconds = 0;       // governor wall clock for the run
+  uint64_t peak_memory_bytes = 0;   // MemoryAccountant high-water mark
+  // Governor trip that ended the run, or kNone on a clean fixpoint.
+  // Rendered in ToJson as the stable TripReasonName string.
+  TripReason trip = TripReason::kNone;
 
   // Renders the metrics as a JSON object (stable key order), for --metrics
   // dumps and the benchmark harness.
@@ -63,10 +70,20 @@ struct EvalMetrics {
 // (Example 3.4.2's R3(y,z) :- R3(x,y)); budgets turn divergence into a
 // RESOURCE_EXHAUSTED error instead of a hang.
 struct EvalOptions {
-  uint64_t max_steps_per_stage = 100000;  // fixpoint iterations
-  uint64_t max_invented_oids = 1 << 20;
-  uint64_t max_derivations = uint64_t{1} << 26;  // (rule, valuation) firings
-  uint64_t extent_budget = uint64_t{1} << 22;    // per-step type extents
+  // Unified resource limits (counters, wall-clock deadline, memory ceiling)
+  // enforced by the evaluation governor. See base/governor.h; the counter
+  // fields keep the defaults of the former ad-hoc EvalOptions budgets.
+  ResourceLimits limits;
+
+  // Optional cooperative cancellation: when set and Cancel()ed (from any
+  // thread, or a signal handler), evaluation stops at the next governor
+  // poll with a kCancelled Status and a rolled-back instance.
+  CancellationToken* cancel = nullptr;
+
+  // When set and a governor trip ends the run, receives the instance as of
+  // the last completed fixpoint step (the transactional-rollback state).
+  // Untouched on success and on non-trip errors (e.g. type errors).
+  std::optional<Instance>* partial = nullptr;
 
   // IQL+ choose policy: which existing oid a choose-rule's head-only
   // variable is bound to. kMinOid/kMaxOid are deterministic; running a
@@ -145,6 +162,9 @@ struct EvalStats {
   uint64_t invented_oids = 0;
   uint64_t facts_added = 0;
   uint64_t facts_deleted = 0;
+  double elapsed_seconds = 0;      // governor wall clock
+  uint64_t peak_memory_bytes = 0;  // accountant high-water mark
+  TripReason trip = TripReason::kNone;  // kNone on a clean fixpoint
 };
 
 // Evaluates `program` on `input` under the paper's semantics: per stage,

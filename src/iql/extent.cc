@@ -10,6 +10,9 @@ namespace iqlkit {
 Status ExtentEnumerator::Charge(uint64_t n) {
   produced_ += n;
   if (produced_ > budget_) {
+    if (governor_ != nullptr) {
+      return governor_->TripNow(TripReason::kExtent);
+    }
     return ResourceExhaustedError(
         "type-extent enumeration exceeded its budget of " +
         std::to_string(budget_) +
@@ -72,6 +75,7 @@ Result<std::vector<ValueId>> ExtentEnumerator::Compute(TypeId t) {
       IQL_RETURN_IF_ERROR(Charge(count));
       out.reserve(count);
       for (uint64_t mask = 0; mask < count; ++mask) {
+        if (governor_ != nullptr) IQL_RETURN_IF_ERROR(governor_->Poll());
         std::vector<ValueId> subset;
         for (size_t i = 0; i < elems->size(); ++i) {
           if (mask & (uint64_t{1} << i)) subset.push_back((*elems)[i]);
@@ -100,6 +104,7 @@ Result<std::vector<ValueId>> ExtentEnumerator::Compute(TypeId t) {
       if (count == 0) break;
       std::vector<size_t> idx(node.fields.size(), 0);
       for (uint64_t k = 0; k < count; ++k) {
+        if (governor_ != nullptr) IQL_RETURN_IF_ERROR(governor_->Poll());
         std::vector<std::pair<Symbol, ValueId>> fields;
         fields.reserve(node.fields.size());
         for (size_t i = 0; i < node.fields.size(); ++i) {

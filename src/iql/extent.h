@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/result.h"
 #include "model/instance.h"
 #include "model/type.h"
@@ -49,6 +50,12 @@ class ExtentEnumerator {
                    ValueArena* arena)
       : instance_(instance), budget_(budget), arena_(arena) {}
 
+  // Optional evaluation governor: when set, the subset/cross-product
+  // construction loops poll it (deadline/cancel/memory are honored inside
+  // a single huge extent, not just between them) and a budget overflow
+  // trips it with TripReason::kExtent instead of returning a bare error.
+  void set_governor(Governor* governor) { governor_ = governor; }
+
   // All values of ⟦t⟧ w.r.t. the instance. The returned pointer is owned by
   // the enumerator's cache and stays valid until destruction.
   Result<const std::vector<ValueId>*> Enumerate(TypeId t);
@@ -68,6 +75,7 @@ class ExtentEnumerator {
 
   const Instance* instance_;
   uint64_t budget_;
+  Governor* governor_ = nullptr;
   std::optional<ValueArena> owned_arena_;
   ValueArena* arena_;
   uint64_t produced_ = 0;

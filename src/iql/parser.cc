@@ -125,10 +125,33 @@ class Parser {
     Next();
     return Status::Ok();
   }
-  Status Error(std::string message) const {
-    if (diags_ != nullptr) diags_->Error("E002", Cur().span(), message);
+  Status Error(std::string message, const char* code = "E002") const {
+    if (diags_ != nullptr) diags_->Error(code, Cur().span(), message);
     return ParseError(message + " at line " + std::to_string(Cur().line) +
                       ", column " + std::to_string(Cur().column));
+  }
+
+  // Types, terms, and values recurse with the nesting of the input, so a
+  // pathological source (say, 100k opening braces) would overflow the C++
+  // stack before any semantic check runs. The cap is far beyond anything a
+  // real program nests; crossing it is a proper E006 diagnostic, not a
+  // crash.
+  static constexpr int kMaxNestingDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* d) : depth(d) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
+  Status CheckDepth(const char* what) {
+    if (depth_ >= kMaxNestingDepth) {
+      return Error(std::string(what) + " nested deeper than " +
+                       std::to_string(kMaxNestingDepth) +
+                       " levels; refusing to recurse further",
+                   "E006");
+    }
+    return Status::Ok();
   }
 
   // The span from `start`'s first byte through the last consumed token.
@@ -164,6 +187,8 @@ class Parser {
 
   // type := type1 ("|" type1)*
   Result<TypeId> ParseType() {
+    IQL_RETURN_IF_ERROR(CheckDepth("type"));
+    DepthGuard guard(&depth_);
     IQL_ASSIGN_OR_RETURN(TypeId first, ParseType1());
     std::vector<TypeId> members = {first};
     while (Accept(TokenKind::kPipe)) {
@@ -439,6 +464,8 @@ class Parser {
   }
 
   Result<TermId> ParseTerm(Program* program) {
+    IQL_RETURN_IF_ERROR(CheckDepth("term"));
+    DepthGuard guard(&depth_);
     const Token& start = Cur();
     if (At(TokenKind::kString) || At(TokenKind::kInt)) {
       Symbol atom = universe_->Intern(Cur().text);
@@ -515,6 +542,8 @@ class Parser {
 
   // value := STRING | INT | '@'label | '[' fields ']' | '{' values '}'
   Result<ValueId> ParseValue(ParsedUnit* unit) {
+    IQL_RETURN_IF_ERROR(CheckDepth("value"));
+    DepthGuard guard(&depth_);
     ValueStore& values = universe_->values();
     if (At(TokenKind::kString) || At(TokenKind::kInt)) {
       ValueId v = values.Const(Cur().text);
@@ -631,6 +660,7 @@ class Parser {
   Universe* universe_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // current ParseType/ParseTerm/ParseValue nesting
   const Schema* schema_ = nullptr;
   DiagnosticSink* diags_ = nullptr;
   // When parsing a full unit, schema declaration spans land here.

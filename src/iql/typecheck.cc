@@ -1,5 +1,6 @@
 #include "iql/typecheck.h"
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -452,6 +453,34 @@ Status TypeCheck(Universe* universe, const Schema& schema, Program* program,
     if (diags != nullptr) diags->Error("E004", span, status.message());
     return status;
   };
+  // Structural depth pre-pass: type inference and checking recurse with
+  // the nesting of tuple/set terms, so a pathologically deep term (built
+  // programmatically -- the parser has its own, lower cap) would overflow
+  // the C++ stack inside the checker. Term ids are created bottom-up, so
+  // children always precede parents and one forward scan suffices; no
+  // recursion here.
+  constexpr uint32_t kMaxTermDepth = 256;
+  {
+    std::vector<uint32_t> depth(program->terms.size(), 1);
+    for (TermId id = 0; id < program->terms.size(); ++id) {
+      const Term& t = program->terms[id];
+      uint32_t deepest = 0;
+      for (const auto& [attr, child] : t.fields) {
+        deepest = std::max(deepest, depth[child]);
+      }
+      for (TermId child : t.elems) {
+        deepest = std::max(deepest, depth[child]);
+      }
+      depth[id] = deepest + 1;
+      if (depth[id] > kMaxTermDepth) {
+        Status status = TypeError(
+            "term nested deeper than " + std::to_string(kMaxTermDepth) +
+            " levels; the type checker refuses to recurse further");
+        if (diags != nullptr) diags->Error("E006", t.span, status.message());
+        return status;
+      }
+    }
+  }
   // Predicate names must be declared.
   for (const Term& t : program->terms) {
     if (t.kind == Term::Kind::kRelName && !schema.HasRelation(t.name)) {

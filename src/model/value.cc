@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "base/fault_injection.h"
 #include "base/hash.h"
 #include "base/logging.h"
 
@@ -53,6 +54,14 @@ ValueId ValueStore::InternNode(ValueNode node) {
   }
   IQL_CHECK(nodes_.size() < kInvalidValue) << "value store overflow";
   ValueId id = static_cast<ValueId>(nodes_.size());
+  if (accountant_ != nullptr) {
+    accountant_->Charge(ApproxValueNodeBytes(node));
+    if (FaultInjector::Global().ShouldFail(FaultSite::kAllocation)) {
+      // Interning cannot unwind mid-node; the governor surfaces the forced
+      // failure as a MEMORY trip at its next poll.
+      accountant_->MarkInjectedFailure();
+    }
+  }
   nodes_.push_back(std::move(node));
   index_.emplace(h, id);
   return id;
@@ -209,6 +218,14 @@ ValueId ValueArena::InternSide(ValueNode n) {
   IQL_CHECK(base_limit_ + side_nodes_.size() < kInvalidValue)
       << "value arena overflow";
   ValueId id = static_cast<ValueId>(base_limit_ + side_nodes_.size());
+  if (accountant_ != nullptr) {
+    uint64_t bytes = ApproxValueNodeBytes(n);
+    charged_bytes_ += bytes;
+    accountant_->Charge(bytes);
+    if (FaultInjector::Global().ShouldFail(FaultSite::kAllocation)) {
+      accountant_->MarkInjectedFailure();
+    }
+  }
   side_nodes_.push_back(std::move(n));
   side_index_.emplace(h, id);
   return id;

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/interner.h"
 #include "model/oid.h"
 
@@ -45,6 +46,16 @@ struct ValueNode {
 // between ValueStore and the per-worker overlay in ValueArena.
 uint64_t HashValueNode(const ValueNode& n);
 bool SameValueNode(const ValueNode& a, const ValueNode& b);
+
+// Approximate heap footprint of one interned node (node storage, vector
+// payloads, hash-index entry). The evaluation governor's byte-level memory
+// accounting charges this per newly interned node; it deliberately
+// overestimates a little rather than chasing allocator internals.
+inline uint64_t ApproxValueNodeBytes(const ValueNode& n) {
+  return sizeof(ValueNode) + 32 +
+         n.fields.capacity() * sizeof(std::pair<Symbol, ValueId>) +
+         n.elems.capacity() * sizeof(ValueId);
+}
 
 // Canonical structural total order on o-values: by kind, then by constant
 // atom / oid raw / lexicographic fields / lexicographic elements. The order
@@ -130,6 +141,14 @@ class ValueStore {
   size_t size() const { return nodes_.size(); }
   SymbolTable* symbols() const { return symbols_; }
 
+  // Evaluation-scoped memory accounting: while set, every newly interned
+  // node charges its approximate footprint (and consults the allocation
+  // fault-injection site). The evaluator installs its governor's accountant
+  // for the duration of a run and must clear it before the accountant dies.
+  void set_accountant(MemoryAccountant* accountant) {
+    accountant_ = accountant;
+  }
+
   // Canonical structural order (see CompareValues above).
   int Compare(ValueId a, ValueId b) const {
     return CompareValues(*this, a, b);
@@ -172,6 +191,7 @@ class ValueStore {
                     std::string* out) const;
 
   SymbolTable* symbols_;
+  MemoryAccountant* accountant_ = nullptr;
   std::vector<ValueNode> nodes_;
   // hash -> candidate ids; content compared on collision.
   std::unordered_multimap<uint64_t, ValueId> index_;
@@ -218,9 +238,34 @@ class ValueArena {
     return ValueArena(base, nullptr, base->size());
   }
 
-  ValueArena(ValueArena&&) = default;
+  // Explicit move: the source must not release the charged bytes again.
+  ValueArena(ValueArena&& other) noexcept
+      : base_(other.base_),
+        mutable_base_(other.mutable_base_),
+        base_limit_(other.base_limit_),
+        accountant_(other.accountant_),
+        charged_bytes_(other.charged_bytes_),
+        side_nodes_(std::move(other.side_nodes_)),
+        side_index_(std::move(other.side_index_)),
+        rehome_memo_(std::move(other.rehome_memo_)) {
+    other.accountant_ = nullptr;
+    other.charged_bytes_ = 0;
+  }
   ValueArena(const ValueArena&) = delete;
   ValueArena& operator=(const ValueArena&) = delete;
+
+  // Side-store charges are scoped to the arena's lifetime: releasing them
+  // here keeps MemoryAccountant::bytes() tracking *live* memory while
+  // peak_bytes() still records the mid-step high-water mark.
+  ~ValueArena() {
+    if (accountant_ != nullptr) accountant_->Release(charged_bytes_);
+  }
+
+  // Accounts side-store interning (snapshot mode). Passthrough arenas
+  // delegate to the base store, whose own accountant covers them.
+  void set_accountant(MemoryAccountant* accountant) {
+    accountant_ = accountant;
+  }
 
   const ValueNode& node(ValueId id) const {
     if (mutable_base_ != nullptr || id < base_limit_) {
@@ -273,6 +318,8 @@ class ValueArena {
   const ValueStore* base_;
   ValueStore* mutable_base_;  // non-null only in passthrough mode
   size_t base_limit_;         // frozen base size (snapshot / read-only)
+  MemoryAccountant* accountant_ = nullptr;
+  uint64_t charged_bytes_ = 0;  // released on destruction
   std::vector<ValueNode> side_nodes_;
   std::unordered_multimap<uint64_t, ValueId> side_index_;
   std::unordered_map<ValueId, ValueId> rehome_memo_;

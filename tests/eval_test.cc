@@ -354,7 +354,7 @@ TEST_F(EvalTest, RecursiveInventionDiverges) {
   // R3(y, z) :- R3(x, y): each step invents a fresh z -- the paper's
   // canonical non-terminating program. Must surface as budget exhaustion.
   EvalOptions options;
-  options.max_invented_oids = 1000;
+  options.limits.max_invented_oids = 1000;
   auto out = Run(R"(
     schema { relation R3 : [P, P]; class P : D; }
     input R3, P;

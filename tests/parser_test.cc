@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "analysis/diagnostic.h"
 #include "iql/lexer.h"
 #include "model/universe.h"
 
@@ -219,6 +222,61 @@ TEST_F(ParserTest, RejectsUndeclaredHeadPredicate) {
     program { S(x) :- R(x). }
   )");
   EXPECT_FALSE(unit.ok());
+}
+
+TEST_F(ParserTest, RejectsPathologicallyDeepTypes) {
+  // 300 nested set braces: past the parser's recursion cap, rejected as a
+  // proper E006 diagnostic instead of overflowing the C++ stack.
+  std::string source = "schema { relation R : ";
+  for (int i = 0; i < 300; ++i) source += '{';
+  source += 'D';
+  for (int i = 0; i < 300; ++i) source += '}';
+  source += "; }";
+  DiagnosticSink diags;
+  auto unit = ParseUnit(&u_, source, &diags);
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("nested deeper"),
+            std::string::npos)
+      << unit.status();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.diagnostics().back().code, "E006");
+}
+
+TEST_F(ParserTest, RejectsPathologicallyDeepTerms) {
+  std::string source = "schema { relation R : {D}; } program { R(";
+  for (int i = 0; i < 300; ++i) source += '{';
+  source += "\"c\"";
+  for (int i = 0; i < 300; ++i) source += '}';
+  source += "). }";
+  DiagnosticSink diags;
+  auto unit = ParseUnit(&u_, source, &diags);
+  ASSERT_FALSE(unit.ok());
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.diagnostics().back().code, "E006");
+}
+
+TEST_F(ParserTest, RejectsPathologicallyDeepValues) {
+  std::string source = "schema { class P : {D}; } instance { @o = ";
+  for (int i = 0; i < 300; ++i) source += '{';
+  source += "\"c\"";
+  for (int i = 0; i < 300; ++i) source += '}';
+  source += "; }";
+  DiagnosticSink diags;
+  auto unit = ParseUnit(&u_, source, &diags);
+  ASSERT_FALSE(unit.ok());
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.diagnostics().back().code, "E006");
+}
+
+TEST_F(ParserTest, DeepButReasonableNestingStillParses) {
+  // Well under the cap: nesting alone must not be rejected.
+  std::string source = "schema { relation R : ";
+  for (int i = 0; i < 50; ++i) source += '{';
+  source += 'D';
+  for (int i = 0; i < 50; ++i) source += '}';
+  source += "; }";
+  auto unit = ParseUnit(&u_, source);
+  EXPECT_TRUE(unit.ok()) << unit.status();
 }
 
 TEST_F(ParserTest, RoundTripsThroughToString) {

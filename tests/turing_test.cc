@@ -118,7 +118,7 @@ TEST(TuringTest, NonHaltingMachineHitsBudget) {
   };
   Universe u;
   EvalOptions options;
-  options.max_invented_oids = 60;
+  options.limits.max_invented_oids = 60;
   auto r = RunTuringMachine(&u, loop, Word("1"), options);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);

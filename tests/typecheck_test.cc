@@ -186,6 +186,20 @@ TEST_F(TypecheckTest, AssignableTypeBasics) {
       types.Tuple({{u_.Intern("B"), d}})));
 }
 
+TEST_F(TypecheckTest, RejectsPathologicallyDeepTerms) {
+  // The parser has its own (lower) nesting cap, so a term this deep can
+  // only be built programmatically; the checker's iterative pre-pass must
+  // reject it before any recursive inference touches it.
+  Program program;
+  TermId id = program.Const(u_.Intern("c"));
+  for (int i = 0; i < 300; ++i) id = program.SetTerm({id});
+  Schema schema(&u_);
+  Status status = TypeCheck(&u_, schema, &program);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("nested deeper"), std::string::npos)
+      << status;
+}
+
 TEST_F(TypecheckTest, GenesisStyleNamedTuples) {
   EXPECT_TRUE(CheckUnit(R"(
     schema {

@@ -33,14 +33,29 @@
 //                        are bit-for-bit identical for every N; :metrics
 //                        reports the resolved count and per-rule
 //                        partition totals
+//   --timeout=SECONDS    wall-clock deadline for evaluation (fractional
+//                        seconds allowed); on expiry the run stops with
+//                        DEADLINE_EXCEEDED and a partial-evaluation report
+//   --max-memory=BYTES   evaluation memory ceiling (interned values +
+//                        derived facts, as metered by the governor's
+//                        accountant)
+//
+// SIGINT (Ctrl-C) during evaluation cancels the running query instead of
+// killing the process: the governor rolls the instance back to the last
+// completed fixpoint step, iqlsh prints a partial-evaluation report, and
+// exits 130. Any other governor trip (deadline, memory, step/derivation
+// budgets) prints the same report and exits 3.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
+#include "base/fault_injection.h"
 #include "iql/eval.h"
 #include "iql/parser.h"
 #include "iql/restrict.h"
@@ -49,6 +64,12 @@
 #include "model/universe.h"
 
 namespace {
+
+// Signal-handler-visible cancellation token: CancellationToken::Cancel is a
+// single atomic store, so it is async-signal-safe.
+iqlkit::CancellationToken g_cancel;
+
+extern "C" void HandleSigint(int /*sig*/) { g_cancel.Cancel(); }
 
 int Fail(const iqlkit::Status& status) {
   std::cerr << "iqlsh: " << status << "\n";
@@ -69,6 +90,10 @@ int FailWithDiagnostics(const iqlkit::DiagnosticSink& sink,
 
 int main(int argc, char** argv) {
   using namespace iqlkit;
+  // Soak/CI harness hook: IQLKIT_FAULTS seeds the process-global fault
+  // injector (base/fault_injection.h); unset means disabled.
+  Status faults = FaultInjector::Global().ConfigureFromEnv();
+  if (!faults.ok()) return Fail(faults);
   bool allow_deletions = false;
   bool choose_max = false;
   bool validate_only = false;
@@ -86,6 +111,8 @@ int main(int argc, char** argv) {
   bool no_schedule = false;
   bool lint_flag = false;
   uint64_t max_steps = 0;
+  double timeout_seconds = 0;
+  uint64_t max_memory = 0;
   uint32_t num_threads = 1;
   bool threads_set = false;
   std::string path;
@@ -128,6 +155,10 @@ int main(int argc, char** argv) {
       lint_flag = true;
     } else if (arg.rfind("--max-steps=", 0) == 0) {
       max_steps = std::stoull(arg.substr(12));
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      timeout_seconds = std::stod(arg.substr(10));
+    } else if (arg.rfind("--max-memory=", 0) == 0) {
+      max_memory = std::stoull(arg.substr(13));
     } else if (arg.rfind("--threads=", 0) == 0) {
       num_threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
       threads_set = true;
@@ -225,7 +256,12 @@ int main(int argc, char** argv) {
   if (choose_max) {
     options.choose_policy = EvalOptions::ChoosePolicy::kMaxOid;
   }
-  if (max_steps > 0) options.max_steps_per_stage = max_steps;
+  if (max_steps > 0) options.limits.max_steps_per_stage = max_steps;
+  if (timeout_seconds > 0) options.limits.deadline_seconds = timeout_seconds;
+  if (max_memory > 0) options.limits.max_memory_bytes = max_memory;
+  options.cancel = &g_cancel;
+  std::optional<Instance> partial;
+  options.partial = &partial;
   if (trace) options.trace = &std::cerr;
   options.enable_seminaive = !no_seminaive;
   options.enable_indexing = !no_index;
@@ -236,8 +272,35 @@ int main(int argc, char** argv) {
   EvalMetrics metrics;
   if (metrics_flag) options.metrics = &metrics;
   EvalStats stats;
+  // Cancel the running query on Ctrl-C instead of killing the process; the
+  // governor rolls the instance back to the last completed step.
+  std::signal(SIGINT, HandleSigint);
   auto out = RunUnit(&u, &*unit, input, options, &stats);
-  if (!out.ok()) return Fail(out.status());
+  std::signal(SIGINT, SIG_DFL);
+  if (!out.ok()) {
+    if (stats.trip == TripReason::kNone) return Fail(out.status());
+    // Governor trip: partial-evaluation report. The instance below is the
+    // transactional-rollback state -- identical to the last completed
+    // fixpoint step, byte-for-byte reproducible with --max-steps.
+    std::cerr << "iqlsh: " << out.status() << "\n";
+    std::cerr << "=== partial evaluation (trip: "
+              << TripReasonName(stats.trip) << ") ===\n"
+              << "  steps completed: " << stats.steps << "\n"
+              << "  derivations:     " << stats.derivations << "\n"
+              << "  invented oids:   " << stats.invented_oids << "\n"
+              << "  elapsed seconds: " << stats.elapsed_seconds << "\n"
+              << "  peak memory:     " << stats.peak_memory_bytes << "\n";
+    if (partial.has_value()) {
+      if (write_facts) {
+        std::cout << WriteFacts(*partial);
+      } else {
+        std::cout << "=== partial instance (last completed step) ===\n"
+                  << partial->ToString();
+      }
+    }
+    if (metrics_flag) std::cerr << metrics.ToJson() << "\n";
+    return stats.trip == TripReason::kCancelled ? 130 : 3;
+  }
 
   if (dot) {
     std::cout << InstanceToDot(*out, path);
