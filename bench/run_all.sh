@@ -78,9 +78,36 @@ jq '
     else . end
 ' "$OUT.tmp" > "$OUT.tmp2"
 mv "$OUT.tmp2" "$OUT.tmp"
+# Scheduler overhead: mean Scheduled(1-worker)/Direct real-time ratio on
+# matched bench_scheduler size points (identical parse+load+evaluate work,
+# with vs without admission/governor/pool bookkeeping), plus the 16-query
+# batch wall time per worker count. Recorded under .scheduler.
+jq '
+  (.runs.bench_scheduler.benchmarks // []) as $b
+  | [ $b[] | select(.name | startswith("BM_Scheduler_Scheduled/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $sched
+  | [ $b[] | select(.name | startswith("BM_Scheduler_Direct/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $direct
+  | [ $sched[] as $s | $direct[] | select(.size == $s.size)
+      | ($s.t / .t) ] as $ratios
+  | [ $b[] | select(.name | startswith("BM_Scheduler_Throughput/"))
+      | {workers: (.name | split("/")[1]), batch_ms: .real_time} ]
+      as $throughput
+  | if ($ratios | length) > 0 then
+      .scheduler = {overhead_ratio: (($ratios | add) / ($ratios | length)),
+                    target_max_ratio: 1.10,
+                    points: ($ratios | length),
+                    throughput: $throughput}
+    else . end
+' "$OUT.tmp" > "$OUT.tmp2"
+mv "$OUT.tmp2" "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"
 if jq -e '.governor' "$OUT" > /dev/null; then
   echo "governor overhead ratio: $(jq '.governor.overhead_ratio' "$OUT")" \
        "(target <= $(jq '.governor.target_max_ratio' "$OUT"))"
+fi
+if jq -e '.scheduler' "$OUT" > /dev/null; then
+  echo "scheduler overhead ratio: $(jq '.scheduler.overhead_ratio' "$OUT")" \
+       "(target <= $(jq '.scheduler.target_max_ratio' "$OUT"))"
 fi

@@ -1,5 +1,6 @@
 #include "base/fault_injection.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace iqlkit {
@@ -36,6 +37,8 @@ const char* FaultSiteName(FaultSite site) {
       return "worker-task";
     case FaultSite::kGovernorTrip:
       return "governor-trip";
+    case FaultSite::kScheduler:
+      return "scheduler";
   }
   return "unknown";
 }
@@ -74,6 +77,8 @@ Result<FaultInjector::Config> FaultInjector::ParseSpec(std::string_view spec) {
       IQL_ASSIGN_OR_RETURN(config.p_task, ParseProbability(key, value));
     } else if (key == "trip") {
       IQL_ASSIGN_OR_RETURN(config.p_trip, ParseProbability(key, value));
+    } else if (key == "sched") {
+      IQL_ASSIGN_OR_RETURN(config.p_sched, ParseProbability(key, value));
     } else {
       return InvalidArgumentError("fault spec: unknown key '" +
                                   std::string(key) + "'");
@@ -93,8 +98,19 @@ void FaultInjector::Configure(const Config& config) {
 Status FaultInjector::ConfigureFromEnv() {
   const char* spec = std::getenv("IQLKIT_FAULTS");
   if (spec == nullptr || spec[0] == '\0') return Status::Ok();
-  IQL_ASSIGN_OR_RETURN(Config config, ParseSpec(spec));
-  Configure(config);
+  Result<Config> config = ParseSpec(spec);
+  if (!config.ok()) {
+    // A half-parsed spec must not half-apply: disable injection outright
+    // and complain where a CI log will show it, in addition to returning
+    // the error for callers that gate on it.
+    std::fprintf(stderr,
+                 "iqlkit: invalid IQLKIT_FAULTS spec '%s': %s "
+                 "(fault injection disabled)\n",
+                 spec, config.status().message().c_str());
+    Reset();
+    return config.status();
+  }
+  Configure(*config);
   return Status::Ok();
 }
 
@@ -109,6 +125,9 @@ bool FaultInjector::ShouldFail(FaultSite site) {
       break;
     case FaultSite::kGovernorTrip:
       p = config_.p_trip;
+      break;
+    case FaultSite::kScheduler:
+      p = config_.p_sched;
       break;
   }
   if (p <= 0) return false;

@@ -19,16 +19,17 @@ enum class FaultSite : uint8_t {
   kAllocation = 0,   // value interning; surfaces as a MEMORY governor trip
   kWorkerTask = 1,   // parallel evaluation chunk; fails the chunk's Status
   kGovernorTrip = 2, // Governor::CheckNow; forces a FAULT trip
+  kScheduler = 3,    // scheduler dispatch; fails the attempt (retryable)
 };
 
-inline constexpr int kNumFaultSites = 3;
+inline constexpr int kNumFaultSites = 4;
 
 const char* FaultSiteName(FaultSite site);
 
 // Process-wide fault injector. Disabled (all probabilities zero) unless
 // configured explicitly or via the IQLKIT_FAULTS environment variable:
 //
-//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005"
+//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005,sched=0.01"
 //
 // Probabilities are per-consultation in [0,1]; omitted keys default to 0.
 // The injector is intentionally a singleton: fault sites are sprinkled
@@ -41,8 +42,11 @@ class FaultInjector {
     double p_alloc = 0;
     double p_task = 0;
     double p_trip = 0;
+    double p_sched = 0;
 
-    bool enabled() const { return p_alloc > 0 || p_task > 0 || p_trip > 0; }
+    bool enabled() const {
+      return p_alloc > 0 || p_task > 0 || p_trip > 0 || p_sched > 0;
+    }
   };
 
   static FaultInjector& Global();
@@ -55,7 +59,10 @@ class FaultInjector {
   void Configure(const Config& config);
 
   // Reads IQLKIT_FAULTS if set; no-op (injector stays disabled) otherwise.
-  // Called once from main()s that opt in (tests, iqlsh).
+  // Called once from main()s that opt in (tests, iqlsh, iqlserve). A
+  // malformed spec is never half-applied: the error is reported on stderr,
+  // the injector is reset to disabled, and the parse error is returned so
+  // CI typos fail loudly instead of silently running fault-free.
   Status ConfigureFromEnv();
 
   // Back to disabled, counters zeroed.

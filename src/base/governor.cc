@@ -1,10 +1,31 @@
 #include "base/governor.h"
 
+#include <limits>
 #include <sstream>
 
 #include "base/fault_injection.h"
 
 namespace iqlkit {
+namespace {
+
+// Smallest power of two >= n (n clamped to [1, 2^63]).
+uint64_t RoundUpPow2(uint64_t n) {
+  if (n <= 1) return 1;
+  uint64_t p = 1;
+  while (p < n && p < (uint64_t{1} << 63)) p <<= 1;
+  return p;
+}
+
+int64_t DeadlineNanos(double seconds) {
+  if (seconds <= 0) return std::numeric_limits<int64_t>::max();
+  double ns = seconds * 1e9;
+  if (ns >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(ns);
+}
+
+}  // namespace
 
 const char* TripReasonName(TripReason reason) {
   switch (reason) {
@@ -26,6 +47,8 @@ const char* TripReasonName(TripReason reason) {
       return "EXTENT";
     case TripReason::kFault:
       return "FAULT";
+    case TripReason::kPreempted:
+      return "PREEMPTED";
   }
   return "NONE";
 }
@@ -42,22 +65,93 @@ std::string ResourceReport::ToString() const {
 Governor::Governor(const ResourceLimits& limits, CancellationToken* cancel)
     : limits_(limits),
       cancel_(cancel),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()),
+      eff_steps_(limits.max_steps_per_stage),
+      eff_memory_(limits.max_memory_bytes == 0
+                      ? std::numeric_limits<uint64_t>::max()
+                      : limits.max_memory_bytes),
+      eff_deadline_ns_(DeadlineNanos(limits.deadline_seconds)),
+      poll_mask_(RoundUpPow2(limits.poll_stride) - 1) {}
+
+double Governor::deadline_seconds() const {
+  int64_t ns = eff_deadline_ns_.load(std::memory_order_relaxed);
+  if (ns == std::numeric_limits<int64_t>::max()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(ns) * 1e-9;
+}
+
+void Governor::TightenSteps(uint64_t max_steps) {
+  uint64_t cur = eff_steps_.load(std::memory_order_relaxed);
+  while (max_steps < cur) {
+    if (eff_steps_.compare_exchange_weak(cur, max_steps,
+                                         std::memory_order_relaxed)) {
+      if (max_steps < limits_.max_steps_per_stage) {
+        tightened_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+void Governor::TightenMemory(uint64_t max_bytes) {
+  if (max_bytes == 0) return;
+  uint64_t ceiling = limits_.max_memory_bytes == 0
+                         ? std::numeric_limits<uint64_t>::max()
+                         : limits_.max_memory_bytes;
+  uint64_t cur = eff_memory_.load(std::memory_order_relaxed);
+  while (max_bytes < cur) {
+    if (eff_memory_.compare_exchange_weak(cur, max_bytes,
+                                          std::memory_order_relaxed)) {
+      if (max_bytes < ceiling) {
+        tightened_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+void Governor::TightenDeadline(double seconds_from_start) {
+  // seconds <= 0 means "now": DeadlineNanos maps it to "none", so pin to 0.
+  int64_t ns = seconds_from_start <= 0 ? 0 : DeadlineNanos(seconds_from_start);
+  int64_t cur = eff_deadline_ns_.load(std::memory_order_relaxed);
+  while (ns < cur) {
+    if (eff_deadline_ns_.compare_exchange_weak(cur, ns,
+                                               std::memory_order_relaxed)) {
+      if (ns < DeadlineNanos(limits_.deadline_seconds)) {
+        tightened_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
 
 Status Governor::CheckNow() {
   TripReason t = trip_.load(std::memory_order_relaxed);
   if (t != TripReason::kNone) return TripStatus(t);
+  if (pressure_hook_) {
+    pressure_hook_();
+    // The hook may have tripped this governor (Preempt) or tightened a
+    // limit; re-read before the ordinary checks so both take effect here.
+    t = trip_.load(std::memory_order_relaxed);
+    if (t != TripReason::kNone) return TripStatus(t);
+  }
   if (cancel_ != nullptr && cancel_->cancelled()) {
     return TripNow(TripReason::kCancelled);
   }
   if (accountant_.injected_failure() ||
-      (limits_.max_memory_bytes > 0 &&
-       accountant_.bytes() > limits_.max_memory_bytes)) {
+      accountant_.bytes() > eff_memory_.load(std::memory_order_relaxed)) {
     return TripNow(TripReason::kMemory);
   }
-  if (limits_.deadline_seconds > 0 &&
-      elapsed_seconds() > limits_.deadline_seconds) {
-    return TripNow(TripReason::kDeadline);
+  int64_t deadline_ns = eff_deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline_ns != std::numeric_limits<int64_t>::max()) {
+    int64_t elapsed_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed_ns > deadline_ns) {
+      return TripNow(TripReason::kDeadline);
+    }
   }
   if (FaultInjector::Global().ShouldFail(FaultSite::kGovernorTrip)) {
     return TripNow(TripReason::kFault);
@@ -75,25 +169,34 @@ Status Governor::TripNow(TripReason reason) {
 
 Status Governor::TripStatus(TripReason reason) const {
   std::string detail;
+  bool tightened = tightened_.load(std::memory_order_relaxed);
   switch (reason) {
     case TripReason::kNone:
       return Status::Ok();
-    case TripReason::kDeadline:
-      detail = "wall-clock deadline of " +
-               std::to_string(limits_.deadline_seconds) + "s exceeded";
+    case TripReason::kDeadline: {
+      // A kDeadline trip implies a finite effective deadline.
+      detail = "wall-clock deadline of " + std::to_string(deadline_seconds()) +
+               "s exceeded";
+      if (tightened) detail += " (tightened by the scheduler)";
       break;
+    }
     case TripReason::kCancelled:
       detail = "evaluation cancelled by the caller";
       break;
-    case TripReason::kMemory:
+    case TripReason::kMemory: {
+      uint64_t limit = eff_memory_.load(std::memory_order_relaxed);
       detail = accountant_.injected_failure()
                    ? "allocation failure (fault injection)"
-                   : "memory accounting crossed " +
-                         std::to_string(limits_.max_memory_bytes) + " bytes";
+                   : "memory accounting crossed " + std::to_string(limit) +
+                         " bytes";
+      if (tightened && !accountant_.injected_failure()) {
+        detail += " (tightened by the scheduler)";
+      }
       break;
+    }
     case TripReason::kSteps:
       detail = "fixpoint not reached within " +
-               std::to_string(limits_.max_steps_per_stage) +
+               std::to_string(eff_steps_.load(std::memory_order_relaxed)) +
                " steps (IQL programs may legitimately diverge; see "
                "Example 3.4.2)";
       break;
@@ -114,6 +217,11 @@ Status Governor::TripStatus(TripReason reason) const {
     case TripReason::kFault:
       detail = "governor trip forced by fault injection";
       break;
+    case TripReason::kPreempted:
+      detail =
+          "preempted by the scheduler under global resource pressure; "
+          "retry when the backlog drains";
+      break;
   }
   // The caller (EvaluateProgram / datalog::Evaluate) appends the full
   // resource report; the governor alone cannot see the evaluator's
@@ -125,6 +233,8 @@ Status Governor::TripStatus(TripReason reason) const {
       return CancelledError(message);
     case TripReason::kDeadline:
       return DeadlineExceededError(message);
+    case TripReason::kPreempted:
+      return OverloadedError(message);
     default:
       return ResourceExhaustedError(message);
   }

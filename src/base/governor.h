@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "base/status.h"
@@ -23,6 +24,7 @@ enum class TripReason : uint8_t {
   kInventedOids,  // oid-invention budget exhausted
   kExtent,        // type-extent enumeration budget exhausted
   kFault,         // fault injection forced a trip (tests/CI only)
+  kPreempted,     // scheduler preempted the run under global pressure
 };
 
 // Stable upper-case name, e.g. "DEADLINE", "INVENTED_OIDS"; "NONE" for
@@ -41,6 +43,13 @@ struct ResourceLimits {
   uint64_t extent_budget = uint64_t{1} << 22;    // per-step type extents
   double deadline_seconds = 0;    // 0 = no wall-clock deadline
   uint64_t max_memory_bytes = 0;  // 0 = no memory ceiling
+  // Full-check cadence of Governor::Poll: the wall clock, cancellation
+  // token, memory accountant, and fault injector are re-examined every
+  // `poll_stride` calls (rounded up to a power of two, minimum 1). The
+  // default amortizes the steady_clock read over enumeration; scheduler
+  // preemption-latency tests tighten it so an external trip is observed
+  // within a few candidates instead of ~1024.
+  uint64_t poll_stride = 1024;
 };
 
 // A cooperative cancellation flag, safe to set from any thread or from a
@@ -114,18 +123,28 @@ struct ResourceReport {
 // every enumeration loop and worker. Poll() is the single cooperative
 // check -- a relaxed atomic load on the fast path, with the wall clock,
 // cancellation token, memory accountant, and fault injector re-examined
-// every kPollStride calls. A trip is sticky: the first reason wins, every
-// later Poll on any thread returns the same error immediately, which is
-// what drains in-flight pool workers promptly.
+// every limits.poll_stride calls. A trip is sticky: the first reason wins,
+// every later Poll on any thread returns the same error immediately, which
+// is what drains in-flight pool workers promptly.
 //
 // Trips are only raised from enumeration (and step boundaries), never from
 // the commit phase, so a tripped evaluation always leaves the instance
 // identical to the last completed fixpoint step.
+//
+// The deadline, memory, and step limits are *effective* limits: they start
+// at the construction-time ResourceLimits and an external owner (the
+// concurrent-query scheduler) may lower -- never raise -- them mid-run via
+// the Tighten* hooks, from any thread. Enumeration loops and step
+// boundaries read the effective values, so a tightening takes hold at the
+// next poll. Preempt() is the blunt form: an asynchronous sticky
+// kPreempted trip, observed exactly like cancellation.
 class Governor {
  public:
   explicit Governor(const ResourceLimits& limits,
                     CancellationToken* cancel = nullptr);
 
+  // Construction-time limits. The tightenable trio (deadline, memory,
+  // steps) may since have been lowered; see the effective accessors.
   const ResourceLimits& limits() const { return limits_; }
   MemoryAccountant* accountant() { return &accountant_; }
 
@@ -135,7 +154,7 @@ class Governor {
     TripReason t = trip_.load(std::memory_order_relaxed);
     if (t != TripReason::kNone) return TripStatus(t);
     thread_local uint64_t poll_count = 0;
-    if ((++poll_count & (kPollStride - 1)) != 0) return Status::Ok();
+    if ((++poll_count & poll_mask_) != 0) return Status::Ok();
     return CheckNow();
   }
 
@@ -160,16 +179,56 @@ class Governor {
         .count();
   }
 
+  // ---- external control (scheduler hooks) --------------------------------
+  //
+  // All of these are safe to call from any thread while the evaluation
+  // runs. Tighten* only ever lower the effective limit; a looser value is
+  // ignored, so the per-query ceiling remains an upper bound.
+
+  // Lowers the effective step budget (fixpoint rounds per stage).
+  void TightenSteps(uint64_t max_steps);
+  // Lowers the effective memory ceiling (bytes; 0 is ignored, not
+  // "unlimited" -- tightening can only constrain).
+  void TightenMemory(uint64_t max_bytes);
+  // Lowers the effective deadline, measured in seconds from the governor's
+  // start. TightenDeadline(elapsed_seconds()) trips at the next full check.
+  void TightenDeadline(double seconds_from_start);
+  // True once any Tighten* call actually lowered a limit -- how the
+  // scheduler's retry policy tells a degradation-induced trip (transient,
+  // retryable) from an organic trip at the query's own ceiling.
+  bool tightened() const {
+    return tightened_.load(std::memory_order_relaxed);
+  }
+
+  // Asynchronous preemption: sticky kPreempted trip (first trip still
+  // wins), observed at the victim's next poll. Returns the trip Status.
+  Status Preempt() { return TripNow(TripReason::kPreempted); }
+
+  // Effective (possibly tightened) limits, read by the evaluator at step
+  // boundaries and by CheckNow.
+  uint64_t max_steps() const {
+    return eff_steps_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_memory_bytes() const {  // UINT64_MAX = unlimited
+    return eff_memory_.load(std::memory_order_relaxed);
+  }
+  double deadline_seconds() const;  // +inf = none
+
+  // Optional callback run at the top of every full check (so once per
+  // poll stride per thread, and at step boundaries) while the run is
+  // trip-free. The scheduler uses it as its global-pressure sampling
+  // point: the hook may Tighten* or Preempt() this or any other governor.
+  // Must be installed before the evaluation starts and not changed while
+  // it runs; the callee synchronizes its own state.
+  void set_pressure_hook(std::function<void()> hook) {
+    pressure_hook_ = std::move(hook);
+  }
+
   // Elapsed/memory/trip fields of the report; the evaluator merges in its
   // own counters before attaching the report to a Status or the metrics.
   ResourceReport Report() const;
 
  private:
-  // Full checks every this many Poll() calls (per thread). Small enough
-  // that a deadline is honored within microseconds of candidate
-  // enumeration, large enough that the steady_clock read amortizes away.
-  static constexpr uint64_t kPollStride = 1024;
-
   Status TripStatus(TripReason reason) const;
 
   ResourceLimits limits_;
@@ -177,6 +236,14 @@ class Governor {
   MemoryAccountant accountant_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<TripReason> trip_{TripReason::kNone};
+  // Effective limits (see Tighten*). Deadline is nanoseconds from start_
+  // (INT64_MAX = none); memory is bytes (UINT64_MAX = none).
+  std::atomic<uint64_t> eff_steps_;
+  std::atomic<uint64_t> eff_memory_;
+  std::atomic<int64_t> eff_deadline_ns_;
+  std::atomic<bool> tightened_{false};
+  uint64_t poll_mask_;  // limits_.poll_stride rounded up to 2^k, minus 1
+  std::function<void()> pressure_hook_;
 };
 
 }  // namespace iqlkit

@@ -30,6 +30,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kQueueFull:
+      return "QUEUE_FULL";
+    case StatusCode::kOverloaded:
+      return "OVERLOAD";
   }
   return "UNKNOWN";
 }
@@ -77,6 +81,12 @@ Status CancelledError(std::string_view message) {
 }
 Status DeadlineExceededError(std::string_view message) {
   return Status(StatusCode::kDeadlineExceeded, std::string(message));
+}
+Status QueueFullError(std::string_view message) {
+  return Status(StatusCode::kQueueFull, std::string(message));
+}
+Status OverloadedError(std::string_view message) {
+  return Status(StatusCode::kOverloaded, std::string(message));
 }
 
 }  // namespace iqlkit

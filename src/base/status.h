@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kTypeError = 10,         // IQL/schema type-checking failure
   kCancelled = 11,         // caller cancelled the operation (cooperative)
   kDeadlineExceeded = 12,  // wall-clock deadline elapsed mid-operation
+  kQueueFull = 13,         // scheduler admission queue at capacity; backoff
+  kOverloaded = 14,        // transient overload (quota, preemption); retry
 };
 
 // Returns a stable human-readable name, e.g. "TYPE_ERROR".
@@ -69,6 +71,8 @@ Status ParseError(std::string_view message);
 Status TypeError(std::string_view message);
 Status CancelledError(std::string_view message);
 Status DeadlineExceededError(std::string_view message);
+Status QueueFullError(std::string_view message);
+Status OverloadedError(std::string_view message);
 
 }  // namespace iqlkit
 

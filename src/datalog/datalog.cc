@@ -305,7 +305,7 @@ class Engine {
   // max_steps_per_stage completed rounds in the database.
   Status RoundCheck() {
     if (governor_ == nullptr) return Status::Ok();
-    if (stats_->iterations >= governor_->limits().max_steps_per_stage) {
+    if (stats_->iterations >= governor_->max_steps()) {
       return governor_->TripNow(TripReason::kSteps);
     }
     return governor_->CheckNow();

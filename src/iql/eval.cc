@@ -860,8 +860,9 @@ class StageRunner {
     for (uint64_t step = 0;; ++step) {
       // Step-boundary governor check: the instance sits exactly on a
       // completed-step boundary here, so any trip (step budget, deadline,
-      // cancel, memory) rolls back for free.
-      if (step >= options_.limits.max_steps_per_stage) {
+      // cancel, memory) rolls back for free. The budget is read through
+      // the governor so an external TightenSteps binds at the next round.
+      if (step >= governor_->max_steps()) {
         return governor_->TripNow(TripReason::kSteps);
       }
       IQL_RETURN_IF_ERROR(governor_->CheckNow());
@@ -1071,7 +1072,7 @@ class StageRunner {
     uint64_t rounds = 0;
     {
       // Round 0: full evaluation of every rule.
-      if (rounds >= options_.limits.max_steps_per_stage) {
+      if (rounds >= governor_->max_steps()) {
         return governor_->TripNow(TripReason::kSteps);
       }
       IQL_RETURN_IF_ERROR(governor_->CheckNow());
@@ -1090,7 +1091,7 @@ class StageRunner {
       record_round(0, round_start, delta);
     }
     while (!delta.empty()) {
-      if (rounds >= options_.limits.max_steps_per_stage) {
+      if (rounds >= governor_->max_steps()) {
         return governor_->TripNow(TripReason::kSteps);
       }
       IQL_RETURN_IF_ERROR(governor_->CheckNow());
@@ -1650,11 +1651,24 @@ Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
   if (options.metrics != nullptr) {
     options.metrics->threads = static_cast<uint32_t>(threads);
   }
-  Governor governor(options.limits, options.cancel);
+  // The governor is either owned by this call or lent by a scheduler
+  // (EvalOptions::governor). With an external governor, its construction
+  // limits are the single source of truth for the counter budgets, so the
+  // local options copy below mirrors them -- otherwise a scheduler-built
+  // governor and a caller-filled options.limits could silently disagree.
+  std::optional<Governor> owned_governor;
+  Governor* governor = options.governor;
+  EvalOptions local_options = options;
+  if (governor == nullptr) {
+    owned_governor.emplace(options.limits, options.cancel);
+    governor = &*owned_governor;
+  } else {
+    local_options.limits = governor->limits();
+  }
   // Hook byte accounting into the shared store for the duration of the
   // run: only nodes interned by this evaluation are charged. The guard
   // unhooks on every return path (stores must not outlive the accountant).
-  universe->values().set_accountant(governor.accountant());
+  universe->values().set_accountant(governor->accountant());
   struct AccountantGuard {
     ValueStore* store;
     ~AccountantGuard() { store->set_accountant(nullptr); }
@@ -1668,27 +1682,27 @@ Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
   Status run_status = Status::Ok();
   int stage_index = 0;
   for (const auto& stage : program->stages) {
-    StageRunner runner(universe, schema, *program, stage, options, stats,
-                       pool.has_value() ? &*pool : nullptr, &governor);
+    StageRunner runner(universe, schema, *program, stage, local_options,
+                       stats, pool.has_value() ? &*pool : nullptr, governor);
     runner.stage_index_ = stage_index++;
     run_status = runner.Run(&work);
     if (!run_status.ok()) break;
   }
-  stats->elapsed_seconds = governor.elapsed_seconds();
-  stats->peak_memory_bytes = governor.accountant()->peak_bytes();
-  stats->trip = governor.trip_reason();
+  stats->elapsed_seconds = governor->elapsed_seconds();
+  stats->peak_memory_bytes = governor->accountant()->peak_bytes();
+  stats->trip = governor->trip_reason();
   if (options.metrics != nullptr) {
     options.metrics->elapsed_seconds = stats->elapsed_seconds;
     options.metrics->peak_memory_bytes = stats->peak_memory_bytes;
     options.metrics->trip = stats->trip;
   }
   if (!run_status.ok()) {
-    if (governor.tripped()) {
+    if (governor->tripped()) {
       // Attach the full resource report (the governor alone cannot see the
       // evaluator's counters) and hand out the rolled-back instance: every
       // trip is raised during enumeration or at a step boundary, never
       // mid-commit, so `work` equals the last completed fixpoint step.
-      ResourceReport report = governor.Report();
+      ResourceReport report = governor->Report();
       report.steps = stats->steps;
       report.derivations = stats->derivations;
       report.invented_oids = stats->invented_oids;

@@ -80,6 +80,17 @@ struct EvalOptions {
   // poll with a kCancelled Status and a rolled-back instance.
   CancellationToken* cancel = nullptr;
 
+  // Externally owned governor: when set, the evaluation runs under *this*
+  // governor instead of constructing its own -- the handle a concurrent-
+  // query scheduler keeps so it can tighten limits (TightenSteps/Memory/
+  // Deadline) or Preempt() the run from another thread while it executes.
+  // `limits` and `cancel` above are then ignored; every budget comes from
+  // the governor (its construction limits for the counters, its effective
+  // limits for deadline/memory/steps). The governor must outlive the call
+  // and must not be reused across evaluations (its clock and accountant
+  // are per-run).
+  Governor* governor = nullptr;
+
   // When set and a governor trip ends the run, receives the instance as of
   // the last completed fixpoint step (the transactional-rollback state).
   // Untouched on success and on non-trip errors (e.g. type errors).

@@ -1,0 +1,492 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "base/fault_injection.h"
+#include "iql/parser.h"
+#include "model/instance.h"
+#include "model/universe.h"
+
+namespace iqlkit {
+namespace server {
+namespace {
+
+// SplitMix64 finalizer (same mix the fault injector uses): turns
+// (seed, ticket, attempt) into reproducible backoff jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kNoTick = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
+const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kInteractive:
+      return "interactive";
+    case QueryClass::kBatch:
+      return "batch";
+  }
+  return "batch";
+}
+
+Result<QueryClass> ParseQueryClass(std::string_view text) {
+  if (text == "interactive") return QueryClass::kInteractive;
+  if (text == "batch") return QueryClass::kBatch;
+  return InvalidArgumentError("unknown query class '" + std::string(text) +
+                              "' (want interactive|batch)");
+}
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kTrippedPartial:
+      return "tripped-partial";
+    case QueryOutcome::kRejected:
+      return "rejected";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (!options_.deterministic) {
+    pool_.emplace(options_.workers);
+    timekeeper_.emplace([this] { TimekeeperLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  if (options_.deterministic) {
+    RunUntilIdle();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ == 0 && running_ == 0; });
+    shutdown_ = true;
+  }
+  retry_cv_.notify_all();
+  if (timekeeper_.has_value()) timekeeper_->join();
+  pool_.reset();  // joins the workers (queue is already drained)
+}
+
+uint64_t Scheduler::NowTicksLocked() const {
+  if (options_.deterministic) return virtual_now_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void Scheduler::TraceLocked(const std::string& line) {
+  if (options_.trace == nullptr) return;
+  *options_.trace << "T" << NowTicksLocked() << " " << line << "\n";
+}
+
+Result<uint64_t> Scheduler::Submit(QueryRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++counters_.submitted;
+  for (const auto& [ticket, entry] : entries_) {
+    if (entry->request.id == request.id) {
+      return InvalidArgumentError("duplicate query id '" + request.id + "'");
+    }
+  }
+  int cls = static_cast<int>(request.cls);
+  uint64_t reserve = request.reserve_bytes != 0
+                         ? request.reserve_bytes
+                         : options_.default_reserve_bytes;
+  if (request.limits.max_memory_bytes > 0) {
+    reserve = std::min(reserve, request.limits.max_memory_bytes);
+  }
+  // Admission checks, cheapest-signal first. Rejections are structured
+  // backpressure: the caller learns *why* and can back off, instead of the
+  // process learning via OOM.
+  if (options_.class_quota[cls] > 0 &&
+      class_load_[cls] >= options_.class_quota[cls]) {
+    ++counters_.rejected_overload;
+    TraceLocked("REJECT id=" + request.id + " reason=OVERLOAD detail=" +
+                std::string(QueryClassName(request.cls)) + "-quota");
+    return OverloadedError(
+        "class '" + std::string(QueryClassName(request.cls)) + "' quota of " +
+        std::to_string(options_.class_quota[cls]) +
+        " queries exceeded; retry when the backlog drains");
+  }
+  if (waiting_ >= options_.queue_capacity) {
+    ++counters_.rejected_queue_full;
+    TraceLocked("REJECT id=" + request.id + " reason=QUEUE_FULL");
+    return QueueFullError("admission queue at capacity " +
+                          std::to_string(options_.queue_capacity) +
+                          "; retry with backoff");
+  }
+  if (options_.global_memory_budget > 0 &&
+      reserve > options_.global_memory_budget) {
+    ++counters_.rejected_overload;
+    TraceLocked("REJECT id=" + request.id + " reason=OVERLOAD detail=reserve");
+    return OverloadedError(
+        "memory reservation of " + std::to_string(reserve) +
+        " bytes can never fit the global budget of " +
+        std::to_string(options_.global_memory_budget) + " bytes");
+  }
+  uint64_t ticket = next_ticket_++;
+  auto entry = std::make_unique<Entry>();
+  entry->ticket = ticket;
+  entry->request = std::move(request);
+  entry->reserve_bytes = reserve;
+  entry->state = State::kQueued;
+  entry->submit_tick = NowTicksLocked();
+  entry->eligible_tick = entry->submit_tick;
+  ++waiting_;
+  ++class_load_[cls];
+  ++counters_.admitted;
+  TraceLocked("ADMIT id=" + entry->request.id + " class=" +
+              QueryClassName(entry->request.cls) +
+              " priority=" + std::to_string(entry->request.priority) +
+              " reserve=" + std::to_string(reserve));
+  Entry* raw = entry.get();
+  entries_.emplace(ticket, std::move(entry));
+  (void)raw;
+  if (!options_.deterministic) {
+    DispatchLocked(lock);
+    retry_cv_.notify_all();
+  }
+  return ticket;
+}
+
+Scheduler::Entry* Scheduler::NextRunnableLocked() {
+  uint64_t now = NowTicksLocked();
+  Entry* best = nullptr;
+  for (auto& [ticket, entry] : entries_) {
+    if (entry->state != State::kQueued || entry->eligible_tick > now) continue;
+    if (best == nullptr) {
+      best = entry.get();
+      continue;
+    }
+    // Priority desc, interactive before batch, then submission order.
+    // (Ticket order makes the pick total, so the trace is deterministic.)
+    int lhs_cls = entry->request.cls == QueryClass::kInteractive ? 0 : 1;
+    int rhs_cls = best->request.cls == QueryClass::kInteractive ? 0 : 1;
+    auto lhs = std::make_tuple(-entry->request.priority, lhs_cls,
+                               entry->ticket);
+    auto rhs = std::make_tuple(-best->request.priority, rhs_cls,
+                               best->ticket);
+    if (lhs < rhs) best = entry.get();
+  }
+  return best;
+}
+
+uint64_t Scheduler::EarliestEligibleLocked() const {
+  uint64_t earliest = kNoTick;
+  for (const auto& [ticket, entry] : entries_) {
+    if (entry->state != State::kQueued) continue;
+    earliest = std::min(earliest, entry->eligible_tick);
+  }
+  return earliest;
+}
+
+void Scheduler::StartAttemptLocked(Entry* entry) {
+  entry->state = State::kRunning;
+  --waiting_;
+  ++running_;
+  ++entry->attempts;
+  entry->degraded = false;
+  entry->preempted = false;
+  ResourceLimits limits = entry->request.limits;
+  // Deterministic mode pins the full-check cadence to every poll, so the
+  // candidate count at which a degradation or preemption lands -- and
+  // hence the whole trace -- is a pure function of the workload and seed.
+  if (options_.deterministic) limits.poll_stride = 1;
+  entry->governor = std::make_shared<Governor>(limits);
+  entry->governor->set_pressure_hook([this] { PressureCheck(); });
+  TraceLocked("START id=" + entry->request.id +
+              " attempt=" + std::to_string(entry->attempts));
+}
+
+void Scheduler::DispatchLocked(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held by contract; Post itself never re-enters mu_
+  while (running_ < options_.workers) {
+    Entry* entry = NextRunnableLocked();
+    if (entry == nullptr) break;
+    StartAttemptLocked(entry);
+    pool_->Post([this, entry] { FinishAttempt(entry, ExecuteAttempt(entry)); });
+  }
+}
+
+Scheduler::AttemptEnd Scheduler::ExecuteAttempt(Entry* entry) {
+  // Runs without the scheduler lock: parsing and evaluation are the long
+  // pole, and the pressure hook re-enters the scheduler from this thread.
+  AttemptEnd end;
+  if (FaultInjector::Global().ShouldFail(FaultSite::kScheduler)) {
+    end.status = OverloadedError(
+        "scheduler dispatch fault (fault injection); transient");
+    end.sched_fault = true;
+    return end;
+  }
+  Universe universe;
+  auto unit = ParseUnit(&universe, entry->request.source);
+  if (!unit.ok()) {
+    end.status = unit.status();
+    return end;
+  }
+  Instance input(&unit->schema, &universe);
+  end.status = ApplyFacts(*unit, &input);
+  if (!end.status.ok()) return end;
+  EvalOptions options = entry->request.eval;
+  // Scheduler concurrency comes from running many queries at once; each
+  // evaluation itself is serial, which makes the byte-identity contract
+  // with a standalone serial run immediate and keeps one shared pool
+  // (instead of one fork/join pool per running query).
+  options.num_threads = 1;
+  options.governor = entry->governor.get();
+  options.cancel = nullptr;
+  options.metrics = nullptr;
+  options.trace = nullptr;
+  std::optional<Instance> partial;
+  options.partial = &partial;
+  auto result = RunUnit(&universe, &*unit, input, options, &end.stats);
+  if (result.ok()) {
+    end.facts = WriteFacts(*result);
+  } else {
+    end.status = result.status();
+    if (partial.has_value()) end.facts = WriteFacts(*partial);
+  }
+  return end;
+}
+
+void Scheduler::FinishAttempt(Entry* entry, AttemptEnd end) {
+  std::unique_lock<std::mutex> lock(mu_);
+  --running_;
+  TripReason trip = end.stats.trip;
+  Governor* governor = entry->governor.get();
+  bool injected_alloc =
+      governor != nullptr && governor->accountant()->injected_failure();
+  // Transient causes retry; organic trips at the query's own ceilings do
+  // not (re-running would hit the same wall). A memory trip is transient
+  // exactly when the scheduler caused it (tightened limit) or the fault
+  // injector did (the pressure that "eased" is synthetic).
+  bool transient =
+      end.sched_fault || trip == TripReason::kFault ||
+      trip == TripReason::kPreempted ||
+      (trip == TripReason::kMemory &&
+       ((governor != nullptr && governor->tightened()) || injected_alloc));
+  if (entry->degraded || entry->preempted) entry->ever_intervened = true;
+  entry->governor.reset();
+  if (end.sched_fault) {
+    TraceLocked("FAULT id=" + entry->request.id +
+                " attempt=" + std::to_string(entry->attempts));
+  } else if (trip != TripReason::kNone) {
+    TraceLocked("TRIP id=" + entry->request.id + " reason=" +
+                TripReasonName(trip) +
+                " attempt=" + std::to_string(entry->attempts));
+  }
+  if (transient && entry->attempts <= options_.max_retries) {
+    ++counters_.retries;
+    // Jittered exponential backoff: base * 2^(attempt-1) * [0.5, 1.5),
+    // reproducible in (seed, ticket, attempt).
+    int exponent = std::min(entry->attempts - 1, 20);
+    double u = static_cast<double>(
+                   Mix64(options_.seed ^ (entry->ticket << 20) ^
+                         static_cast<uint64_t>(entry->attempts)) >>
+                   11) *
+               0x1.0p-53;
+    double backoff = options_.retry_base_seconds *
+                     static_cast<double>(uint64_t{1} << exponent) * (0.5 + u);
+    uint64_t delay =
+        std::max<uint64_t>(1, static_cast<uint64_t>(backoff * 1000.0));
+    entry->eligible_tick = NowTicksLocked() + delay;
+    entry->state = State::kQueued;
+    ++waiting_;
+    TraceLocked("RETRY id=" + entry->request.id +
+                " attempt=" + std::to_string(entry->attempts + 1) +
+                " eligible=T" + std::to_string(entry->eligible_tick));
+  } else {
+    entry->state = State::kDone;
+    --class_load_[static_cast<int>(entry->request.cls)];
+    QueryResult& result = entry->result;
+    result.status = end.status;
+    result.facts = std::move(end.facts);
+    result.stats = end.stats;
+    result.attempts = entry->attempts;
+    result.preempted = entry->ever_intervened;
+    result.submit_tick = entry->submit_tick;
+    result.finish_tick = NowTicksLocked();
+    if (end.status.ok()) {
+      result.outcome = QueryOutcome::kCompleted;
+      ++counters_.completed;
+      TraceLocked("COMPLETE id=" + entry->request.id +
+                  " attempts=" + std::to_string(entry->attempts));
+    } else if (trip != TripReason::kNone) {
+      result.outcome = QueryOutcome::kTrippedPartial;
+      ++counters_.tripped_partial;
+      TraceLocked("PARTIAL id=" + entry->request.id + " reason=" +
+                  TripReasonName(trip) +
+                  " attempts=" + std::to_string(entry->attempts));
+    } else {
+      result.outcome = QueryOutcome::kFailed;
+      ++counters_.failed;
+      TraceLocked("FAIL id=" + entry->request.id + " status=" +
+                  std::string(StatusCodeName(end.status.code())));
+    }
+  }
+  if (!options_.deterministic) {
+    DispatchLocked(lock);
+    retry_cv_.notify_all();
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::PressureCheck() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.global_memory_budget == 0) return;
+  uint64_t used = 0;
+  uint64_t reserved = 0;
+  for (const auto& [ticket, entry] : entries_) {
+    if (entry->state == State::kRunning && entry->governor != nullptr) {
+      used += entry->governor->accountant()->bytes();
+    } else if (entry->state == State::kQueued) {
+      reserved += entry->reserve_bytes;
+    }
+  }
+  if (used + reserved <= options_.global_memory_budget) return;
+  // One intervention per check: the hook fires every full poll, so the
+  // loop converges a victim at a time without thrashing. First choice is
+  // the runner furthest above its reservation (degrade it back to what it
+  // was promised); if every runner is within its promise the backlog is
+  // over-admitted and the least valuable runner is shed outright.
+  Entry* degrade_victim = nullptr;
+  uint64_t worst_overage = 0;
+  Entry* shed_victim = nullptr;
+  for (auto& [ticket, entry] : entries_) {
+    if (entry->state != State::kRunning || entry->governor == nullptr ||
+        entry->degraded || entry->preempted) {
+      continue;
+    }
+    uint64_t bytes = entry->governor->accountant()->bytes();
+    if (bytes > entry->reserve_bytes &&
+        bytes - entry->reserve_bytes >= worst_overage) {
+      // >= so later tickets win ties deterministically... prefer the
+      // largest overage, oldest ticket on a tie.
+      if (degrade_victim == nullptr ||
+          bytes - entry->reserve_bytes > worst_overage) {
+        degrade_victim = entry.get();
+        worst_overage = bytes - entry->reserve_bytes;
+      }
+    }
+    if (shed_victim == nullptr) {
+      shed_victim = entry.get();
+    } else {
+      // Batch before interactive, low priority first, biggest user first,
+      // youngest ticket first: shed the least valuable work.
+      auto key = [](const Entry* e, uint64_t b) {
+        return std::make_tuple(
+            e->request.cls == QueryClass::kInteractive ? 1 : 0,
+            e->request.priority, -static_cast<int64_t>(b),
+            -static_cast<int64_t>(e->ticket));
+      };
+      uint64_t shed_bytes = shed_victim->governor->accountant()->bytes();
+      if (key(entry.get(), bytes) < key(shed_victim, shed_bytes)) {
+        shed_victim = entry.get();
+      }
+    }
+  }
+  if (degrade_victim != nullptr) {
+    degrade_victim->degraded = true;
+    ++counters_.degradations;
+    uint64_t target = std::max<uint64_t>(degrade_victim->reserve_bytes, 1);
+    degrade_victim->governor->TightenMemory(target);
+    TraceLocked("DEGRADE id=" + degrade_victim->request.id +
+                " memory=" + std::to_string(target));
+  } else if (shed_victim != nullptr) {
+    shed_victim->preempted = true;
+    ++counters_.preemptions;
+    shed_victim->governor->Preempt();
+    TraceLocked("PREEMPT id=" + shed_victim->request.id);
+  }
+}
+
+void Scheduler::RunUntilIdle() {
+  if (!options_.deterministic) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ == 0 && running_ == 0; });
+    return;
+  }
+  // Deterministic driver: serial execution on this thread, virtual time.
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Entry* entry = NextRunnableLocked();
+    if (entry == nullptr) {
+      uint64_t next = EarliestEligibleLocked();
+      if (next == kNoTick) return;  // no queued work left
+      virtual_now_ = std::max(virtual_now_, next);  // sleep is a tick jump
+      continue;
+    }
+    StartAttemptLocked(entry);
+    lock.unlock();
+    AttemptEnd end = ExecuteAttempt(entry);
+    lock.lock();
+    ++virtual_now_;  // every attempt costs one virtual millisecond
+    lock.unlock();
+    FinishAttempt(entry, std::move(end));
+    lock.lock();
+  }
+}
+
+QueryResult Scheduler::Wait(uint64_t ticket) {
+  if (options_.deterministic) RunUntilIdle();
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) {
+    QueryResult missing;
+    missing.outcome = QueryOutcome::kFailed;
+    missing.status = NotFoundError("unknown ticket " + std::to_string(ticket));
+    return missing;
+  }
+  Entry* entry = it->second.get();
+  cv_.wait(lock, [&] { return entry->state == State::kDone; });
+  return entry->result;
+}
+
+Scheduler::Counters Scheduler::counters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint64_t Scheduler::now_ticks() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return NowTicksLocked();
+}
+
+void Scheduler::TimekeeperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    uint64_t next = EarliestEligibleLocked();
+    uint64_t now = NowTicksLocked();
+    if (next != kNoTick && next <= now) {
+      // A backoff expired: hand the query to the pool if there is room
+      // (otherwise FinishAttempt will dispatch it when a worker frees).
+      DispatchLocked(lock);
+      next = EarliestEligibleLocked();
+      now = NowTicksLocked();
+    }
+    if (next == kNoTick) {
+      retry_cv_.wait(lock);
+    } else {
+      uint64_t wait_ms = next > now ? next - now : 1;
+      retry_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms));
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace iqlkit

@@ -57,6 +57,60 @@ TEST_F(FaultInjectionTest, SiteNamesAreStable) {
   EXPECT_STREQ(FaultSiteName(FaultSite::kAllocation), "allocation");
   EXPECT_STREQ(FaultSiteName(FaultSite::kWorkerTask), "worker-task");
   EXPECT_STREQ(FaultSiteName(FaultSite::kGovernorTrip), "governor-trip");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kScheduler), "scheduler");
+}
+
+TEST_F(FaultInjectionTest, ParseSpecSchedulerSite) {
+  auto config = FaultInjector::ParseSpec("seed=9,sched=0.25");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_DOUBLE_EQ(config->p_sched, 0.25);
+  EXPECT_TRUE(config->enabled());
+  EXPECT_FALSE(FaultInjector::ParseSpec("sched=2").ok());
+}
+
+// CI's soak jobs run this binary with IQLKIT_FAULTS exported; the env
+// tests below must put the variable back exactly as they found it.
+class ScopedFaultsEnv {
+ public:
+  explicit ScopedFaultsEnv(const char* value) {
+    const char* old = std::getenv("IQLKIT_FAULTS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv("IQLKIT_FAULTS", value, 1);
+  }
+  ~ScopedFaultsEnv() {
+    if (had_) {
+      setenv("IQLKIT_FAULTS", saved_.c_str(), 1);
+    } else {
+      unsetenv("IQLKIT_FAULTS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(FaultInjectionTest, MalformedEnvSpecDisablesInjectionEntirely) {
+  // Pre-load a live config: a malformed IQLKIT_FAULTS must not leave it
+  // half-applied (or applied at all) -- the injector resets to disabled.
+  FaultInjector::Config live;
+  live.seed = 3;
+  live.p_alloc = 0.5;
+  FaultInjector::Global().Configure(live);
+  ScopedFaultsEnv env("alloc=0.5,bogus=1");
+  Status status = FaultInjector::Global().ConfigureFromEnv();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FaultInjector::Global().config().enabled());
+  EXPECT_DOUBLE_EQ(FaultInjector::Global().config().p_alloc, 0.0);
+}
+
+TEST_F(FaultInjectionTest, WellFormedEnvSpecApplies) {
+  ScopedFaultsEnv env("seed=5,sched=0.125");
+  Status status = FaultInjector::Global().ConfigureFromEnv();
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(FaultInjector::Global().config().seed, 5u);
+  EXPECT_DOUBLE_EQ(FaultInjector::Global().config().p_sched, 0.125);
 }
 
 TEST_F(FaultInjectionTest, DisabledInjectorNeverFails) {

@@ -306,6 +306,106 @@ TEST(GovernorTest, MemoryAccountantTracksPeak) {
   EXPECT_EQ(accountant.peak_bytes(), 1500u);
 }
 
+// ---- scheduler hooks: tightening, preemption, poll stride -----------------
+
+TEST(GovernorTest, PreemptTripsStickyWithOverloadedStatus) {
+  Governor governor(ResourceLimits{});
+  Status status = governor.Preempt();
+  EXPECT_EQ(status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(governor.trip_reason(), TripReason::kPreempted);
+  // Sticky trips bypass the poll stride: the very next Poll observes it.
+  EXPECT_FALSE(governor.Poll().ok());
+  EXPECT_STREQ(TripReasonName(TripReason::kPreempted), "PREEMPTED");
+}
+
+TEST(GovernorTest, TightenOnlyEverLowersEffectiveLimits) {
+  ResourceLimits limits;
+  limits.max_steps_per_stage = 100;
+  limits.max_memory_bytes = 1000;
+  limits.deadline_seconds = 60;
+  Governor governor(limits);
+  EXPECT_FALSE(governor.tightened());
+  // Loosening attempts are ignored: effective limits are monotone.
+  governor.TightenSteps(200);
+  governor.TightenMemory(2000);
+  governor.TightenDeadline(120);
+  EXPECT_EQ(governor.max_steps(), 100u);
+  EXPECT_EQ(governor.max_memory_bytes(), 1000u);
+  EXPECT_FALSE(governor.tightened());
+  governor.TightenSteps(10);
+  governor.TightenMemory(500);
+  governor.TightenDeadline(30);
+  EXPECT_EQ(governor.max_steps(), 10u);
+  EXPECT_EQ(governor.max_memory_bytes(), 500u);
+  EXPECT_NEAR(governor.deadline_seconds(), 30.0, 1e-6);
+  EXPECT_TRUE(governor.tightened());
+}
+
+TEST(GovernorTest, TightenedMemoryCeilingTripsAtTheLowerBound) {
+  ResourceLimits limits;
+  limits.max_memory_bytes = 1 << 20;
+  Governor governor(limits);
+  governor.accountant()->Charge(4096);
+  EXPECT_TRUE(governor.CheckNow().ok());
+  governor.TightenMemory(1024);
+  Status status = governor.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.trip_reason(), TripReason::kMemory);
+  // The tightened() flag lets a scheduler classify this trip as transient
+  // (its own doing) rather than the query hitting an organic ceiling.
+  EXPECT_TRUE(governor.tightened());
+}
+
+TEST(GovernorTest, TightenedDeadlineExpiresImmediately) {
+  ResourceLimits limits;
+  limits.deadline_seconds = 3600;
+  Governor governor(limits);
+  EXPECT_TRUE(governor.CheckNow().ok());
+  governor.TightenDeadline(0.0000001);
+  Status status = governor.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(governor.trip_reason(), TripReason::kDeadline);
+}
+
+TEST(GovernorTest, PollStrideBoundsExternalObservationLatency) {
+  // A memory overrun is an *external* condition: Poll only notices it on a
+  // full check, which the stride gates. The trip must land within one
+  // stride's worth of polls -- and with stride 1, on the very first.
+  for (uint64_t stride : {uint64_t{1}, uint64_t{4}}) {
+    ResourceLimits limits;
+    limits.max_memory_bytes = 100;
+    limits.poll_stride = stride;
+    Governor governor(limits);
+    governor.accountant()->Charge(1000);
+    uint64_t polls = 0;
+    while (governor.Poll().ok()) {
+      ASSERT_LT(++polls, stride + 1) << "stride " << stride;
+    }
+    EXPECT_LE(polls, stride) << "stride " << stride;
+    if (stride == 1) {
+      EXPECT_EQ(polls, 0u);
+    }
+    EXPECT_EQ(governor.trip_reason(), TripReason::kMemory);
+  }
+}
+
+TEST(GovernorTest, PressureHookRunsOnEveryFullCheck) {
+  ResourceLimits limits;
+  limits.poll_stride = 1;
+  Governor governor(limits);
+  int calls = 0;
+  governor.set_pressure_hook([&] { ++calls; });
+  EXPECT_TRUE(governor.CheckNow().ok());
+  EXPECT_TRUE(governor.Poll().ok());
+  EXPECT_EQ(calls, 2);
+  // The hook may trip the governor it is attached to; the same check
+  // observes the trip (this is how scheduler preemption lands in-band).
+  governor.set_pressure_hook([&governor] {
+    governor.Preempt();
+  });
+  EXPECT_EQ(governor.CheckNow().code(), StatusCode::kOverloaded);
+}
+
 // ---- datalog engine -------------------------------------------------------
 
 datalog::Program TcProgram(datalog::Database* db, int chain) {

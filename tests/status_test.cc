@@ -34,6 +34,14 @@ TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(QueueFullError("x").code(), StatusCode::kQueueFull);
+  EXPECT_EQ(OverloadedError("x").code(), StatusCode::kOverloaded);
+}
+
+TEST(StatusTest, SchedulerCodeNamesAreStable) {
+  // iqlserve output and the scheduler soak assert on these exact strings.
+  EXPECT_EQ(StatusCodeName(StatusCode::kQueueFull), "QUEUE_FULL");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOverloaded), "OVERLOAD");
 }
 
 Status Fails() { return OutOfRangeError("boom"); }

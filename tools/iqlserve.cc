@@ -1,0 +1,217 @@
+// iqlserve: a concurrent-query driver for IQL source units.
+//
+//   iqlserve [flags] <file.iql>...
+//
+// Every positional argument is one query (its id is the file name, with a
+// "#k" suffix under --repeat). Queries are submitted to the concurrent
+// scheduler (src/server/scheduler.h) in command-line order and the driver
+// waits for every admitted query, printing one summary line per query:
+//
+//   id=tc.iql outcome=completed attempts=1 ticks=3
+//   id=big.iql outcome=rejected status=OVERLOAD ...
+//
+// Per-query flags (--class, --priority, --max-steps, --timeout,
+// --max-memory, --reserve) apply to the files that FOLLOW them, so one
+// invocation can mix classes and ceilings:
+//
+//   iqlserve --class=interactive fast.iql --class=batch --priority=-1 slow.iql
+//
+// Scheduler flags:
+//   --workers=N            concurrently running queries (default 4)
+//   --queue-capacity=N     waiting-queue bound; beyond it: QUEUE_FULL
+//   --quota-interactive=N  per-class admission quotas; beyond: OVERLOAD
+//   --quota-batch=N
+//   --memory-budget=BYTES  global budget; over it the scheduler degrades
+//                          (tightens) or preempts running queries
+//   --max-retries=N        retry budget for transient failures (default 2)
+//   --retry-base=SECONDS   backoff base (default 0.05)
+//   --seed=N               seed for backoff jitter (and the trace, in
+//                          deterministic mode)
+//   --deterministic        virtual clock, serial execution, poll stride 1:
+//                          reproducible admission/preemption traces
+//   --trace                stream the scheduler event trace to stderr
+//   --repeat=N             submit each file N times (load generation)
+//   --print-facts          print each completed/partial query's facts
+//   --counters             print the scheduler counters at exit
+//
+// Exit status: 0 when every query completed; 2 when any query was
+// rejected, tripped, or failed; 1 on usage or I/O errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "server/scheduler.h"
+
+namespace {
+
+using iqlkit::server::ParseQueryClass;
+using iqlkit::server::QueryOutcome;
+using iqlkit::server::QueryOutcomeName;
+using iqlkit::server::QueryRequest;
+using iqlkit::server::QueryResult;
+using iqlkit::server::Scheduler;
+using iqlkit::server::SchedulerOptions;
+
+int Usage() {
+  std::cerr << "usage: iqlserve [flags] <file.iql>...\n"
+               "run `head -40 tools/iqlserve.cc` for the flag list\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Honor IQLKIT_FAULTS like the other drivers; a malformed spec disables
+  // injection with a warning instead of half-applying.
+  (void)iqlkit::FaultInjector::Global().ConfigureFromEnv();
+
+  SchedulerOptions sched;
+  QueryRequest profile;  // class/priority/limits applied to following files
+  uint64_t repeat = 1;
+  bool print_facts = false;
+  bool print_counters = false;
+  std::ostringstream trace;
+  bool want_trace = false;
+
+  struct Submission {
+    std::string id;
+    QueryRequest request;
+  };
+  std::vector<Submission> submissions;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    try {
+      if (arg == "--deterministic") {
+        sched.deterministic = true;
+      } else if (arg == "--trace") {
+        want_trace = true;
+      } else if (arg == "--print-facts") {
+        print_facts = true;
+      } else if (arg == "--counters") {
+        print_counters = true;
+      } else if (arg.rfind("--workers=", 0) == 0) {
+        sched.workers = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--queue-capacity=", 0) == 0) {
+        sched.queue_capacity = std::stoull(arg.substr(17));
+      } else if (arg.rfind("--quota-interactive=", 0) == 0) {
+        sched.class_quota[0] = std::stoull(arg.substr(20));
+      } else if (arg.rfind("--quota-batch=", 0) == 0) {
+        sched.class_quota[1] = std::stoull(arg.substr(14));
+      } else if (arg.rfind("--memory-budget=", 0) == 0) {
+        sched.global_memory_budget = std::stoull(arg.substr(16));
+      } else if (arg.rfind("--max-retries=", 0) == 0) {
+        sched.max_retries = std::stoi(arg.substr(14));
+      } else if (arg.rfind("--retry-base=", 0) == 0) {
+        sched.retry_base_seconds = std::stod(arg.substr(13));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        sched.seed = std::stoull(arg.substr(7));
+      } else if (arg.rfind("--repeat=", 0) == 0) {
+        repeat = std::stoull(arg.substr(9));
+      } else if (arg.rfind("--class=", 0) == 0) {
+        auto cls = ParseQueryClass(arg.substr(8));
+        if (!cls.ok()) {
+          std::cerr << "iqlserve: " << cls.status() << "\n";
+          return 1;
+        }
+        profile.cls = *cls;
+      } else if (arg.rfind("--priority=", 0) == 0) {
+        profile.priority = std::stoi(arg.substr(11));
+      } else if (arg.rfind("--max-steps=", 0) == 0) {
+        profile.limits.max_steps_per_stage = std::stoull(arg.substr(12));
+      } else if (arg.rfind("--timeout=", 0) == 0) {
+        profile.limits.deadline_seconds = std::stod(arg.substr(10));
+      } else if (arg.rfind("--max-memory=", 0) == 0) {
+        profile.limits.max_memory_bytes = std::stoull(arg.substr(13));
+      } else if (arg.rfind("--reserve=", 0) == 0) {
+        profile.reserve_bytes = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "iqlserve: unknown flag " << arg << "\n";
+        return Usage();
+      } else {
+        std::ifstream in(arg);
+        if (!in) {
+          std::cerr << "iqlserve: cannot open " << arg << "\n";
+          return 1;
+        }
+        std::ostringstream source;
+        source << in.rdbuf();
+        for (uint64_t k = 0; k < repeat; ++k) {
+          Submission sub;
+          sub.id = repeat == 1 ? arg : arg + "#" + std::to_string(k + 1);
+          sub.request = profile;
+          sub.request.id = sub.id;
+          sub.request.source = source.str();
+          submissions.push_back(std::move(sub));
+        }
+      }
+    } catch (const std::exception&) {
+      std::cerr << "iqlserve: bad value in " << arg << "\n";
+      return 1;
+    }
+  }
+  if (submissions.empty()) return Usage();
+  if (want_trace) sched.trace = &trace;
+
+  int exit_code = 0;
+  {
+    Scheduler scheduler(sched);
+    struct Pending {
+      std::string id;
+      uint64_t ticket = 0;
+      bool admitted = false;
+      iqlkit::Status rejection;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(submissions.size());
+    for (auto& sub : submissions) {
+      Pending p;
+      p.id = sub.id;
+      auto ticket = scheduler.Submit(std::move(sub.request));
+      if (ticket.ok()) {
+        p.admitted = true;
+        p.ticket = *ticket;
+      } else {
+        p.rejection = ticket.status();
+      }
+      pending.push_back(std::move(p));
+    }
+    for (const auto& p : pending) {
+      if (!p.admitted) {
+        std::cout << "id=" << p.id << " outcome=rejected status="
+                  << p.rejection << "\n";
+        exit_code = 2;
+        continue;
+      }
+      QueryResult result = scheduler.Wait(p.ticket);
+      std::cout << "id=" << p.id
+                << " outcome=" << QueryOutcomeName(result.outcome)
+                << " attempts=" << result.attempts
+                << " ticks=" << (result.finish_tick - result.submit_tick);
+      if (!result.status.ok()) std::cout << " status=" << result.status;
+      std::cout << "\n";
+      if (print_facts && !result.facts.empty()) {
+        std::cout << result.facts;
+      }
+      if (result.outcome != QueryOutcome::kCompleted) exit_code = 2;
+    }
+    if (print_counters) {
+      auto c = scheduler.counters();
+      std::cout << "counters submitted=" << c.submitted
+                << " admitted=" << c.admitted
+                << " rejected_queue_full=" << c.rejected_queue_full
+                << " rejected_overload=" << c.rejected_overload
+                << " completed=" << c.completed
+                << " tripped_partial=" << c.tripped_partial
+                << " failed=" << c.failed << " retries=" << c.retries
+                << " degradations=" << c.degradations
+                << " preemptions=" << c.preemptions << "\n";
+    }
+  }
+  if (want_trace) std::cerr << trace.str();
+  return exit_code;
+}
