@@ -101,6 +101,26 @@ jq '
     else . end
 ' "$OUT.tmp" > "$OUT.tmp2"
 mv "$OUT.tmp2" "$OUT.tmp"
+# Register-VM engine: per-workload speedup of the flat-IL VM over the
+# tree-walker on matched bench_vm series (identical program + input; the
+# _TreeWalk/_Vm name pairs differ only in EvalOptions::engine, or in
+# EvalMode kSemiNaiveIndexed vs kVm for the Datalog pair). Recorded under
+# .vm so the VM-vs-tree-walk trajectory lives in the merged file.
+jq '
+  (.runs.bench_vm.benchmarks // []) as $b
+  | [ $b[] | select(.name | contains("_Vm/"))
+      | {key: (.name | sub("_Vm/"; "/")), t: .real_time} ] as $vm
+  | [ $b[] | select(.name | contains("_TreeWalk/"))
+      | {key: (.name | sub("_TreeWalk/"; "/")), t: .real_time} ] as $tree
+  | [ $vm[] as $v | $tree[] | select(.key == $v.key)
+      | {workload: $v.key, speedup: (.t / $v.t)} ] as $pairs
+  | if ($pairs | length) > 0 then
+      .vm = {mean_speedup: (([$pairs[].speedup] | add) / ($pairs | length)),
+             points: ($pairs | length),
+             pairs: $pairs}
+    else . end
+' "$OUT.tmp" > "$OUT.tmp2"
+mv "$OUT.tmp2" "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"
 if jq -e '.governor' "$OUT" > /dev/null; then
@@ -110,4 +130,8 @@ fi
 if jq -e '.scheduler' "$OUT" > /dev/null; then
   echo "scheduler overhead ratio: $(jq '.scheduler.overhead_ratio' "$OUT")" \
        "(target <= $(jq '.scheduler.target_max_ratio' "$OUT"))"
+fi
+if jq -e '.vm' "$OUT" > /dev/null; then
+  echo "vm mean speedup over tree-walker: $(jq '.vm.mean_speedup' "$OUT")" \
+       "($(jq '.vm.points' "$OUT") matched points)"
 fi

@@ -101,6 +101,16 @@ enum class EvalMode {
   // positions in ascending order, so the delta-atom constraint (position
   // >= delta_begin) is a binary search away.
   kSemiNaiveIndexed,
+  // kSemiNaiveIndexed joins executed by a compiled engine instead of the
+  // recursive interpreter: each body atom is lowered once per run to a
+  // flat action list (check-constant / bind / check-variable per position
+  // -- which positions bind is static, because atoms always join in body
+  // order) plus a static bound-position mask, and an iterative executor
+  // drives the candidate cursors with an explicit level stack. Candidate
+  // enumeration order, index probes, and governor polls are those of the
+  // interpreter, so the fixpoint -- and facts_ insertion order -- is
+  // bit-for-bit identical at every thread count.
+  kVm,
 };
 
 struct Stats {

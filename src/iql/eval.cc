@@ -18,9 +18,11 @@
 #include "base/logging.h"
 #include "base/thread_pool.h"
 #include "iql/extent.h"
+#include "iql/il.h"
 #include "iql/index.h"
 #include "iql/parser.h"
 #include "iql/typecheck.h"
+#include "iql/vm.h"
 #include "model/stats.h"
 
 namespace iqlkit {
@@ -653,6 +655,34 @@ class RuleSolver {
   size_t slice_end_ = static_cast<size_t>(-1);
 };
 
+// Engine dispatch facade: exactly one of the two solvers is engaged per
+// (rule, solve). The register VM runs compiled rules; everything else --
+// engine kTreeWalk, or a rule outside the VM-eligible fragment -- stays
+// on the tree-walker. Both sides share the probe/slice/callback protocol,
+// so the four enumeration call sites below are engine-agnostic.
+struct AnySolver {
+  std::optional<RuleSolver> tree;
+  std::optional<vm::VmSolver> regvm;
+
+  Status Solve(const std::function<Status(const Bindings&)>& cb) {
+    return regvm.has_value() ? regvm->Solve(cb) : tree->Solve(cb);
+  }
+  void SetProbe(size_t* width) {
+    if (regvm.has_value()) {
+      regvm->SetProbe(width);
+    } else {
+      tree->SetProbe(width);
+    }
+  }
+  void SetSlice(size_t begin, size_t end) {
+    if (regvm.has_value()) {
+      regvm->SetSlice(begin, end);
+    } else {
+      tree->SetSlice(begin, end);
+    }
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Valuation-domain head filter: "no extension theta-bar of theta satisfies
 // head(r)" (§3.2). Head-only variables range over existing oids.
@@ -851,6 +881,12 @@ class StageRunner {
         rule_metrics_.push_back(&metrics_->rules[first + i]);
       }
     }
+    if (options_.engine == EvalOptions::Engine::kVm) {
+      compiled_.resize(rules_.size());
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        compiled_[i] = il::CompileRule(prog_, rules_[i]);
+      }
+    }
   }
 
   Status Run(Instance* work) {
@@ -902,6 +938,45 @@ class StageRunner {
   }
 
  private:
+  // The compiled IL for (rule, delta_literal), or nullptr when the engine
+  // is kTreeWalk or the rule is outside the VM-eligible fragment.
+  // Coordinator-only: delta variants compile lazily into a node-stable
+  // map; workers receive the resulting pointer and never call this.
+  const il::CompiledRule* Compiled(size_t r, size_t delta_literal) {
+    if (options_.engine != EvalOptions::Engine::kVm) return nullptr;
+    if (delta_literal == il::kNoDelta) {
+      return compiled_[r].has_value() ? &*compiled_[r] : nullptr;
+    }
+    auto key = std::make_pair(r, delta_literal);
+    auto it = delta_compiled_.find(key);
+    if (it == delta_compiled_.end()) {
+      it = delta_compiled_
+               .emplace(key, il::CompileRule(prog_, rules_[r], delta_literal))
+               .first;
+    }
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+
+  // Constructs the engine-selected solver for rule `r` into `out`. `cr`
+  // must be this rule's Compiled() result for the same delta literal.
+  void MakeSolver(AnySolver* out, const il::CompiledRule* cr, size_t r,
+                  const Instance& inst, const SolverContext& ctx,
+                  size_t delta_literal,
+                  const std::vector<ValueId>* delta_facts) const {
+    if (cr != nullptr) {
+      vm::VmContext vctx;
+      vctx.extents = ctx.extents;
+      vctx.index = ctx.index;
+      vctx.rule_metrics = ctx.rule_metrics;
+      vctx.values = ctx.values;
+      vctx.governor = ctx.governor;
+      out->regvm.emplace(*cr, inst, vctx, delta_facts);
+    } else {
+      out->tree.emplace(prog_, rules_[r], inst, ctx, delta_literal,
+                        delta_facts);
+    }
+  }
+
   // Variables bound by pattern matching inside `id`: var and tuple-field
   // positions. Derefs and set constructors are evaluated, not decomposed,
   // so their variables are not binding occurrences.
@@ -998,20 +1073,21 @@ class StageRunner {
       ctx.values = &arena;
       ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
+      const il::CompiledRule* cr = Compiled(rule_idx, delta_literal);
       if (pool_ != nullptr && rule_parallel_[rule_idx]) {
         // Parallel semi-naive: partition this solve's first candidate
         // list (the delta itself whenever the planner ranges the delta
         // literal first) across the pool; heads are evaluated by the
         // coordinator from the rehomed thetas, in canonical order.
         IQL_ASSIGN_OR_RETURN(size_t width,
-                             ProbeBranchWidth(rule_idx, *work, ctx,
+                             ProbeBranchWidth(rule_idx, cr, *work, ctx,
                                               delta_literal, delta_facts));
         if (width >= options_.parallel_min_candidates) {
           auto start = std::chrono::steady_clock::now();
           if (rm != nullptr) ++rm->invocations;
           IQL_ASSIGN_OR_RETURN(
               std::vector<Bindings> thetas,
-              ParallelEnumerate(*work, rule_idx, width, rm,
+              ParallelEnumerate(*work, rule_idx, cr, width, rm,
                                 /*filter_head=*/false, delta_literal,
                                 delta_facts));
           for (const Bindings& theta : thetas) {
@@ -1022,7 +1098,9 @@ class StageRunner {
           return Status::Ok();
         }
       }
-      RuleSolver solver(prog_, rule, *work, ctx, delta_literal, delta_facts);
+      AnySolver solver;
+      MakeSolver(&solver, cr, rule_idx, *work, ctx, delta_literal,
+                 delta_facts);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1152,13 +1230,14 @@ class StageRunner {
   // frozen instance without enumerating past it (ctx must be the
   // coordinator's serial context). Zero when the enumeration dies, or
   // never branches, before any candidate list.
-  Result<size_t> ProbeBranchWidth(size_t r, const Instance& inst,
-                                  SolverContext ctx, size_t delta_literal,
+  Result<size_t> ProbeBranchWidth(size_t r, const il::CompiledRule* cr,
+                                  const Instance& inst, SolverContext ctx,
+                                  size_t delta_literal,
                                   const std::vector<ValueId>* delta_facts) {
     size_t width = 0;
     ctx.rule_metrics = nullptr;  // probe work is not attributed to the rule
-    RuleSolver probe(prog_, rules_[r], inst, ctx, delta_literal,
-                     delta_facts);
+    AnySolver probe;
+    MakeSolver(&probe, cr, r, inst, ctx, delta_literal, delta_facts);
     probe.SetProbe(&width);
     IQL_RETURN_IF_ERROR(
         probe.Solve([](const Bindings&) { return Status::Ok(); }));
@@ -1177,8 +1256,8 @@ class StageRunner {
   // With `filter_head` set, the naive val-dom head filter runs inside the
   // workers (per-worker HeadSatisfiability over the same frozen instance).
   Result<std::vector<Bindings>> ParallelEnumerate(
-      const Instance& inst, size_t r, size_t width, RuleMetrics* rm,
-      bool filter_head, size_t delta_literal,
+      const Instance& inst, size_t r, const il::CompiledRule* cr,
+      size_t width, RuleMetrics* rm, bool filter_head, size_t delta_literal,
       const std::vector<ValueId>* delta_facts) {
     const Rule& rule = rules_[r];
     // More chunks than workers smooths skew from uneven subtree sizes;
@@ -1233,8 +1312,8 @@ class StageRunner {
           abort.store(true, std::memory_order_relaxed);
           return;
         }
-        RuleSolver solver(prog_, rule, inst, ctx, delta_literal,
-                          delta_facts);
+        AnySolver solver;
+        MakeSolver(&solver, cr, r, inst, ctx, delta_literal, delta_facts);
         solver.SetSlice(c * width / chunk_count,
                         (c + 1) * width / chunk_count);
         chunk.status = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1320,17 +1399,19 @@ class StageRunner {
       ctx.values = &arena;
       ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
+      const il::CompiledRule* cr = Compiled(r, il::kNoDelta);
       if (pool_ != nullptr && rule_parallel_[r]) {
         IQL_ASSIGN_OR_RETURN(
             size_t width,
-            ProbeBranchWidth(r, inst, ctx, static_cast<size_t>(-1),
+            ProbeBranchWidth(r, cr, inst, ctx, static_cast<size_t>(-1),
                              nullptr));
         if (width >= options_.parallel_min_candidates) {
           auto start = std::chrono::steady_clock::now();
           if (rm != nullptr) ++rm->invocations;
           IQL_ASSIGN_OR_RETURN(
               std::vector<Bindings> thetas,
-              ParallelEnumerate(inst, r, width, rm, /*filter_head=*/true,
+              ParallelEnumerate(inst, r, cr, width, rm,
+                                /*filter_head=*/true,
                                 static_cast<size_t>(-1), nullptr));
           for (Bindings& theta : thetas) {
             if (!dedupe || seen.insert(theta).second) {
@@ -1343,7 +1424,9 @@ class StageRunner {
       }
       HeadSatisfiability head(prog_, rule, inst, &arena,
                               !options_.disable_head_fast_path);
-      RuleSolver solver(prog_, rule, inst, ctx);
+      AnySolver solver;
+      MakeSolver(&solver, cr, r, inst, ctx, static_cast<size_t>(-1),
+                 nullptr);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1622,6 +1705,12 @@ class StageRunner {
   uint64_t step_partitions_ = 0;     // partitions used by the current step
   uint64_t choose_rng_ = 0;
   bool has_deletions_ = false;
+  // Engine kVm: per-rule compiled IL (nullopt = tree-walk fallback), plus
+  // lazily compiled semi-naive (rule, delta-literal) variants. The map's
+  // node stability keeps CompiledRule addresses valid across inserts.
+  std::vector<std::optional<il::CompiledRule>> compiled_;
+  std::map<std::pair<size_t, size_t>, std::optional<il::CompiledRule>>
+      delta_compiled_;
 
  public:
   int stage_index_ = 0;

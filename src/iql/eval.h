@@ -165,6 +165,17 @@ struct EvalOptions {
   // first multi-way branch has at least this many entries; below the
   // threshold the serial path is cheaper than the fork/join.
   uint32_t parallel_min_candidates = 16;
+
+  // Rule enumeration engine. kTreeWalk interprets rule bodies with the
+  // backtracking tree-walker; kVm lowers each invention-free, choose-free
+  // rule to the flat IL of iql/il.h once and runs the register VM of
+  // iql/vm.h over it (rules outside that fragment silently fall back to
+  // the tree-walker -- their minting / choose order is enumeration-order
+  // sensitive). Both engines drive the same index, extent, arena, and
+  // governor machinery and produce byte-identical output at every thread
+  // count; the differential suites enforce this.
+  enum class Engine { kTreeWalk, kVm };
+  Engine engine = Engine::kTreeWalk;
 };
 
 struct EvalStats {

@@ -336,6 +336,93 @@ TEST_F(FaultInjectionTest, SoakConvergingWorkloadTripsOrMatchesCleanRun) {
   }
 }
 
+// A VM-eligible converging chain for the register-VM soak below.
+constexpr const char* kVmChain = R"(
+  schema { relation E : [D, D]; relation TC : [D, D]; }
+  instance {
+    E(["a", "b"]); E(["b", "c"]); E(["c", "d"]); E(["d", "e"]);
+    E(["e", "f"]); E(["f", "g"]); E(["g", "h"]); E(["h", "i"]);
+  }
+  program {
+    TC(x, y) :- E(x, y).
+    TC(x, z) :- TC(x, y), E(y, z).
+  }
+)";
+
+SoakOutcome RunVmChain(EvalOptions options) {
+  SoakOutcome out;
+  Universe u;
+  auto unit = ParseUnit(&u, kVmChain);
+  EXPECT_TRUE(unit.ok());
+  Instance input(&unit->schema, &u);
+  out.status = ApplyFacts(*unit, &input);
+  if (!out.status.ok()) return out;
+  std::optional<Instance> partial;
+  options.partial = &partial;
+  auto result = RunUnit(&u, &*unit, input, options, &out.stats);
+  if (result.ok()) {
+    out.partial_facts = WriteFacts(*result);
+  } else {
+    out.status = result.status();
+    if (partial.has_value()) out.partial_facts = WriteFacts(*partial);
+  }
+  return out;
+}
+
+TEST_F(FaultInjectionTest, SoakVmEngineRollsBackLikeTheTreeWalker) {
+  // The register VM under IQLKIT_FAULTS seeds: every (seed, threads) cell
+  // either completes byte-identical to the clean tree-walk result or trips
+  // and rolls back to a completed-step boundary -- the same two-state
+  // contract the tree-walker satisfies, checked by budget-matching the
+  // observed step count on a clean tree-walk run.
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Reset();
+  SoakOutcome clean = RunVmChain(EvalOptions{});
+  ASSERT_TRUE(clean.status.ok()) << clean.status;
+  for (const FaultInjector::Config& config : SoakConfigs()) {
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      injector.Configure(config);
+      EvalOptions options;
+      options.engine = EvalOptions::Engine::kVm;
+      options.num_threads = threads;
+      options.parallel_min_candidates = 1;  // let worker-task faults fire
+      SoakOutcome faulty = RunVmChain(options);
+      injector.Reset();
+      if (faulty.status.ok()) {
+        EXPECT_EQ(faulty.partial_facts, clean.partial_facts)
+            << "vm seed " << config.seed << " threads " << threads;
+        continue;
+      }
+      EXPECT_NE(faulty.stats.trip, TripReason::kNone) << faulty.status;
+      EvalOptions ref;
+      ref.limits.max_steps_per_stage = faulty.stats.steps;
+      SoakOutcome reference = RunVmChain(ref);
+      ASSERT_FALSE(reference.status.ok());
+      EXPECT_EQ(faulty.partial_facts, reference.partial_facts)
+          << "vm seed " << config.seed << " threads " << threads << " trip "
+          << TripReasonName(faulty.stats.trip) << " at step "
+          << faulty.stats.steps;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CertainWorkerTaskFaultTripsTheVmEngine) {
+  // p_task = 1.0 with a parallel VM run: the first partitioned step's
+  // worker task fault-trips the governor before the step commits.
+  FaultInjector::Config config;
+  config.seed = 1;
+  config.p_task = 1.0;
+  FaultInjector::Global().Configure(config);
+  EvalOptions options;
+  options.engine = EvalOptions::Engine::kVm;
+  options.num_threads = 8;
+  options.parallel_min_candidates = 1;
+  SoakOutcome out = RunVmChain(options);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.stats.trip, TripReason::kFault);
+  EXPECT_EQ(out.stats.steps, 0u);
+}
+
 TEST_F(FaultInjectionTest, CertainGovernorTripFaultsImmediately) {
   FaultInjector::Config config;
   config.seed = 1;

@@ -250,6 +250,37 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
         << source;
   }
 
+  // The register VM must be byte-equivalent to the tree-walker: serial,
+  // under the naive operator, and inside the worker-pool fan-out with a
+  // randomized thread count.
+  {
+    EvalOptions vm;
+    vm.engine = EvalOptions::Engine::kVm;
+    auto out_vm = RunUnit(&u, &*unit, input, vm);
+    ASSERT_TRUE(out_vm.ok()) << out_vm.status() << "\n" << source;
+    vm.enable_seminaive = false;
+    auto out_vm_naive = RunUnit(&u, &*unit, input, vm);
+    ASSERT_TRUE(out_vm_naive.ok()) << out_vm_naive.status() << "\n" << source;
+    vm.enable_seminaive = true;
+    vm.num_threads = 2 + rng() % 7;
+    vm.parallel_min_candidates = 1;
+    auto out_vm_par = RunUnit(&u, &*unit, input, vm);
+    ASSERT_TRUE(out_vm_par.ok()) << out_vm_par.status() << "\n" << source;
+    for (int r = 3; r < GenProgram::kRelations; ++r) {
+      Symbol name = u.Intern(GenProgram::Name(r));
+      EXPECT_EQ(out->Relation(name), out_vm->Relation(name))
+          << "vm vs tree-walk divergence, seed " << GetParam() << "\n"
+          << source;
+      EXPECT_EQ(out->Relation(name), out_vm_naive->Relation(name))
+          << "vm (naive) vs tree-walk divergence, seed " << GetParam()
+          << "\n" << source;
+      EXPECT_EQ(out->Relation(name), out_vm_par->Relation(name))
+          << "vm (" << vm.num_threads
+          << " threads) vs tree-walk divergence, seed " << GetParam()
+          << "\n" << source;
+    }
+  }
+
   // The flat engine's indexed mode against its own scan-based mode.
   {
     datalog::Database db2;
@@ -275,6 +306,33 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
         EXPECT_TRUE(db.Contains(rel_ids[r], t))
             << "indexed datalog divergence, seed " << GetParam() << "\n"
             << source;
+      }
+    }
+
+    // The compiled kVm engine mirrors kSemiNaiveIndexed candidate for
+    // candidate, so its fact *insertion order* -- not just the fact set --
+    // must match exactly, serially and at a randomized thread count.
+    for (uint32_t threads : {1u, 2 + static_cast<uint32_t>(rng() % 7)}) {
+      datalog::Database db3;
+      for (int r = 0; r < GenProgram::kRelations; ++r) {
+        ASSERT_TRUE(
+            db3.AddRelation(GenProgram::Name(r), GenProgram::Arity(r)).ok());
+      }
+      for (int r = 0; r < 3; ++r) {
+        for (const auto& t : edb[r]) {
+          datalog::Tuple tuple;
+          for (int c : t) tuple.push_back(db3.InternConstant(c));
+          db3.AddFact(rel_ids[r], std::move(tuple));
+        }
+      }
+      ASSERT_TRUE(datalog::Evaluate(dprog, &db3, datalog::EvalMode::kVm,
+                                    nullptr, threads)
+                      .ok());
+      for (int r = 3; r < GenProgram::kRelations; ++r) {
+        EXPECT_EQ(db3.Facts(rel_ids[r]), db2.Facts(rel_ids[r]))
+            << "datalog vm (" << threads
+            << " threads) vs indexed insertion-order divergence, seed "
+            << GetParam() << "\n" << source;
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -406,6 +407,140 @@ TEST(GovernorTest, PressureHookRunsOnEveryFullCheck) {
   EXPECT_EQ(governor.CheckNow().code(), StatusCode::kOverloaded);
 }
 
+// ---- register VM engine ---------------------------------------------------
+
+// A longer converging chain than kTransitiveClosure, so tight budgets trip
+// mid-run with several committed steps to compare. Both rules are
+// VM-eligible (no invention, no choose), so engine = kVm actually runs the
+// register VM rather than falling back.
+std::string ChainTc(int n) {
+  std::ostringstream source;
+  source << "schema { relation E : [D, D]; relation TC : [D, D]; }\n"
+            "instance {\n";
+  for (int i = 0; i < n; ++i) {
+    source << "  E([\"n" << i << "\", \"n" << i + 1 << "\"]);\n";
+  }
+  source << "}\nprogram {\n"
+            "  TC(x, y) :- E(x, y).\n"
+            "  TC(x, z) :- TC(x, y), E(y, z).\n"
+            "}\n";
+  return source.str();
+}
+
+EvalOptions VmOptions(bool seminaive, uint32_t threads) {
+  EvalOptions options = ModeOptions(seminaive, threads);
+  options.engine = EvalOptions::Engine::kVm;
+  return options;
+}
+
+TEST(GovernorTest, VmStepTripMatchesTreeWalkerPartial) {
+  // Committed steps are bit-identical across engines, so with the same
+  // step budget the VM's rolled-back partial must byte-compare equal to
+  // the tree-walker's, in every pipeline.
+  std::string source = ChainTc(24);
+  for (const Mode& mode : kModes) {
+    EvalOptions tree = ModeOptions(mode.seminaive, mode.threads);
+    tree.limits.max_steps_per_stage = 3;
+    RunOutcome tw = RunSource(source.c_str(), tree);
+    ASSERT_FALSE(tw.status.ok()) << mode.name;
+    EXPECT_EQ(tw.stats.trip, TripReason::kSteps) << mode.name;
+    ASSERT_FALSE(tw.facts.empty()) << mode.name;
+
+    EvalOptions vm = VmOptions(mode.seminaive, mode.threads);
+    vm.limits.max_steps_per_stage = 3;
+    RunOutcome vo = RunSource(source.c_str(), vm);
+    ASSERT_FALSE(vo.status.ok()) << mode.name;
+    EXPECT_EQ(vo.stats.trip, TripReason::kSteps) << mode.name;
+    EXPECT_EQ(vo.stats.steps, tw.stats.steps) << mode.name;
+    EXPECT_EQ(vo.facts, tw.facts) << mode.name;
+  }
+}
+
+TEST(GovernorTest, VmDerivationTripFiresAtTheSameStep) {
+  // The per-step derivation count is plan-independent (each satisfying
+  // valuation is enumerated exactly once under any join order), so the
+  // kDerivations budget crosses its threshold during the same step under
+  // both engines: equal committed-step counts, byte-equal partials.
+  std::string source = ChainTc(24);
+  for (const Mode& mode : kModes) {
+    EvalOptions tree = ModeOptions(mode.seminaive, mode.threads);
+    tree.limits.max_derivations = 40;
+    RunOutcome tw = RunSource(source.c_str(), tree);
+    ASSERT_FALSE(tw.status.ok()) << mode.name;
+    EXPECT_EQ(tw.stats.trip, TripReason::kDerivations) << mode.name;
+
+    EvalOptions vm = VmOptions(mode.seminaive, mode.threads);
+    vm.limits.max_derivations = 40;
+    RunOutcome vo = RunSource(source.c_str(), vm);
+    ASSERT_FALSE(vo.status.ok()) << mode.name;
+    EXPECT_EQ(vo.stats.trip, TripReason::kDerivations) << mode.name;
+    EXPECT_EQ(vo.stats.steps, tw.stats.steps) << mode.name;
+    EXPECT_EQ(vo.facts, tw.facts) << mode.name;
+  }
+}
+
+TEST(GovernorTest, VmMemoryTripRollsBackToAStepBoundary) {
+  // Allocation patterns legitimately differ between engines (the VM skips
+  // the tree-walker's per-visit scratch), so the memory trip may land in a
+  // different step; the contract is rollback to a completed-step boundary,
+  // checked by budget-matching the observed step count on the tree-walker.
+  std::string source = ChainTc(32);
+  for (const Mode& mode : kModes) {
+    EvalOptions vm = VmOptions(mode.seminaive, mode.threads);
+    vm.limits.max_memory_bytes = 8192;
+    RunOutcome vo = RunSource(source.c_str(), vm);
+    ASSERT_FALSE(vo.status.ok()) << mode.name;
+    EXPECT_EQ(vo.stats.trip, TripReason::kMemory) << mode.name;
+
+    EvalOptions ref = ModeOptions(mode.seminaive, mode.threads);
+    ref.limits.max_steps_per_stage = vo.stats.steps;
+    RunOutcome reference = RunSource(source.c_str(), ref);
+    EXPECT_EQ(reference.stats.trip, TripReason::kSteps) << mode.name;
+    EXPECT_EQ(vo.facts, reference.facts) << mode.name;
+  }
+}
+
+TEST(GovernorTest, VmDeadlineTripRollsBackToAStepBoundary) {
+  std::string source = ChainTc(220);
+  EvalOptions vm = VmOptions(true, 1);
+  vm.limits.deadline_seconds = 0.005;
+  RunOutcome vo = RunSource(source.c_str(), vm);
+  if (vo.status.ok()) GTEST_SKIP() << "machine finished under the deadline";
+  EXPECT_EQ(vo.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(vo.stats.trip, TripReason::kDeadline);
+  EvalOptions ref = ModeOptions(true, 1);
+  ref.limits.max_steps_per_stage = vo.stats.steps;
+  RunOutcome reference = RunSource(source.c_str(), ref);
+  EXPECT_EQ(vo.facts, reference.facts);
+}
+
+TEST(GovernorTest, VmPreemptionRollsBackToAStepBoundary) {
+  // Scheduler-style preemption from the pressure hook while the VM is
+  // enumerating: the run ends kPreempted/kOverloaded, and the partial is
+  // the last completed step, reproduced by a budget-matched tree-walk run.
+  std::string source = ChainTc(24);
+  ResourceLimits limits;
+  limits.poll_stride = 1;
+  Governor governor(limits);
+  int calls = 0;
+  governor.set_pressure_hook([&] {
+    if (++calls == 400) governor.Preempt();
+  });
+  EvalOptions options;
+  options.engine = EvalOptions::Engine::kVm;
+  options.governor = &governor;
+  RunOutcome out = RunSource(source.c_str(), options);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(out.stats.trip, TripReason::kPreempted);
+  EXPECT_GT(out.stats.steps, 0u);
+
+  EvalOptions ref = ModeOptions(true, 1);
+  ref.limits.max_steps_per_stage = out.stats.steps;
+  RunOutcome reference = RunSource(source.c_str(), ref);
+  EXPECT_EQ(out.facts, reference.facts);
+}
+
 // ---- datalog engine -------------------------------------------------------
 
 datalog::Program TcProgram(datalog::Database* db, int chain) {
@@ -433,7 +568,8 @@ TEST(GovernorTest, DatalogStepTripRollsBackAcrossModesAndThreads) {
   // Reference: a clean full run, then per-(mode, threads) tripped runs
   // whose database must equal a budget-matched clean truncation.
   for (auto mode : {datalog::EvalMode::kNaive, datalog::EvalMode::kSemiNaive,
-                    datalog::EvalMode::kSemiNaiveIndexed}) {
+                    datalog::EvalMode::kSemiNaiveIndexed,
+                    datalog::EvalMode::kVm}) {
     for (uint32_t threads : {1u, 2u, 8u}) {
       datalog::Database tripped_db;
       datalog::Program program = TcProgram(&tripped_db, 64);

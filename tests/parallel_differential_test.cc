@@ -93,10 +93,22 @@ void ExpectBitIdenticalAcrossThreadCounts(const std::string& source) {
     options.parallel_min_candidates = 1;
     options.num_threads = 1;
     std::string serial = RunToFacts(source, options);
-    for (uint32_t threads : {2u, 8u}) {
-      options.num_threads = threads;
-      EXPECT_EQ(RunToFacts(source, options), serial)
-          << "mode " << mode.name << ", num_threads " << threads;
+    // Every (engine, thread count) cell must reproduce the serial
+    // tree-walker byte-for-byte -- the VM included, at one thread and
+    // under the fan-out.
+    for (EvalOptions::Engine engine :
+         {EvalOptions::Engine::kTreeWalk, EvalOptions::Engine::kVm}) {
+      options.engine = engine;
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        if (engine == EvalOptions::Engine::kTreeWalk && threads == 1) {
+          continue;  // the baseline itself
+        }
+        options.num_threads = threads;
+        EXPECT_EQ(RunToFacts(source, options), serial)
+            << "mode " << mode.name << ", engine "
+            << (engine == EvalOptions::Engine::kVm ? "vm" : "tree-walk")
+            << ", num_threads " << threads;
+      }
     }
   }
 }
@@ -194,11 +206,22 @@ TEST(ParallelDifferentialTest, ChooseSeesCanonicalOrder) {
     options.parallel_min_candidates = 1;
     options.num_threads = 1;
     std::string serial = RunToFacts(source, options);
-    for (uint32_t threads : {2u, 8u}) {
-      options.num_threads = threads;
-      EXPECT_EQ(RunToFacts(source, options), serial)
-          << "policy " << static_cast<int>(policy) << ", num_threads "
-          << threads;
+    // Under engine=kVm the choose rule itself falls back to the
+    // tree-walker (its pick is enumeration-order sensitive) while the
+    // first stage runs compiled; the composition must stay byte-stable.
+    for (EvalOptions::Engine engine :
+         {EvalOptions::Engine::kTreeWalk, EvalOptions::Engine::kVm}) {
+      options.engine = engine;
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        if (engine == EvalOptions::Engine::kTreeWalk && threads == 1) {
+          continue;
+        }
+        options.num_threads = threads;
+        EXPECT_EQ(RunToFacts(source, options), serial)
+            << "policy " << static_cast<int>(policy) << ", engine "
+            << (engine == EvalOptions::Engine::kVm ? "vm" : "tree-walk")
+            << ", num_threads " << threads;
+      }
     }
   }
 }

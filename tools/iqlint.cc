@@ -9,6 +9,10 @@
 // Flags:
 //   --format=text|json   output format (default text)
 //   --no-hints           suppress O-level optimizer hints
+//   --il                 instead of linting, parse + type check and print
+//                        the flat rule IL each VM-eligible rule compiles
+//                        to (tree-walk fallbacks marked); used to
+//                        maintain the golden IL corpus
 //
 // Exit status: 2 if any file has an error, 1 if any has a warning,
 // 0 otherwise (hints never fail a run).
@@ -21,12 +25,16 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
+#include "iql/il.h"
+#include "iql/parser.h"
+#include "iql/typecheck.h"
 #include "model/universe.h"
 
 int main(int argc, char** argv) {
   using namespace iqlkit;
   bool json = false;
   bool hints = true;
+  bool il = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -36,6 +44,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--no-hints") {
       hints = false;
+    } else if (arg == "--il") {
+      il = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "iqlint: unknown flag " << arg << "\n";
       return 2;
@@ -58,6 +68,22 @@ int main(int argc, char** argv) {
     std::stringstream buffer;
     buffer << in.rdbuf();
     std::string source = buffer.str();
+
+    if (il) {
+      Universe u;
+      auto unit = ParseUnit(&u, source);
+      if (!unit.ok()) {
+        std::cerr << "iqlint: " << unit.status() << "\n";
+        return 2;
+      }
+      Status checked = TypeCheck(&u, unit->schema, &unit->program);
+      if (!checked.ok()) {
+        std::cerr << "iqlint: " << checked << "\n";
+        return 2;
+      }
+      std::cout << il::DumpProgramIl(unit->program, u.symbols(), u.types());
+      continue;
+    }
 
     Universe u;
     AnalyzerOptions options;

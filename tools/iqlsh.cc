@@ -23,6 +23,11 @@
 //                        as JSON (EvalMetrics::ToJson)
 //   --explain, :explain  print the static greedy join schedule per rule
 //                        (no evaluation unless --metrics is also set)
+//   --il, :il            print the flat rule IL each VM-eligible rule
+//                        compiles to (tree-walk fallbacks marked) and exit
+//   --vm                  enumerate rule bodies with the register VM
+//                        (EvalOptions::engine = kVm); output is
+//                        byte-identical to the default tree-walker
 //   --lint, :lint        run the iqlint static analyzer and exit (exit
 //                        code 2 on errors, 1 on warnings, 0 otherwise)
 //   --no-seminaive       force the paper's naive operator on every stage
@@ -57,6 +62,7 @@
 #include "analysis/diagnostic.h"
 #include "base/fault_injection.h"
 #include "iql/eval.h"
+#include "iql/il.h"
 #include "iql/parser.h"
 #include "iql/restrict.h"
 #include "iql/typecheck.h"
@@ -106,6 +112,8 @@ int main(int argc, char** argv) {
   bool ground_facts = false;
   bool metrics_flag = false;
   bool explain_flag = false;
+  bool il_flag = false;
+  bool vm_flag = false;
   bool no_seminaive = false;
   bool no_index = false;
   bool no_schedule = false;
@@ -145,6 +153,10 @@ int main(int argc, char** argv) {
       metrics_flag = true;
     } else if (arg == "--explain") {
       explain_flag = true;
+    } else if (arg == "--il") {
+      il_flag = true;
+    } else if (arg == "--vm") {
+      vm_flag = true;
     } else if (arg == "--no-seminaive") {
       no_seminaive = true;
     } else if (arg == "--no-index") {
@@ -204,6 +216,12 @@ int main(int argc, char** argv) {
   Status checked = TypeCheck(&u, unit->schema, &unit->program, &diags);
   if (!checked.ok()) {
     return FailWithDiagnostics(diags, checked, source, path);
+  }
+
+  if (il_flag) {
+    std::cout << "=== rule IL ===\n"
+              << il::DumpProgramIl(unit->program, u.symbols(), u.types());
+    return 0;
   }
 
   if (restrictions) {
@@ -266,6 +284,7 @@ int main(int argc, char** argv) {
   options.enable_seminaive = !no_seminaive;
   options.enable_indexing = !no_index;
   options.enable_scheduling = !no_schedule;
+  if (vm_flag) options.engine = EvalOptions::Engine::kVm;
   // Without --threads the library default applies (0 = hardware
   // concurrency); results are identical either way.
   if (threads_set) options.num_threads = num_threads;
