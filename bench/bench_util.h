@@ -32,15 +32,22 @@ inline void ExportMetrics(benchmark::State& state,
   state.counters["index_hits"] = static_cast<double>(metrics.index_hits);
   uint64_t derivations = 0;
   uint64_t scans = 0;
+  uint64_t vm_instructions = 0;
   for (const RuleMetrics& r : metrics.rules) {
     derivations += r.derivations;
     scans += r.index_scans;
+    vm_instructions += r.vm_instructions;
   }
   state.counters["rule_derivations"] = static_cast<double>(derivations);
   // kIsRate divides by elapsed time, recording derivations per second.
   state.counters["derivations_per_sec"] = benchmark::Counter(
       static_cast<double>(derivations), benchmark::Counter::kIsRate);
   state.counters["extent_scans"] = static_cast<double>(scans);
+  // Zero under the tree-walker; under kVm, the dispatch count whose
+  // reduction is the IL optimizer's whole point (run_all.sh divides by
+  // rule_derivations for instructions retired per emitted fact).
+  state.counters["vm_instructions"] =
+      static_cast<double>(vm_instructions);
   // "threads" would collide with google-benchmark's own field of that
   // name in the JSON output.
   state.counters["eval_threads"] = static_cast<double>(metrics.threads);

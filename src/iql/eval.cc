@@ -19,6 +19,7 @@
 #include "base/thread_pool.h"
 #include "iql/extent.h"
 #include "iql/il.h"
+#include "iql/ilopt.h"
 #include "iql/index.h"
 #include "iql/parser.h"
 #include "iql/typecheck.h"
@@ -885,6 +886,9 @@ class StageRunner {
       compiled_.resize(rules_.size());
       for (size_t i = 0; i < rules_.size(); ++i) {
         compiled_[i] = il::CompileRule(prog_, rules_[i]);
+        if (options_.il_opt && compiled_[i].has_value()) {
+          compiled_[i] = il::OptimizeForExecution(*compiled_[i]);
+        }
       }
     }
   }
@@ -950,9 +954,12 @@ class StageRunner {
     auto key = std::make_pair(r, delta_literal);
     auto it = delta_compiled_.find(key);
     if (it == delta_compiled_.end()) {
-      it = delta_compiled_
-               .emplace(key, il::CompileRule(prog_, rules_[r], delta_literal))
-               .first;
+      std::optional<il::CompiledRule> cr =
+          il::CompileRule(prog_, rules_[r], delta_literal);
+      if (options_.il_opt && cr.has_value()) {
+        cr = il::OptimizeForExecution(*cr);
+      }
+      it = delta_compiled_.emplace(key, std::move(cr)).first;
     }
     return it->second.has_value() ? &*it->second : nullptr;
   }
@@ -1363,6 +1370,7 @@ class StageRunner {
         rm->derivations += st.shard.derivations;
         rm->index_probes += st.shard.index_probes;
         rm->index_scans += st.shard.index_scans;
+        rm->vm_instructions += st.shard.vm_instructions;
       }
       if (st.index.has_value()) FoldIndexCounters(*st.index);
     }
@@ -1868,6 +1876,7 @@ std::string EvalMetrics::ToJson() const {
        << ",\"index_probes\":" << r.index_probes
        << ",\"index_scans\":" << r.index_scans
        << ",\"parallel_partitions\":" << r.parallel_partitions
+       << ",\"vm_instructions\":" << r.vm_instructions
        << ",\"seconds\":" << r.seconds << "}";
   }
   os << "],\"rounds\":[";

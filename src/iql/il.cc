@@ -1,9 +1,12 @@
 #include "iql/il.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 #include <sstream>
+
+#include "iql/ilcheck.h"
 
 namespace iqlkit::il {
 namespace {
@@ -32,7 +35,10 @@ class Compiler {
     return static_cast<uint16_t>(next_reg_++);
   }
 
-  void Emit(const Instr& in) { out_.code.push_back(in); }
+  void Emit(Instr in) {
+    in.src = cur_src_;
+    out_.code.push_back(in);
+  }
 
   void PackAux(Instr* in, const std::vector<uint32_t>& operands) {
     in->aux = static_cast<uint32_t>(out_.aux.size());
@@ -233,6 +239,7 @@ class Compiler {
   // mirroring the solver's Check (rhs evaluated first; the delta literal
   // becomes a sorted-vector membership test).
   void CompileCheck(size_t i) {
+    cur_src_ = static_cast<uint32_t>(i);
     const Literal& lit = rule_.body[i];
     uint16_t rv = CompileEval(lit.rhs);
     if (bailed_) return;
@@ -323,6 +330,7 @@ class Compiler {
   }
 
   void CompileGenerator(size_t i) {
+    cur_src_ = static_cast<uint32_t>(i);
     const Literal& lit = rule_.body[i];
     if (lit.kind == Literal::Kind::kEquality) {
       auto dir = EqualityDirection(lit);
@@ -387,6 +395,7 @@ class Compiler {
   std::map<std::vector<Symbol>, uint32_t> shape_ids_;
   std::map<Symbol, uint16_t> var_reg_;  // bound variables -> register
   uint32_t next_reg_ = 0;
+  uint32_t cur_src_ = kNoSrc;  // literal being lowered, for Instr::src
   bool bailed_ = false;
 };
 
@@ -461,6 +470,7 @@ std::optional<CompiledRule> Compiler::Run() {
     scan.op = Op::kScanExtent;
     scan.dst = NewReg();
     scan.imm = ty->second;
+    cur_src_ = kNoSrc;  // synthesized, not lowered from a literal
     Emit(scan);
     var_reg_.emplace(unbound, scan.dst);
   }
@@ -471,6 +481,7 @@ std::optional<CompiledRule> Compiler::Run() {
   }
   Instr emit;
   emit.op = Op::kEmit;
+  cur_src_ = kNoSrc;
   Emit(emit);
   out_.theta.assign(var_reg_.begin(), var_reg_.end());  // map: sorted
   out_.num_regs = static_cast<uint16_t>(next_reg_);
@@ -487,7 +498,7 @@ std::string RenderInstr(const CompiledRule& cr, size_t pc,
   auto probe = [&]() {
     if (in.naux == 0) return std::string();
     std::ostringstream p;
-    p << " probe [";
+    p << (in.strict ? " probe![" : " probe [");
     for (uint32_t k = 0; k + 1 < in.naux; k += 2) {
       if (k > 0) p << ", ";
       p << name(static_cast<Symbol>(cr.aux[in.aux + k])) << ": "
@@ -613,12 +624,27 @@ std::optional<CompiledRule> CompileRule(const Program& prog, const Rule& rule,
                                         size_t delta_literal) {
   if (!rule.invented_vars.empty() || rule.has_choose) return std::nullopt;
   Compiler c(prog, rule, delta_literal);
-  return c.Run();
+  std::optional<CompiledRule> out = c.Run();
+#ifndef NDEBUG
+  // Every lowering the compiler accepts must pass the static verifier;
+  // this is the "run after every CompileRule in debug" hook.
+  if (out.has_value()) {
+    std::vector<IlViolation> violations = VerifyRule(*out);
+    assert(violations.empty() &&
+           "CompileRule produced IL rejected by VerifyRule");
+  }
+#endif
+  return out;
 }
 
 std::string Disassemble(const CompiledRule& cr, const SymbolTable& syms,
-                        const TypePool& types) {
-  return Render(cr, syms, types, "  ");
+                        const TypePool& types, const std::string& indent) {
+  return Render(cr, syms, types, indent);
+}
+
+std::string RenderInstruction(const CompiledRule& cr, size_t pc,
+                              const SymbolTable& syms, const TypePool& types) {
+  return RenderInstr(cr, pc, syms, types);
 }
 
 std::string DumpProgramIl(const Program& prog, const SymbolTable& syms,

@@ -76,9 +76,20 @@ enum class Op : uint8_t {
   kEmit,        // fire the callback with theta, then backtrack
 };
 
+// Sentinel for Instr::src: the instruction was synthesized by the planner
+// (extent ranges, the final kEmit) rather than lowered from a body literal.
+inline constexpr uint32_t kNoSrc = 0xFFFFFFFFu;
+
 struct Instr {
   Op op = Op::kEmit;
   bool pol = true;      // polarity for kCheck*
+  // Strict probe spec (set only by the IL optimizer, iql/ilopt.h): the VM
+  // itself skips scan candidates whose keyed fields differ from the key
+  // registers, instead of trusting the index's hash buckets. That makes
+  // the spec an exact filter -- index buckets only prefilter (collisions
+  // and index-off scans still deliver non-matching candidates) -- which is
+  // what licenses deleting the probe-implied post-scan field compares.
+  bool strict = false;
   uint16_t dst = 0;     // result / scan register
   uint16_t a = 0;       // first operand register
   uint16_t b = 0;       // second operand register
@@ -86,6 +97,10 @@ struct Instr {
   uint32_t imm = 0;     // TypeId, shape index, or field position
   uint32_t aux = 0;     // offset into CompiledRule::aux
   uint32_t naux = 0;    // operand count at aux
+  // Provenance: index of the body literal this instruction lowers (into
+  // Rule::body), or kNoSrc. The IL lint maps diagnostics back to the
+  // literal's SourceSpan through this.
+  uint32_t src = kNoSrc;
 };
 
 // A lowered rule body. `theta` lists every body variable with the register
@@ -114,9 +129,16 @@ std::optional<CompiledRule> CompileRule(const Program& prog, const Rule& rule,
                                         size_t delta_literal = kNoDelta);
 
 // Deterministic textual rendering of one compiled rule, used by the
-// `:il` dump and the golden IL corpus.
+// `:il` dump and the golden IL corpus. Strict probe specs render as
+// `probe![...]`.
 std::string Disassemble(const CompiledRule& cr, const SymbolTable& syms,
-                        const TypePool& types);
+                        const TypePool& types,
+                        const std::string& indent = "  ");
+
+// One instruction of `cr`, without the leading "%pc:" tag -- the form the
+// IL lint embeds in L-series diagnostic messages.
+std::string RenderInstruction(const CompiledRule& cr, size_t pc,
+                              const SymbolTable& syms, const TypePool& types);
 
 // Renders the IL of every rule in a typechecked program, stage by stage,
 // marking tree-walk fallbacks. Stable across runs for a given source.

@@ -23,10 +23,50 @@ Status VmSolver::Solve(const Callback& cb) {
   frames_.clear();
   at_first_branch_ = true;
 
+  // Dispatched-instruction count, accumulated locally and flushed once on
+  // every exit path (including the early returns the error macros expand
+  // to) by the guard's destructor.
+  uint64_t dispatched = 0;
+  struct Flusher {
+    const uint64_t& count;
+    RuleMetrics* metrics;
+    ~Flusher() {
+      if (metrics != nullptr) metrics->vm_instructions += count;
+    }
+  } flusher{dispatched, ctx_.rule_metrics};
+
+  // A strict scan (Instr::strict, set by the IL optimizer's filter
+  // sinking) admits only candidates whose keyed fields equal the key
+  // registers exactly -- index buckets prefilter by hash, so this is the
+  // re-match the optimizer deleted from the instruction stream. Raw-id
+  // comparison is structural because the arena hash-conses (side stores
+  // intern structurally-shared values to the shared id).
+  auto strict_ok = [&](const il::Instr& sin, ValueId cand) {
+    const ValueNode& n = values.node(cand);
+    if (n.kind != ValueKind::kTuple) return false;
+    for (uint32_t k = 0; k + 1 < sin.naux; k += 2) {
+      Symbol attr = static_cast<Symbol>(cr_.aux[sin.aux + k]);
+      ValueId key = regs_[cr_.aux[sin.aux + k + 1]];
+      bool match = false;
+      for (const auto& [a, v] : n.fields) {
+        if (a == attr) {
+          match = v == key;
+          break;
+        }
+      }
+      if (!match) return false;
+    }
+    return true;
+  };
+  auto frame_elem = [](const Frame& f, size_t i) {
+    return (f.elems != nullptr) ? (*f.elems)[i] : f.owned[i];
+  };
+
   size_t pc = 0;
   for (;;) {
     const il::Instr& in = code[pc];
     bool fail = false;
+    ++dispatched;
     switch (in.op) {
       case il::Op::kLoadConst:
         regs_[in.dst] = values.ConstSymbol(in.sym);
@@ -235,13 +275,24 @@ Status VmSolver::Solve(const Callback& cb) {
             hi = std::min(slice_end_, hi);
           }
         }
-        if (lo >= hi) {
+        f.idx = lo;
+        f.end = hi;
+        // Strict skip is lazy and runs AFTER the probe/slice bookkeeping:
+        // the parallel protocol reports and partitions the unfiltered
+        // candidate list, so optimized probe and slice runs agree.
+        if (in.strict) {
+          while (f.idx < f.end && !strict_ok(in, frame_elem(f, f.idx))) {
+            ++f.idx;
+          }
+        }
+        if (f.idx >= f.end) {
           fail = true;
           break;
         }
-        f.idx = lo;
-        f.end = hi;
         frames_.push_back(std::move(f));
+        // Poll once per *admitted* candidate, as the tree-walker does per
+        // generator visit; strictly-skipped candidates are not poll
+        // points, which only coarsens cancellation granularity.
         if (ctx_.governor != nullptr) {
           IQL_RETURN_IF_ERROR(ctx_.governor->Poll());
         }
@@ -271,6 +322,11 @@ Status VmSolver::Solve(const Callback& cb) {
       if (frames_.empty()) return Status::Ok();
       Frame& f = frames_.back();
       ++f.idx;
+      if (code[f.pc].strict) {
+        while (f.idx < f.end && !strict_ok(code[f.pc], frame_elem(f, f.idx))) {
+          ++f.idx;
+        }
+      }
       if (f.idx >= f.end) {
         frames_.pop_back();
         continue;

@@ -8,11 +8,17 @@
 //
 // Flags:
 //   --format=text|json   output format (default text)
-//   --no-hints           suppress O-level optimizer hints
-//   --il                 instead of linting, parse + type check and print
-//                        the flat rule IL each VM-eligible rule compiles
-//                        to (tree-walk fallbacks marked); used to
-//                        maintain the golden IL corpus
+//   --no-hints           suppress O-level / L-level optimizer hints
+//   --il                 also compile every VM-eligible rule to the flat
+//                        IL and report the L-series IL diagnostics (dead
+//                        instructions, unbindable probes, statically empty
+//                        bodies, verifier violations) through the same
+//                        sink, so both formats cover them
+//   --il-dump            instead of linting, print the IL each VM-eligible
+//                        rule compiles to (tree-walk fallbacks marked);
+//                        used to maintain the golden IL corpus
+//   --il-dump-opt        like --il-dump, after the verified optimizer
+//                        passes (what `iqlsh --engine=vm --il-opt` runs)
 //
 // Exit status: 2 if any file has an error, 1 if any has a warning,
 // 0 otherwise (hints never fail a run).
@@ -26,6 +32,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
 #include "iql/il.h"
+#include "iql/ilopt.h"
 #include "iql/parser.h"
 #include "iql/typecheck.h"
 #include "model/universe.h"
@@ -35,6 +42,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool hints = true;
   bool il = false;
+  bool il_dump = false;
+  bool il_dump_opt = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -46,6 +55,11 @@ int main(int argc, char** argv) {
       hints = false;
     } else if (arg == "--il") {
       il = true;
+    } else if (arg == "--il-dump") {
+      il_dump = true;
+    } else if (arg == "--il-dump-opt") {
+      il_dump = true;
+      il_dump_opt = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "iqlint: unknown flag " << arg << "\n";
       return 2;
@@ -54,8 +68,8 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: iqlint [--format=text|json] [--no-hints] "
-                 "<file.iql>...\n";
+    std::cerr << "usage: iqlint [--format=text|json] [--no-hints] [--il] "
+                 "[--il-dump|--il-dump-opt] <file.iql>...\n";
     return 2;
   }
   int exit_code = 0;
@@ -69,7 +83,7 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     std::string source = buffer.str();
 
-    if (il) {
+    if (il_dump) {
       Universe u;
       auto unit = ParseUnit(&u, source);
       if (!unit.ok()) {
@@ -81,7 +95,10 @@ int main(int argc, char** argv) {
         std::cerr << "iqlint: " << checked << "\n";
         return 2;
       }
-      std::cout << il::DumpProgramIl(unit->program, u.symbols(), u.types());
+      il::IlDumpOptions opts;
+      opts.optimize = il_dump_opt;
+      std::cout << il::DumpProgramIl(unit->program, u.symbols(), u.types(),
+                                     opts);
       continue;
     }
 
@@ -90,6 +107,23 @@ int main(int argc, char** argv) {
     options.hints = hints;
     DiagnosticSink sink;
     LintSource(&u, source, options, &sink);
+
+    if (il) {
+      // The analyzer consumed its own universe state; re-front-end into a
+      // fresh one for the IL pipeline. A file that no longer parses or
+      // type checks already has the errors in the sink -- skip quietly.
+      Universe u2;
+      auto unit = ParseUnit(&u2, source);
+      if (unit.ok() &&
+          TypeCheck(&u2, unit->schema, &unit->program).ok()) {
+        DiagnosticSink il_sink;
+        il::LintProgramIl(unit->program, u2.symbols(), u2.types(), &il_sink);
+        for (const Diagnostic& d : il_sink.diagnostics()) {
+          if (!hints && d.severity == Severity::kHint) continue;
+          sink.Report(d);
+        }
+      }
+    }
 
     if (json) {
       std::cout << RenderJson(sink.diagnostics(), path) << "\n";
