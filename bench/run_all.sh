@@ -152,6 +152,43 @@ jq '
     else . end
 ' "$OUT.tmp" > "$OUT.tmp2"
 mv "$OUT.tmp2" "$OUT.tmp"
+# Fused execution tier: matched _VmFused bench_vm series (threaded
+# dispatch + EvalOptions::il_fuse on top of il_opt) against the best
+# non-fused baseline -- _VmOpt where that series exists, plain _Vm
+# otherwise (powerset, Datalog). Also records fused superinstructions
+# dispatched and constituent instructions per emitted fact, so the
+# dispatch reduction is visible even when wall time is noise-bound.
+# Recorded under .vm_fused.
+jq '
+  (.runs.bench_vm.benchmarks // []) as $b
+  | [ $b[] | select(.name | contains("_VmFused/"))
+      | {key: (.name | sub("_VmFused/"; "/")), t: .real_time,
+         fused: (.vm_fused_dispatches // 0),
+         ipe: (if (.rule_derivations // 0) > 0
+               then (.vm_instructions / .rule_derivations) else null end)} ]
+      as $fused
+  | [ $b[] | select(.name | contains("_VmOpt/"))
+      | {key: (.name | sub("_VmOpt/"; "/")), t: .real_time} ] as $opt
+  | [ $b[] | select((.name | contains("_Vm/")) and
+                    (.name | contains("_VmOpt/") | not))
+      | {key: (.name | sub("_Vm/"; "/")), t: .real_time} ] as $plain
+  | [ $fused[] as $f
+      | [ $opt[] | select(.key == $f.key) ] as $o
+      | (($o + [$plain[] | select(.key == $f.key)]) | first) as $base
+      | select($base != null)
+      | {workload: $f.key,
+         baseline: (if ($o | length) > 0 then "vm_opt" else "vm" end),
+         speedup: ($base.t / $f.t),
+         fused_dispatches: $f.fused,
+         instructions_per_emit: $f.ipe} ] as $pairs
+  | if ($pairs | length) > 0 then
+      .vm_fused = {mean_speedup:
+                     (([$pairs[].speedup] | add) / ($pairs | length)),
+                   points: ($pairs | length),
+                   pairs: $pairs}
+    else . end
+' "$OUT.tmp" > "$OUT.tmp2"
+mv "$OUT.tmp2" "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"
 if jq -e '.governor' "$OUT" > /dev/null; then
@@ -170,4 +207,9 @@ if jq -e '.vm_opt' "$OUT" > /dev/null; then
   echo "il_opt mean speedup over plain vm:" \
        "$(jq '.vm_opt.mean_speedup' "$OUT")" \
        "($(jq '.vm_opt.points' "$OUT") matched points)"
+fi
+if jq -e '.vm_fused' "$OUT" > /dev/null; then
+  echo "fused tier mean speedup over non-fused baseline:" \
+       "$(jq '.vm_fused.mean_speedup' "$OUT")" \
+       "($(jq '.vm_fused.points' "$OUT") matched points)"
 fi

@@ -889,6 +889,9 @@ class StageRunner {
         if (options_.il_opt && compiled_[i].has_value()) {
           compiled_[i] = il::OptimizeForExecution(*compiled_[i]);
         }
+        if (options_.il_fuse && compiled_[i].has_value()) {
+          compiled_[i] = il::FuseForExecution(*compiled_[i]);
+        }
       }
     }
   }
@@ -917,6 +920,7 @@ class StageRunner {
       std::optional<Instance> before;
       if (has_deletions_) before = *work;
       IQL_ASSIGN_OR_RETURN(bool changed, Apply(derivations, work));
+      ++prepared_epoch_;  // the commit invalidates prepared rule state
       ++stats_->steps;
       if (metrics_ != nullptr) {
         metrics_->rounds.push_back(RoundMetrics{
@@ -959,17 +963,22 @@ class StageRunner {
       if (options_.il_opt && cr.has_value()) {
         cr = il::OptimizeForExecution(*cr);
       }
+      if (options_.il_fuse && cr.has_value()) {
+        cr = il::FuseForExecution(*cr);
+      }
       it = delta_compiled_.emplace(key, std::move(cr)).first;
     }
     return it->second.has_value() ? &*it->second : nullptr;
   }
 
   // Constructs the engine-selected solver for rule `r` into `out`. `cr`
-  // must be this rule's Compiled() result for the same delta literal.
+  // must be this rule's Compiled() result for the same delta literal, and
+  // `prepared` its Prepared() state (or null to materialize per call).
   void MakeSolver(AnySolver* out, const il::CompiledRule* cr, size_t r,
                   const Instance& inst, const SolverContext& ctx,
                   size_t delta_literal,
-                  const std::vector<ValueId>* delta_facts) const {
+                  const std::vector<ValueId>* delta_facts,
+                  const vm::PreparedRule* prepared) const {
     if (cr != nullptr) {
       vm::VmContext vctx;
       vctx.extents = ctx.extents;
@@ -977,11 +986,35 @@ class StageRunner {
       vctx.rule_metrics = ctx.rule_metrics;
       vctx.values = ctx.values;
       vctx.governor = ctx.governor;
+      vctx.prepared = prepared;
+      vctx.threaded = options_.dispatch == EvalOptions::Dispatch::kThreaded;
       out->regvm.emplace(*cr, inst, vctx, delta_facts);
     } else {
       out->tree.emplace(prog_, rules_[r], inst, ctx, delta_literal,
                         delta_facts);
     }
+  }
+
+  // Prepared state for `cr` against the current committed instance: the
+  // kLoadRel / kLoadClass materializations and index-off candidate lists
+  // a Solve call would otherwise repay on every invocation within a
+  // fixpoint round. Coordinator-only, and always called before any worker
+  // fork for the same solve (workers snapshot the shared store *after*
+  // preparation, so the interned ids are visible read-only). Entries are
+  // keyed by the node-stable CompiledRule address and invalidated by
+  // epoch: every commit bumps prepared_epoch_, exactly the boundaries at
+  // which the instance (and the semi-naive delta machinery) advances.
+  const vm::PreparedRule* Prepared(const il::CompiledRule* cr,
+                                   const Instance& inst) {
+    if (cr == nullptr) return nullptr;
+    auto& slot = prepared_[cr];
+    if (slot.second.at.empty() || slot.first != prepared_epoch_) {
+      ValueArena arena = ValueArena::Passthrough(&u_->values());
+      slot.second =
+          vm::PrepareRule(*cr, inst, arena, options_.enable_indexing);
+      slot.first = prepared_epoch_;
+    }
+    return &slot.second;
   }
 
   // Variables bound by pattern matching inside `id`: var and tuple-field
@@ -1081,14 +1114,16 @@ class StageRunner {
       ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
       const il::CompiledRule* cr = Compiled(rule_idx, delta_literal);
+      const vm::PreparedRule* prepared = Prepared(cr, *work);
       if (pool_ != nullptr && rule_parallel_[rule_idx]) {
         // Parallel semi-naive: partition this solve's first candidate
         // list (the delta itself whenever the planner ranges the delta
         // literal first) across the pool; heads are evaluated by the
         // coordinator from the rehomed thetas, in canonical order.
-        IQL_ASSIGN_OR_RETURN(size_t width,
-                             ProbeBranchWidth(rule_idx, cr, *work, ctx,
-                                              delta_literal, delta_facts));
+        IQL_ASSIGN_OR_RETURN(
+            size_t width, ProbeBranchWidth(rule_idx, cr, *work, ctx,
+                                           delta_literal, delta_facts,
+                                           prepared));
         if (width >= options_.parallel_min_candidates) {
           auto start = std::chrono::steady_clock::now();
           if (rm != nullptr) ++rm->invocations;
@@ -1096,7 +1131,7 @@ class StageRunner {
               std::vector<Bindings> thetas,
               ParallelEnumerate(*work, rule_idx, cr, width, rm,
                                 /*filter_head=*/false, delta_literal,
-                                delta_facts));
+                                delta_facts, prepared));
           for (const Bindings& theta : thetas) {
             auto v = EvalTerm(prog_, rule.head.rhs, theta, *work, arena);
             if (v.has_value()) pending->push_back({head_rel, *v, rm});
@@ -1107,7 +1142,7 @@ class StageRunner {
       }
       AnySolver solver;
       MakeSolver(&solver, cr, rule_idx, *work, ctx, delta_literal,
-                 delta_facts);
+                 delta_facts, prepared);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1134,6 +1169,9 @@ class StageRunner {
         if (index.has_value()) index->AddRelationFact(rel, v);
         (*delta)[rel].push_back(v);
       }
+      // The commit moved the instance: prepared set values and candidate
+      // lists are stale from here on.
+      ++prepared_epoch_;
       return Status::Ok();
     };
     auto record_round =
@@ -1240,11 +1278,13 @@ class StageRunner {
   Result<size_t> ProbeBranchWidth(size_t r, const il::CompiledRule* cr,
                                   const Instance& inst, SolverContext ctx,
                                   size_t delta_literal,
-                                  const std::vector<ValueId>* delta_facts) {
+                                  const std::vector<ValueId>* delta_facts,
+                                  const vm::PreparedRule* prepared) {
     size_t width = 0;
     ctx.rule_metrics = nullptr;  // probe work is not attributed to the rule
     AnySolver probe;
-    MakeSolver(&probe, cr, r, inst, ctx, delta_literal, delta_facts);
+    MakeSolver(&probe, cr, r, inst, ctx, delta_literal, delta_facts,
+               prepared);
     probe.SetProbe(&width);
     IQL_RETURN_IF_ERROR(
         probe.Solve([](const Bindings&) { return Status::Ok(); }));
@@ -1265,7 +1305,8 @@ class StageRunner {
   Result<std::vector<Bindings>> ParallelEnumerate(
       const Instance& inst, size_t r, const il::CompiledRule* cr,
       size_t width, RuleMetrics* rm, bool filter_head, size_t delta_literal,
-      const std::vector<ValueId>* delta_facts) {
+      const std::vector<ValueId>* delta_facts,
+      const vm::PreparedRule* prepared) {
     const Rule& rule = rules_[r];
     // More chunks than workers smooths skew from uneven subtree sizes;
     // chunk *order*, not assignment, determines the merged output.
@@ -1320,7 +1361,8 @@ class StageRunner {
           return;
         }
         AnySolver solver;
-        MakeSolver(&solver, cr, r, inst, ctx, delta_literal, delta_facts);
+        MakeSolver(&solver, cr, r, inst, ctx, delta_literal, delta_facts,
+                   prepared);
         solver.SetSlice(c * width / chunk_count,
                         (c + 1) * width / chunk_count);
         chunk.status = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1371,6 +1413,7 @@ class StageRunner {
         rm->index_probes += st.shard.index_probes;
         rm->index_scans += st.shard.index_scans;
         rm->vm_instructions += st.shard.vm_instructions;
+        rm->vm_fused_dispatches += st.shard.vm_fused_dispatches;
       }
       if (st.index.has_value()) FoldIndexCounters(*st.index);
     }
@@ -1408,11 +1451,12 @@ class StageRunner {
       ctx.governor = governor_;
       ctx.schedule = options_.enable_scheduling;
       const il::CompiledRule* cr = Compiled(r, il::kNoDelta);
+      const vm::PreparedRule* prepared = Prepared(cr, inst);
       if (pool_ != nullptr && rule_parallel_[r]) {
         IQL_ASSIGN_OR_RETURN(
             size_t width,
             ProbeBranchWidth(r, cr, inst, ctx, static_cast<size_t>(-1),
-                             nullptr));
+                             nullptr, prepared));
         if (width >= options_.parallel_min_candidates) {
           auto start = std::chrono::steady_clock::now();
           if (rm != nullptr) ++rm->invocations;
@@ -1420,7 +1464,7 @@ class StageRunner {
               std::vector<Bindings> thetas,
               ParallelEnumerate(inst, r, cr, width, rm,
                                 /*filter_head=*/true,
-                                static_cast<size_t>(-1), nullptr));
+                                static_cast<size_t>(-1), nullptr, prepared));
           for (Bindings& theta : thetas) {
             if (!dedupe || seen.insert(theta).second) {
               out.push_back({&rule, std::move(theta)});
@@ -1434,7 +1478,7 @@ class StageRunner {
                               !options_.disable_head_fast_path);
       AnySolver solver;
       MakeSolver(&solver, cr, r, inst, ctx, static_cast<size_t>(-1),
-                 nullptr);
+                 nullptr, prepared);
       auto start = std::chrono::steady_clock::now();
       if (rm != nullptr) ++rm->invocations;
       Status s = solver.Solve([&](const Bindings& theta) -> Status {
@@ -1719,6 +1763,11 @@ class StageRunner {
   std::vector<std::optional<il::CompiledRule>> compiled_;
   std::map<std::pair<size_t, size_t>, std::optional<il::CompiledRule>>
       delta_compiled_;
+  // Prepared-scan cache (see Prepared()): per compiled rule, the epoch it
+  // was prepared at and the prepared state. Commits bump the epoch.
+  std::map<const il::CompiledRule*, std::pair<uint64_t, vm::PreparedRule>>
+      prepared_;
+  uint64_t prepared_epoch_ = 0;
 
  public:
   int stage_index_ = 0;
@@ -1877,6 +1926,7 @@ std::string EvalMetrics::ToJson() const {
        << ",\"index_scans\":" << r.index_scans
        << ",\"parallel_partitions\":" << r.parallel_partitions
        << ",\"vm_instructions\":" << r.vm_instructions
+       << ",\"vm_fused_dispatches\":" << r.vm_fused_dispatches
        << ",\"seconds\":" << r.seconds << "}";
   }
   os << "],\"rounds\":[";

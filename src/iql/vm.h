@@ -33,6 +33,32 @@
 
 namespace iqlkit::vm {
 
+// Per-rule prepared state: the pure-function-of-the-frozen-instance work
+// a Solve call repays on every invocation within a fixpoint round --
+// kLoadRel / kLoadClass set materialization, and index-off container-scan
+// candidate lists. The coordinator prepares once per (rule, round) before
+// forking workers (so side-store-aware arenas resolve the same hash-
+// consed ids) and shares the result read-only; the cache is invalidated
+// at commit, exactly the stage boundaries the semi-naive delta machinery
+// tracks. Probe buckets and kScanSet / kScanDelta lists are not
+// cacheable: their inputs vary per outer candidate or per round.
+struct PreparedRule {
+  struct Entry {
+    bool has_value = false;
+    ValueId value = kInvalidValue;  // kLoadRel / kLoadClass result
+    bool has_elems = false;
+    std::vector<ValueId> elems;     // index-off scan candidate list
+  };
+  std::vector<Entry> at;  // indexed by pc, sized to the rule's code
+};
+
+// Builds the prepared state for `cr` against the frozen `inst`. Set
+// values are always prepared; candidate lists only when
+// `indexing_enabled` is false (with an index, scans borrow the index's
+// lists and materialize nothing).
+PreparedRule PrepareRule(const il::CompiledRule& cr, const Instance& inst,
+                         ValueArena& values, bool indexing_enabled);
+
 // The evaluator-owned machinery one VM run executes against; mirrors the
 // tree-walker's SolverContext field for field.
 struct VmContext {
@@ -41,6 +67,13 @@ struct VmContext {
   RuleMetrics* rule_metrics = nullptr;   // null: metrics disabled
   ValueArena* values = nullptr;          // required (worker side store aware)
   Governor* governor = nullptr;          // polled once per candidate
+  // Prepared state for the executed rule (must match it pc for pc), or
+  // null to materialize per call.
+  const PreparedRule* prepared = nullptr;
+  // Use the computed-goto dispatch loop when the build has it (GCC/Clang
+  // without IQLKIT_FORCE_SWITCH_DISPATCH); ignored -- the switch loop
+  // runs -- when it was compiled out. Same op bodies either way.
+  bool threaded = true;
 };
 
 class VmSolver {
@@ -87,6 +120,19 @@ class VmSolver {
   VmContext ctx_;
   const std::vector<ValueId>* delta_facts_;
   TypeMembership membership_;
+
+  // Positional strict-probe fast path: for a strict scan whose guard (the
+  // next instruction) pins the candidate shape, the constructor resolves
+  // each keyed attr to its field position once; candidates of that exact
+  // shape then compare keyed fields by position instead of searching the
+  // field list (the search remains the fallback for heterogeneous
+  // candidates). Indexed by scan pc.
+  struct StrictPos {
+    bool valid = false;
+    uint32_t shape = 0;  // shape index of the guard
+    std::vector<std::pair<uint32_t, uint16_t>> keys;  // (field pos, key reg)
+  };
+  std::vector<StrictPos> strict_pos_;
 
   std::vector<ValueId> regs_;
   std::vector<Frame> frames_;

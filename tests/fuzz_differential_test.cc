@@ -288,6 +288,20 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
               << "optimized IL fails verification: "
               << opt_violations[0].detail << ", seed " << GetParam() << "\n"
               << source;
+          // The fusion pass must keep the verifier happy on both raw and
+          // optimized input, and must be idempotent.
+          for (const il::CompiledRule* base : {&*cr, &opt.rule}) {
+            il::FuseResult fused = il::FuseRule(*base);
+            auto fused_violations = il::VerifyRule(fused.rule);
+            EXPECT_TRUE(fused_violations.empty())
+                << "fused IL fails verification: "
+                << fused_violations[0].detail << ", seed " << GetParam()
+                << "\n" << source;
+            il::FuseResult again = il::FuseRule(fused.rule);
+            EXPECT_EQ(again.fused_keyed_scans, 0u);
+            EXPECT_EQ(again.fused_destructures, 0u);
+            EXPECT_EQ(again.fused_cmp_chains, 0u);
+          }
         }
       }
     }
@@ -324,6 +338,23 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
     vm_opt.parallel_min_candidates = 1;
     auto out_opt_par = RunUnit(&u, &*unit, input, vm_opt);
     ASSERT_TRUE(out_opt_par.ok()) << out_opt_par.status() << "\n" << source;
+    // The fused tier (optimizer + superinstruction fusion), serially and
+    // under the fan-out, and once more on the portable switch dispatch.
+    EvalOptions vm_fused;
+    vm_fused.engine = EvalOptions::Engine::kVm;
+    vm_fused.il_opt = true;
+    vm_fused.il_fuse = true;
+    auto out_fused = RunUnit(&u, &*unit, input, vm_fused);
+    ASSERT_TRUE(out_fused.ok()) << out_fused.status() << "\n" << source;
+    vm_fused.num_threads = vm.num_threads;
+    vm_fused.parallel_min_candidates = 1;
+    auto out_fused_par = RunUnit(&u, &*unit, input, vm_fused);
+    ASSERT_TRUE(out_fused_par.ok())
+        << out_fused_par.status() << "\n" << source;
+    vm_fused.num_threads = 1;
+    vm_fused.dispatch = EvalOptions::Dispatch::kSwitch;
+    auto out_fused_sw = RunUnit(&u, &*unit, input, vm_fused);
+    ASSERT_TRUE(out_fused_sw.ok()) << out_fused_sw.status() << "\n" << source;
     for (int r = 3; r < GenProgram::kRelations; ++r) {
       Symbol name = u.Intern(GenProgram::Name(r));
       EXPECT_EQ(out->Relation(name), out_vm->Relation(name))
@@ -346,6 +377,16 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
           << "vm+il_opt (" << vm_opt.num_threads
           << " threads) vs tree-walk divergence, seed " << GetParam()
           << "\n" << source;
+      EXPECT_EQ(out->Relation(name), out_fused->Relation(name))
+          << "vm fused tier vs tree-walk divergence, seed " << GetParam()
+          << "\n" << source;
+      EXPECT_EQ(out->Relation(name), out_fused_par->Relation(name))
+          << "vm fused tier (" << vm.num_threads
+          << " threads) vs tree-walk divergence, seed " << GetParam()
+          << "\n" << source;
+      EXPECT_EQ(out->Relation(name), out_fused_sw->Relation(name))
+          << "vm fused tier (switch dispatch) vs tree-walk divergence, "
+             "seed " << GetParam() << "\n" << source;
     }
   }
 
@@ -379,28 +420,39 @@ TEST_P(FuzzDifferentialTest, IqlMatchesDatalogOnRandomPrograms) {
 
     // The compiled kVm engine mirrors kSemiNaiveIndexed candidate for
     // candidate, so its fact *insertion order* -- not just the fact set --
-    // must match exactly, serially and at a randomized thread count.
-    for (uint32_t threads : {1u, 2 + static_cast<uint32_t>(rng() % 7)}) {
-      datalog::Database db3;
-      for (int r = 0; r < GenProgram::kRelations; ++r) {
-        ASSERT_TRUE(
-            db3.AddRelation(GenProgram::Name(r), GenProgram::Arity(r)).ok());
-      }
-      for (int r = 0; r < 3; ++r) {
-        for (const auto& t : edb[r]) {
-          datalog::Tuple tuple;
-          for (int c : t) tuple.push_back(db3.InternConstant(c));
-          db3.AddFact(rel_ids[r], std::move(tuple));
+    // must match exactly, serially and at a randomized thread count, under
+    // each matcher variant (threaded dispatch, forced switch dispatch, and
+    // the fused check/bind phase split).
+    constexpr datalog::VmOptions kVmVariants[] = {
+        {/*threaded=*/true, /*fuse=*/false},
+        {/*threaded=*/false, /*fuse=*/false},
+        {/*threaded=*/true, /*fuse=*/true},
+    };
+    for (const datalog::VmOptions& vopts : kVmVariants) {
+      for (uint32_t threads : {1u, 2 + static_cast<uint32_t>(rng() % 7)}) {
+        datalog::Database db3;
+        for (int r = 0; r < GenProgram::kRelations; ++r) {
+          ASSERT_TRUE(
+              db3.AddRelation(GenProgram::Name(r), GenProgram::Arity(r))
+                  .ok());
         }
-      }
-      ASSERT_TRUE(datalog::Evaluate(dprog, &db3, datalog::EvalMode::kVm,
-                                    nullptr, threads)
-                      .ok());
-      for (int r = 3; r < GenProgram::kRelations; ++r) {
-        EXPECT_EQ(db3.Facts(rel_ids[r]), db2.Facts(rel_ids[r]))
-            << "datalog vm (" << threads
-            << " threads) vs indexed insertion-order divergence, seed "
-            << GetParam() << "\n" << source;
+        for (int r = 0; r < 3; ++r) {
+          for (const auto& t : edb[r]) {
+            datalog::Tuple tuple;
+            for (int c : t) tuple.push_back(db3.InternConstant(c));
+            db3.AddFact(rel_ids[r], std::move(tuple));
+          }
+        }
+        ASSERT_TRUE(datalog::Evaluate(dprog, &db3, datalog::EvalMode::kVm,
+                                      nullptr, threads, nullptr, vopts)
+                        .ok());
+        for (int r = 3; r < GenProgram::kRelations; ++r) {
+          EXPECT_EQ(db3.Facts(rel_ids[r]), db2.Facts(rel_ids[r]))
+              << "datalog vm (" << threads << " threads, threaded "
+              << vopts.threaded << ", fuse " << vopts.fuse
+              << ") vs indexed insertion-order divergence, seed "
+              << GetParam() << "\n" << source;
+        }
       }
     }
   }

@@ -447,18 +447,23 @@ TEST(GovernorTest, VmStepTripMatchesTreeWalkerPartial) {
     ASSERT_FALSE(tw.facts.empty()) << mode.name;
 
     // The IL optimizer only skips candidates that provably fail a filter,
-    // so committed steps stay bit-identical with it on as well.
-    for (bool il_opt : {false, true}) {
+    // and fusion only collapses dispatches around the same candidate walk,
+    // so committed steps stay bit-identical with either (or both) on.
+    for (auto [il_opt, il_fuse] :
+         {std::pair{false, false}, {true, false}, {true, true}}) {
       EvalOptions vm = VmOptions(mode.seminaive, mode.threads);
       vm.il_opt = il_opt;
+      vm.il_fuse = il_fuse;
       vm.limits.max_steps_per_stage = 3;
       RunOutcome vo = RunSource(source.c_str(), vm);
-      ASSERT_FALSE(vo.status.ok()) << mode.name << ", il_opt " << il_opt;
+      ASSERT_FALSE(vo.status.ok())
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
       EXPECT_EQ(vo.stats.trip, TripReason::kSteps)
-          << mode.name << ", il_opt " << il_opt;
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
       EXPECT_EQ(vo.stats.steps, tw.stats.steps)
-          << mode.name << ", il_opt " << il_opt;
-      EXPECT_EQ(vo.facts, tw.facts) << mode.name << ", il_opt " << il_opt;
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
+      EXPECT_EQ(vo.facts, tw.facts)
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
     }
   }
 }
@@ -476,20 +481,24 @@ TEST(GovernorTest, VmDerivationTripFiresAtTheSameStep) {
     ASSERT_FALSE(tw.status.ok()) << mode.name;
     EXPECT_EQ(tw.stats.trip, TripReason::kDerivations) << mode.name;
 
-    // Derivations count satisfying valuations, which the optimizer never
-    // changes (it only skips candidates that would fail), so the trip
-    // lands at the same step with il_opt on.
-    for (bool il_opt : {false, true}) {
+    // Derivations count satisfying valuations, which neither the optimizer
+    // nor the fusion pass changes (both only skip candidates that would
+    // fail), so the trip lands at the same step in every tier.
+    for (auto [il_opt, il_fuse] :
+         {std::pair{false, false}, {true, false}, {true, true}}) {
       EvalOptions vm = VmOptions(mode.seminaive, mode.threads);
       vm.il_opt = il_opt;
+      vm.il_fuse = il_fuse;
       vm.limits.max_derivations = 40;
       RunOutcome vo = RunSource(source.c_str(), vm);
-      ASSERT_FALSE(vo.status.ok()) << mode.name << ", il_opt " << il_opt;
+      ASSERT_FALSE(vo.status.ok())
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
       EXPECT_EQ(vo.stats.trip, TripReason::kDerivations)
-          << mode.name << ", il_opt " << il_opt;
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
       EXPECT_EQ(vo.stats.steps, tw.stats.steps)
-          << mode.name << ", il_opt " << il_opt;
-      EXPECT_EQ(vo.facts, tw.facts) << mode.name << ", il_opt " << il_opt;
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
+      EXPECT_EQ(vo.facts, tw.facts)
+          << mode.name << ", il_opt " << il_opt << ", il_fuse " << il_fuse;
     }
   }
 }

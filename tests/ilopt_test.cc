@@ -174,6 +174,73 @@ TEST(IlOptTest, OptimizeIsIdempotentOnEveryCompiledRule) {
   }
 }
 
+// ---- superinstruction fusion ----------------------------------------------
+
+TEST(IlFuseTest, OptimizedJoinFusesKeyedScanAndDestructure) {
+  Compiled c(kTc);
+  CompiledRule cr = c.compile(0, 1);
+  OptResult opt = OptimizeRule(cr);
+  FuseResult fused = FuseRule(opt.rule);
+  EXPECT_TRUE(VerifyRule(fused.rule).empty());
+  // The strict probe scan absorbs its guard; the outer scan's guard and
+  // field extraction collapse into one destructure.
+  EXPECT_EQ(fused.fused_keyed_scans, 1u);
+  EXPECT_GE(fused.fused_destructures, 1u);
+  std::string disasm = c.disasm(fused.rule);
+  EXPECT_NE(disasm.find("scan_rel_keyed"), std::string::npos) << disasm;
+  EXPECT_NE(disasm.find("destructure"), std::string::npos) << disasm;
+  EXPECT_LT(fused.rule.code.size(), opt.rule.code.size());
+}
+
+TEST(IlFuseTest, UnoptimizedIlStillFusesDestructure) {
+  Compiled c(kTc);
+  CompiledRule cr = c.compile(0, 1);
+  FuseResult fused = FuseRule(cr);
+  EXPECT_TRUE(VerifyRule(fused.rule).empty());
+  // Without the optimizer no scan is strict, so no keyed fusion -- but
+  // guard-plus-gets sequences still collapse.
+  EXPECT_EQ(fused.fused_keyed_scans, 0u);
+  EXPECT_GE(fused.fused_destructures, 1u);
+}
+
+TEST(IlFuseTest, ConsecutiveComparesFuseToCmpN) {
+  Compiled c(R"(
+    schema { relation R : [D, D]; relation T : D; }
+    input R; output T;
+    program { T(x) :- R(x, y), x = y, x = y. }
+  )");
+  CompiledRule cr = c.compile(0, 0);
+  FuseResult fused = FuseRule(cr);
+  EXPECT_TRUE(VerifyRule(fused.rule).empty());
+  EXPECT_GE(fused.fused_cmp_chains, 1u);
+  EXPECT_NE(c.disasm(fused.rule).find("cmp_n"), std::string::npos)
+      << c.disasm(fused.rule);
+}
+
+TEST(IlFuseTest, FusionIsIdempotent) {
+  Compiled c(kTc);
+  for (size_t rule : {0u, 1u}) {
+    for (bool optimize : {false, true}) {
+      CompiledRule cr = c.compile(0, rule);
+      if (optimize) cr = OptimizeForExecution(cr);
+      FuseResult once = FuseRule(cr);
+      FuseResult twice = FuseRule(once.rule);
+      EXPECT_EQ(twice.fused_keyed_scans, 0u);
+      EXPECT_EQ(twice.fused_destructures, 0u);
+      EXPECT_EQ(twice.fused_cmp_chains, 0u);
+      EXPECT_EQ(c.disasm(once.rule), c.disasm(twice.rule));
+    }
+  }
+}
+
+TEST(IlFuseTest, OptimizeRulePassesFusedInputThrough) {
+  Compiled c(kTc);
+  CompiledRule fused = FuseForExecution(OptimizeForExecution(c.compile(0, 1)));
+  OptResult opt = OptimizeRule(fused);
+  EXPECT_TRUE(opt.removed.empty());
+  EXPECT_EQ(c.disasm(opt.rule), c.disasm(fused));
+}
+
 // ---- L-series lint --------------------------------------------------------
 
 std::map<std::string, int> CodeCounts(const DiagnosticSink& sink) {
@@ -293,10 +360,19 @@ TEST(IlOptDifferentialTest, OptimizedRunsMatchBothOracles) {
       std::string vm = RunToFacts(source, options);
       options.il_opt = true;
       std::string vm_opt = RunToFacts(source, options);
+      options.il_fuse = true;
+      std::string vm_fused = RunToFacts(source, options);
+      options.dispatch = EvalOptions::Dispatch::kSwitch;
+      std::string vm_fused_sw = RunToFacts(source, options);
       EXPECT_EQ(tree, vm) << "seminaive " << seminaive << ", indexing "
                           << indexing;
       EXPECT_EQ(vm, vm_opt) << "seminaive " << seminaive << ", indexing "
                             << indexing;
+      EXPECT_EQ(vm, vm_fused) << "fused tier: seminaive " << seminaive
+                              << ", indexing " << indexing;
+      EXPECT_EQ(vm, vm_fused_sw)
+          << "fused tier, switch dispatch: seminaive " << seminaive
+          << ", indexing " << indexing;
     }
   }
 }
@@ -338,6 +414,38 @@ TEST(IlOptDifferentialTest, OptimizerShrinksVmInstructionCount) {
   EXPECT_LT(opt_instrs, plain_instrs);
   // The JSON rendering exposes the counter for the bench harness.
   EXPECT_NE(optimized.ToJson().find("\"vm_instructions\":"),
+            std::string::npos);
+}
+
+TEST(IlOptDifferentialTest, FusionAccountsConstituentsAndDispatches) {
+  std::string source = JoinProgram();
+  EvalOptions options;
+  options.engine = EvalOptions::Engine::kVm;
+  options.il_opt = true;
+  EvalMetrics unfused;
+  RunToFacts(source, options, &unfused);
+  options.il_fuse = true;
+  EvalMetrics fused;
+  RunToFacts(source, options, &fused);
+  uint64_t unfused_instrs = 0;
+  uint64_t fused_instrs = 0;
+  uint64_t fused_dispatches = 0;
+  for (const RuleMetrics& r : unfused.rules) {
+    unfused_instrs += r.vm_instructions;
+    EXPECT_EQ(r.vm_fused_dispatches, 0u);
+  }
+  for (const RuleMetrics& r : fused.rules) {
+    fused_instrs += r.vm_instructions;
+    fused_dispatches += r.vm_fused_dispatches;
+  }
+  // Fused ops charge their constituent count along the executed path, so
+  // the instruction metric stays comparable with the unfused tier (the
+  // keyed scan only skips work for candidates the unfused guard would
+  // reject anyway); the separate dispatch counter is the fusion signal.
+  EXPECT_GT(fused_instrs, 0u);
+  EXPECT_LE(fused_instrs, unfused_instrs);
+  EXPECT_GT(fused_dispatches, 0u);
+  EXPECT_NE(fused.ToJson().find("\"vm_fused_dispatches\":"),
             std::string::npos);
 }
 
