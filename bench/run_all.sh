@@ -189,6 +189,32 @@ jq '
     else . end
 ' "$OUT.tmp" > "$OUT.tmp2"
 mv "$OUT.tmp2" "$OUT.tmp"
+# Durability overhead: mean Durable(no-fsync)/Plain real-time ratio on
+# matched bench_durability size points (identical serial TC fixpoint; the
+# durable run adds an input snapshot, one checksummed WAL frame per
+# committed step, and a final snapshot + DONE marker). The fsync series is
+# reported in the raw run but kept out of the ratio -- it measures the
+# disk, not the encoder. Mean Recover wall time rides along so recovery
+# cost is tracked in the same entry. Recorded under .durability.
+jq '
+  (.runs.bench_durability.benchmarks // []) as $b
+  | [ $b[] | select(.name | startswith("BM_Durability_Durable/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $durable
+  | [ $b[] | select(.name | startswith("BM_Durability_Plain/"))
+      | {size: (.name | split("/")[1]), t: .real_time} ] as $plain
+  | [ $durable[] as $d | $plain[] | select(.size == $d.size)
+      | ($d.t / .t) ] as $ratios
+  | [ $b[] | select(.name | startswith("BM_Durability_Recover/"))
+      | {size: (.name | split("/")[1]), recover_ms: (.real_time / 1e6),
+         wal_frames: (.wal_frames // 0)} ] as $recover
+  | if ($ratios | length) > 0 then
+      .durability = {overhead_ratio: (($ratios | add) / ($ratios | length)),
+                     target_max_ratio: 1.5,
+                     points: ($ratios | length),
+                     recover: $recover}
+    else . end
+' "$OUT.tmp" > "$OUT.tmp2"
+mv "$OUT.tmp2" "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT ($(jq '.runs | length' "$OUT") benchmark binaries)"
 if jq -e '.governor' "$OUT" > /dev/null; then
@@ -212,4 +238,8 @@ if jq -e '.vm_fused' "$OUT" > /dev/null; then
   echo "fused tier mean speedup over non-fused baseline:" \
        "$(jq '.vm_fused.mean_speedup' "$OUT")" \
        "($(jq '.vm_fused.points' "$OUT") matched points)"
+fi
+if jq -e '.durability' "$OUT" > /dev/null; then
+  echo "durability overhead ratio: $(jq '.durability.overhead_ratio' "$OUT")" \
+       "(target <= $(jq '.durability.target_max_ratio' "$OUT"))"
 fi

@@ -39,6 +39,8 @@ const char* FaultSiteName(FaultSite site) {
       return "governor-trip";
     case FaultSite::kScheduler:
       return "scheduler";
+    case FaultSite::kStorage:
+      return "storage";
   }
   return "unknown";
 }
@@ -79,6 +81,8 @@ Result<FaultInjector::Config> FaultInjector::ParseSpec(std::string_view spec) {
       IQL_ASSIGN_OR_RETURN(config.p_trip, ParseProbability(key, value));
     } else if (key == "sched") {
       IQL_ASSIGN_OR_RETURN(config.p_sched, ParseProbability(key, value));
+    } else if (key == "storage") {
+      IQL_ASSIGN_OR_RETURN(config.p_storage, ParseProbability(key, value));
     } else {
       return InvalidArgumentError("fault spec: unknown key '" +
                                   std::string(key) + "'");
@@ -128,6 +132,9 @@ bool FaultInjector::ShouldFail(FaultSite site) {
       break;
     case FaultSite::kScheduler:
       p = config_.p_sched;
+      break;
+    case FaultSite::kStorage:
+      p = config_.p_storage;
       break;
   }
   if (p <= 0) return false;

@@ -20,16 +20,17 @@ enum class FaultSite : uint8_t {
   kWorkerTask = 1,   // parallel evaluation chunk; fails the chunk's Status
   kGovernorTrip = 2, // Governor::CheckNow; forces a FAULT trip
   kScheduler = 3,    // scheduler dispatch; fails the attempt (retryable)
+  kStorage = 4,      // durability I/O; short write / fsync fail / lost rename
 };
 
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 5;
 
 const char* FaultSiteName(FaultSite site);
 
 // Process-wide fault injector. Disabled (all probabilities zero) unless
 // configured explicitly or via the IQLKIT_FAULTS environment variable:
 //
-//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005,sched=0.01"
+//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005,sched=0.01,storage=0.01"
 //
 // Probabilities are per-consultation in [0,1]; omitted keys default to 0.
 // The injector is intentionally a singleton: fault sites are sprinkled
@@ -43,9 +44,11 @@ class FaultInjector {
     double p_task = 0;
     double p_trip = 0;
     double p_sched = 0;
+    double p_storage = 0;
 
     bool enabled() const {
-      return p_alloc > 0 || p_task > 0 || p_trip > 0 || p_sched > 0;
+      return p_alloc > 0 || p_task > 0 || p_trip > 0 || p_sched > 0 ||
+             p_storage > 0;
     }
   };
 

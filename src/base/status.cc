@@ -34,6 +34,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "QUEUE_FULL";
     case StatusCode::kOverloaded:
       return "OVERLOAD";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -87,6 +89,9 @@ Status QueueFullError(std::string_view message) {
 }
 Status OverloadedError(std::string_view message) {
   return Status(StatusCode::kOverloaded, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, std::string(message));
 }
 
 }  // namespace iqlkit

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kDeadlineExceeded = 12,  // wall-clock deadline elapsed mid-operation
   kQueueFull = 13,         // scheduler admission queue at capacity; backoff
   kOverloaded = 14,        // transient overload (quota, preemption); retry
+  kUnavailable = 15,       // durable storage unreachable or torn; transient
 };
 
 // Returns a stable human-readable name, e.g. "TYPE_ERROR".
@@ -73,6 +74,7 @@ Status CancelledError(std::string_view message);
 Status DeadlineExceededError(std::string_view message);
 Status QueueFullError(std::string_view message);
 Status OverloadedError(std::string_view message);
+Status UnavailableError(std::string_view message);
 
 }  // namespace iqlkit
 

@@ -897,10 +897,15 @@ class StageRunner {
   }
 
   Status Run(Instance* work) {
-    if (options_.enable_seminaive && EligibleForSemiNaive()) {
+    // A stage resumed mid-fixpoint (start_step_ > 0) always runs the naive
+    // operator: WAL frames are step-granular, and for semi-naive-eligible
+    // stages the naive iteration reaches the identical fixpoint from any
+    // committed intermediate state (monotone, invention-free).
+    if (options_.enable_seminaive && start_step_ == 0 &&
+        EligibleForSemiNaive()) {
       return RunSemiNaive(work);
     }
-    for (uint64_t step = 0;; ++step) {
+    for (uint64_t step = start_step_;; ++step) {
       // Step-boundary governor check: the instance sits exactly on a
       // completed-step boundary here, so any trip (step budget, deadline,
       // cancel, memory) rolls back for free. The budget is read through
@@ -922,6 +927,7 @@ class StageRunner {
       IQL_ASSIGN_OR_RETURN(bool changed, Apply(derivations, work));
       ++prepared_epoch_;  // the commit invalidates prepared rule state
       ++stats_->steps;
+      IQL_RETURN_IF_ERROR(CommitDurable(step, work));
       if (metrics_ != nullptr) {
         metrics_->rounds.push_back(RoundMetrics{
             stage_index_, step, /*seminaive=*/false,
@@ -1210,6 +1216,7 @@ class StageRunner {
       }
       IQL_RETURN_IF_ERROR(apply(&pending, &delta));
       ++stats_->steps;
+      IQL_RETURN_IF_ERROR(CommitDurable(0, work));
       ++rounds;
       record_round(0, round_start, delta);
     }
@@ -1243,6 +1250,7 @@ class StageRunner {
       IQL_RETURN_IF_ERROR(apply(&pending, &next));
       delta = std::move(next);
       ++stats_->steps;
+      IQL_RETURN_IF_ERROR(CommitDurable(rounds, work));
       record_round(rounds, round_start, delta);
       if (options_.trace != nullptr) {
         *options_.trace << "stage " << stage_index_ << " (semi-naive) round "
@@ -1740,6 +1748,22 @@ class StageRunner {
     return changed;
   }
 
+  // Publishes a completed fixpoint step to the durability sink, if any. The
+  // journal installed on `work` holds exactly this step's operations; it is
+  // cleared once the sink accepts the frame, so the next step starts empty.
+  // A sink failure ends the stage with the sink's status -- the governor
+  // has not tripped, so no partial is handed out and the caller retries
+  // from the durable prefix.
+  Status CommitDurable(uint64_t step, Instance* work) {
+    StepCommitSink* sink = options_.durability.sink;
+    if (sink == nullptr) return Status::Ok();
+    StepCommit commit{stage_index_, step, u_->next_oid_raw(), work->journal(),
+                      work};
+    IQL_RETURN_IF_ERROR(sink->OnStepCommit(commit));
+    if (work->journal() != nullptr) work->journal()->clear();
+    return Status::Ok();
+  }
+
   Universe* u_;
   const Schema& schema_;
   const Program& prog_;
@@ -1771,6 +1795,9 @@ class StageRunner {
 
  public:
   int stage_index_ = 0;
+  // First naive step this stage executes (non-zero only for the resumed
+  // stage of a recovered run; `work` then already holds that prefix).
+  uint64_t start_step_ = 0;
 };
 
 }  // namespace
@@ -1825,12 +1852,30 @@ Result<Instance> EvaluateProgram(Universe* universe, const Schema& schema,
   if (threads > 1) pool.emplace(threads);
   Instance work(&schema, universe);
   IQL_RETURN_IF_ERROR(work.Absorb(input));
+  // Durable runs journal each step's fact operations on the work instance.
+  // The journal attaches *after* Absorb -- the input is already covered by
+  // the run's base snapshot, so its facts must not land in any WAL frame.
+  // Instance moves and copies drop the pointer, so the partial handed out
+  // on a trip (and the returned fixpoint) never dangle into this frame.
+  std::vector<FactOp> journal;
+  const EvalOptions::Durability& durability = local_options.durability;
+  if (durability.sink != nullptr) work.set_journal(&journal);
   Status run_status = Status::Ok();
   int stage_index = 0;
   for (const auto& stage : program->stages) {
+    int this_stage = stage_index++;
+    if (durability.resume &&
+        this_stage < static_cast<int>(durability.resume_stage)) {
+      // Fully evaluated before the crash; its fixpoint is part of `input`.
+      continue;
+    }
     StageRunner runner(universe, schema, *program, stage, local_options,
                        stats, pool.has_value() ? &*pool : nullptr, governor);
-    runner.stage_index_ = stage_index++;
+    runner.stage_index_ = this_stage;
+    if (durability.resume &&
+        this_stage == static_cast<int>(durability.resume_stage)) {
+      runner.start_step_ = durability.resume_step;
+    }
     run_status = runner.Run(&work);
     if (!run_status.ok()) break;
   }

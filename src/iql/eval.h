@@ -217,6 +217,32 @@ struct EvalOptions {
   // byte-identical with it off, enforced by the engine x dispatch x
   // fusion x threads differential matrix.
   bool il_fuse = false;
+
+  // Durable evaluation. When `sink` is set the work instance keeps a
+  // per-step journal of fact operations, and after every committed fixpoint
+  // step -- the same boundary at which a governor trip would roll back --
+  // the sink receives a StepCommit carrying the stage, step, post-step oid
+  // counter, the journal, and the post-step instance. A non-OK sink status
+  // ends the run with that status and, when `partial` is set, the state as
+  // of the last *successfully sunk* step (so on-disk and in-memory agree).
+  //
+  // When `resume` is set, evaluation continues a recovered partial: `input`
+  // must already hold the state as of (resume_stage, resume_step), stages
+  // before resume_stage are skipped outright, and the resume stage starts
+  // counting at resume_step. A resumed stage always runs the naive
+  // operator -- WAL frames are defined over naive step boundaries, and the
+  // differential suites prove naive and semi-naive reach bit-identical
+  // fixpoints -- and later stages evaluate exactly as in a fresh run. The
+  // naive one-step operator is a deterministic function of (instance,
+  // rules, choose policy, oid counter), so a resumed run reproduces the
+  // uninterrupted run byte-for-byte (kRandom choose excepted).
+  struct Durability {
+    StepCommitSink* sink = nullptr;
+    bool resume = false;
+    uint32_t resume_stage = 0;
+    uint64_t resume_step = 0;
+  };
+  Durability durability;
 };
 
 struct EvalStats {

@@ -27,7 +27,10 @@ Status Instance::AddToRelation(Symbol relation, ValueId v) {
     return NotFoundError("unknown relation '" +
                          std::string(universe_->Name(relation)) + "'");
   }
-  MutableRelation(relation).insert(v);
+  auto [it, inserted] = MutableRelation(relation).insert(v);
+  if (inserted && journal_ != nullptr) {
+    journal_->push_back({FactOp::Kind::kRelationAdd, relation, Oid{}, v, {}});
+  }
   return Status::Ok();
 }
 
@@ -64,6 +67,9 @@ Status Instance::AddOid(Symbol cls, Oid o) {
   }
   class_of_.emplace(o, cls);
   classes_[cls].insert(o);
+  if (journal_ != nullptr) {
+    journal_->push_back({FactOp::Kind::kOidAdd, cls, o, kInvalidValue, {}});
+  }
   if (schema_->IsSetValuedClass(cls)) {
     // Condition (3) of Def 2.3.2: nu is total on set-valued classes; a
     // fresh oid's value defaults to the empty set (Remark 2.3.3).
@@ -86,6 +92,9 @@ Status Instance::SetOidValue(Oid o, ValueId v) {
         ") already defined; values are write-once");
   }
   nu_.emplace(o, v);
+  if (journal_ != nullptr) {
+    journal_->push_back({FactOp::Kind::kOidValue, kInvalidSymbol, o, v, {}});
+  }
   return Status::Ok();
 }
 
@@ -104,18 +113,30 @@ Status Instance::AddToSetOid(Oid o, ValueId elem) {
   ValueId base =
       it == nu_.end() ? universe_->values().EmptySet() : it->second;
   ValueId updated = universe_->values().SetInsert(base, elem);
+  if (updated != base && journal_ != nullptr) {
+    journal_->push_back({FactOp::Kind::kSetAdd, kInvalidSymbol, o, elem, {}});
+  }
   nu_[o] = updated;
   return Status::Ok();
 }
 
 void Instance::NameOid(Oid o, std::string_view name) {
   oid_names_[o] = std::string(name);
+  if (journal_ != nullptr) {
+    journal_->push_back({FactOp::Kind::kOidName, kInvalidSymbol, o,
+                         kInvalidValue, std::string(name)});
+  }
 }
 
 bool Instance::RemoveFromRelation(Symbol relation, ValueId v) {
   auto it = relations_.find(relation);
   if (it == relations_.end()) return false;
-  return it->second.erase(v) > 0;
+  bool removed = it->second.erase(v) > 0;
+  if (removed && journal_ != nullptr) {
+    journal_->push_back(
+        {FactOp::Kind::kRelationRemove, relation, Oid{}, v, {}});
+  }
+  return removed;
 }
 
 bool Instance::RemoveFromSetOid(Oid o, ValueId elem) {
@@ -132,24 +153,41 @@ bool Instance::RemoveFromSetOid(Oid o, ValueId elem) {
     if (e != elem) remaining.push_back(e);
   }
   it->second = universe_->values().Set(std::move(remaining));
+  if (journal_ != nullptr) {
+    journal_->push_back(
+        {FactOp::Kind::kSetRemove, kInvalidSymbol, o, elem, {}});
+  }
   return true;
 }
 
 bool Instance::ClearOidValue(Oid o) {
   auto cls = class_of_.find(o);
   if (cls == class_of_.end()) return false;
+  bool cleared;
   if (schema_->IsSetValuedClass(cls->second)) {
     auto it = nu_.find(o);
     ValueId empty = universe_->values().EmptySet();
     if (it == nu_.end() || it->second == empty) return false;
     it->second = empty;
-    return true;
+    cleared = true;
+  } else {
+    cleared = nu_.erase(o) > 0;
   }
-  return nu_.erase(o) > 0;
+  if (cleared && journal_ != nullptr) {
+    journal_->push_back(
+        {FactOp::Kind::kOidValueClear, kInvalidSymbol, o, kInvalidValue, {}});
+  }
+  return cleared;
 }
 
 size_t Instance::DeleteOidCascade(Oid seed) {
   if (!HasOid(seed)) return 0;
+  // The cascade is a deterministic function of (instance, seed), so one op
+  // suffices: replay re-runs the same cascade through this same method.
+  if (journal_ != nullptr) {
+    journal_->push_back(
+        {FactOp::Kind::kOidDelete, kInvalidSymbol, seed, kInvalidValue, {}});
+  }
   ValueStore& values = universe_->values();
   std::set<Oid> deleted;
   std::vector<Oid> worklist = {seed};

@@ -20,6 +20,52 @@
 
 namespace iqlkit {
 
+class Instance;
+
+// One committed mutation of an instance, in the vocabulary of its public
+// mutators. A journal of FactOps between two step boundaries is exactly what
+// the durability layer needs to replay one fixpoint step: applying the ops
+// in order through the same mutators reproduces the post-step instance.
+struct FactOp {
+  enum class Kind : uint8_t {
+    kRelationAdd = 0,    // AddToRelation(name, value)
+    kRelationRemove = 1, // RemoveFromRelation(name, value)
+    kOidAdd = 2,         // AddOid(name /*class*/, oid)
+    kOidValue = 3,       // SetOidValue(oid, value)
+    kSetAdd = 4,         // AddToSetOid(oid, value /*element*/)
+    kSetRemove = 5,      // RemoveFromSetOid(oid, value /*element*/)
+    kOidValueClear = 6,  // ClearOidValue(oid)
+    kOidDelete = 7,      // DeleteOidCascade(oid); the cascade is re-derived
+    kOidName = 8,        // NameOid(oid, text)
+  };
+  Kind kind = Kind::kRelationAdd;
+  Symbol name = kInvalidSymbol;   // relation (kRelation*) or class (kOidAdd)
+  Oid oid;                        // oid-directed ops
+  ValueId value = kInvalidValue;  // tuple / nu-value / set element
+  std::string text;               // kOidName label
+};
+
+// One governor-committed fixpoint step, handed to a durability sink right
+// after the evaluator commits it. `ops` is the step's journal in commit
+// order; `instance` is the post-step instance (valid only for the duration
+// of the call — sinks that checkpoint must serialize, not retain).
+struct StepCommit {
+  int stage = 0;
+  uint64_t step = 0;          // step (round) index within the stage
+  uint64_t next_oid_raw = 0;  // universe fresh-oid counter after the step
+  const std::vector<FactOp>* ops = nullptr;
+  const Instance* instance = nullptr;
+};
+
+// Durability hook: the evaluator calls OnStepCommit after every committed
+// fixpoint step. A non-OK return aborts the evaluation with that status
+// (the instance still sits on the completed-step boundary).
+class StepCommitSink {
+ public:
+  virtual ~StepCommitSink() = default;
+  virtual Status OnStepCommit(const StepCommit& commit) = 0;
+};
+
 // An instance I = (rho, pi, nu) of a schema (Definition 2.3.2):
 //   rho : relation name -> finite set of o-values,
 //   pi  : class name    -> finite set of oids (pairwise disjoint),
@@ -40,6 +86,51 @@ class Instance : public ClassResolver {
   // (e.g. projections onto freshly built output schemas).
   Instance(std::shared_ptr<const Schema> schema, Universe* universe)
       : schema_(std::move(schema)), universe_(universe) {}
+
+  // A journal pointer tracks one specific working instance; it never travels
+  // with copies (the evaluator's per-step rollback snapshots, projections)
+  // or moves (partials handed out on a trip), which would otherwise record
+  // phantom ops or dangle.
+  Instance(const Instance& other)
+      : schema_(other.schema_),
+        universe_(other.universe_),
+        relations_(other.relations_),
+        classes_(other.classes_),
+        nu_(other.nu_),
+        class_of_(other.class_of_),
+        oid_names_(other.oid_names_) {}
+  Instance(Instance&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        universe_(other.universe_),
+        relations_(std::move(other.relations_)),
+        classes_(std::move(other.classes_)),
+        nu_(std::move(other.nu_)),
+        class_of_(std::move(other.class_of_)),
+        oid_names_(std::move(other.oid_names_)) {}
+  Instance& operator=(const Instance& other) {
+    if (this == &other) return *this;
+    schema_ = other.schema_;
+    universe_ = other.universe_;
+    relations_ = other.relations_;
+    classes_ = other.classes_;
+    nu_ = other.nu_;
+    class_of_ = other.class_of_;
+    oid_names_ = other.oid_names_;
+    journal_ = nullptr;  // wholesale replacement is not representable as ops
+    return *this;
+  }
+  Instance& operator=(Instance&& other) noexcept {
+    if (this == &other) return *this;
+    schema_ = std::move(other.schema_);
+    universe_ = other.universe_;
+    relations_ = std::move(other.relations_);
+    classes_ = std::move(other.classes_);
+    nu_ = std::move(other.nu_);
+    class_of_ = std::move(other.class_of_);
+    oid_names_ = std::move(other.oid_names_);
+    journal_ = nullptr;
+    return *this;
+  }
 
   const Schema& schema() const { return *schema_; }
   const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
@@ -67,6 +158,14 @@ class Instance : public ClassResolver {
 
   // Attaches a debug label used by printers ("adam" instead of "@7").
   void NameOid(Oid o, std::string_view name);
+
+  // ---- durability journal -------------------------------------------------
+
+  // While set, every mutation that actually changes the instance appends a
+  // FactOp (idempotent re-adds and no-op removals are not recorded). The
+  // caller owns the vector and clears it at step boundaries; see StepCommit.
+  void set_journal(std::vector<FactOp>* journal) { journal_ = journal; }
+  std::vector<FactOp>* journal() const { return journal_; }
 
   // ---- deletion (IQL*, §4.5) ----------------------------------------------
 
@@ -162,6 +261,7 @@ class Instance : public ClassResolver {
   std::unordered_map<Oid, ValueId, OidHash> nu_;
   std::unordered_map<Oid, Symbol, OidHash> class_of_;
   std::unordered_map<Oid, std::string, OidHash> oid_names_;
+  std::vector<FactOp>* journal_ = nullptr;  // not owned; never copied/moved
 };
 
 }  // namespace iqlkit

@@ -36,6 +36,14 @@ class Universe {
   Oid MintOid() { return Oid{next_oid_++}; }
   uint64_t next_oid_raw() const { return next_oid_; }
 
+  // Moves the fresh-oid counter forward to `raw` (never backward, so the
+  // never-returned-before guarantee survives). Recovery uses this to restore
+  // the counter recorded with a snapshot or WAL frame, which is what makes a
+  // resumed evaluation mint the same oids the uninterrupted run would have.
+  void AdvanceOidCounter(uint64_t raw) {
+    if (raw > next_oid_) next_oid_ = raw;
+  }
+
   Symbol Intern(std::string_view s) { return symbols_.Intern(s); }
   std::string_view Name(Symbol s) const { return symbols_.name(s); }
 

@@ -25,6 +25,17 @@ uint64_t Mix64(uint64_t x) {
 
 constexpr uint64_t kNoTick = std::numeric_limits<uint64_t>::max();
 
+// Filesystem-safe per-query directory name under SchedulerOptions::data_dir.
+std::string QueryDirName(const std::string& id) {
+  std::string out = "q-";
+  for (char c : id) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += safe ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* QueryClassName(QueryClass cls) {
@@ -239,9 +250,83 @@ Scheduler::AttemptEnd Scheduler::ExecuteAttempt(Entry* entry) {
     end.status = unit.status();
     return end;
   }
+  // Durable state, when the scheduler has a data dir. Each attempt re-opens
+  // the query's directory and recovers from disk -- the only channel
+  // between attempts -- so a retry after a preemption, a storage fault, or
+  // a whole-process crash takes the identical path. Re-parsing into a fresh
+  // universe deterministically reproduces the symbol numbering of the
+  // original attempt, which is what makes a resumed run's WriteFacts output
+  // byte-identical to an uninterrupted one.
+  std::optional<storage::QueryDurability> durable;
+  std::optional<storage::RecoveredRun> recovered;
+  if (!options_.data_dir.empty()) {
+    durable.emplace(storage::QueryDurability::Open(
+        options_.data_dir + "/" + QueryDirName(entry->request.id),
+        options_.durability));
+    if (!durable->active()) {
+      end.storage_warning = durable->warning().message();
+      durable.reset();
+    }
+  }
+  if (durable.has_value()) {
+    std::shared_ptr<const Schema> schema(std::shared_ptr<const Schema>(),
+                                         &unit->schema);
+    std::shared_ptr<const Schema> out_schema = schema;
+    if (!unit->output_names.empty()) {
+      auto projected = unit->schema.Project(unit->output_names);
+      if (!projected.ok()) {
+        end.status = projected.status();
+        return end;
+      }
+      out_schema =
+          std::make_shared<const Schema>(std::move(*projected));
+    }
+    auto rec = durable->Recover(schema, out_schema, &universe);
+    if (rec.ok()) {
+      recovered = std::move(*rec);
+    } else if (rec.status().code() == StatusCode::kUnavailable) {
+      // Transient IO failure while recovering: retry with backoff rather
+      // than discarding the persisted prefix.
+      end.status = rec.status();
+      return end;
+    } else {
+      // Unusable persisted state (corrupt beyond the torn tail the WAL
+      // tolerates, or written under a different schema): start the run
+      // over -- BeginRun below rewrites the directory -- instead of
+      // failing the query.
+      end.storage_warning = rec.status().message();
+    }
+  }
+  if (recovered.has_value() && recovered->complete) {
+    // A finished run's final snapshot: serve it without evaluating.
+    end.status = Status::Ok();
+    end.facts = WriteFacts(recovered->instance);
+    end.resumed = true;
+    return end;
+  }
   Instance input(&unit->schema, &universe);
-  end.status = ApplyFacts(*unit, &input);
-  if (!end.status.ok()) return end;
+  bool resuming = recovered.has_value();
+  if (resuming) {
+    input = std::move(recovered->instance);
+    end.resumed = true;
+    end.resume_stage = recovered->resume_stage;
+    end.resume_step = recovered->resume_step;
+  } else {
+    end.status = ApplyFacts(*unit, &input);
+    if (!end.status.ok()) return end;
+    if (durable.has_value()) {
+      Status begun = durable->BeginRun(input);
+      if (!begun.ok()) {
+        end.status = begun;  // kUnavailable: transient, retried
+        return end;
+      }
+      if (!durable->active()) {
+        // degrade_on_write_error tolerated a failure: in-memory from here.
+        end.storage_warning = durable->warning().message();
+        durable.reset();
+      }
+    }
+  }
   EvalOptions options = entry->request.eval;
   // Scheduler concurrency comes from running many queries at once; each
   // evaluation itself is serial, which makes the byte-identity contract
@@ -252,14 +337,43 @@ Scheduler::AttemptEnd Scheduler::ExecuteAttempt(Entry* entry) {
   options.cancel = nullptr;
   options.metrics = nullptr;
   options.trace = nullptr;
+  options.durability = {};
+  if (durable.has_value()) {
+    options.durability.sink = &*durable;
+    if (resuming) {
+      options.durability.resume = true;
+      options.durability.resume_stage = recovered->resume_stage;
+      options.durability.resume_step = recovered->resume_step;
+    }
+  }
   std::optional<Instance> partial;
   options.partial = &partial;
   auto result = RunUnit(&universe, &*unit, input, options, &end.stats);
+  if (durable.has_value() && !durable->active()) {
+    // A mid-run write error was tolerated (degrade_on_write_error); the
+    // evaluation finished in memory, but the directory is stale.
+    end.storage_warning = durable->warning().message();
+    durable.reset();
+  }
   if (result.ok()) {
     end.facts = WriteFacts(*result);
+    if (durable.has_value()) {
+      Status s = durable->Finalize(*result);
+      // The answer is already in hand; a failed finalize only costs the
+      // next restart a re-evaluation, so record it and serve the result.
+      if (!s.ok()) end.storage_warning = s.message();
+    }
   } else {
     end.status = result.status();
-    if (partial.has_value()) end.facts = WriteFacts(*partial);
+    if (partial.has_value()) {
+      end.facts = WriteFacts(*partial);
+      if (durable.has_value()) {
+        // Snapshot-on-trip: fold the WAL into a snapshot of the rollback
+        // partial so the retry (or a later re-submission) replays nothing.
+        Status s = durable->Checkpoint(*partial);
+        if (!s.ok() && durable->active()) end.storage_warning = s.message();
+      }
+    }
   }
   return end;
 }
@@ -274,14 +388,28 @@ void Scheduler::FinishAttempt(Entry* entry, AttemptEnd end) {
   // Transient causes retry; organic trips at the query's own ceilings do
   // not (re-running would hit the same wall). A memory trip is transient
   // exactly when the scheduler caused it (tightened limit) or the fault
-  // injector did (the pressure that "eased" is synthetic).
+  // injector did (the pressure that "eased" is synthetic). A kUnavailable
+  // status is durable storage failing out from under the run (torn write,
+  // failed fsync, unreadable dir): the retry recovers from the persisted
+  // prefix and resumes, so it is transient by construction.
   bool transient =
       end.sched_fault || trip == TripReason::kFault ||
       trip == TripReason::kPreempted ||
+      end.status.code() == StatusCode::kUnavailable ||
       (trip == TripReason::kMemory &&
        ((governor != nullptr && governor->tightened()) || injected_alloc));
   if (entry->degraded || entry->preempted) entry->ever_intervened = true;
   entry->governor.reset();
+  if (!end.storage_warning.empty()) {
+    TraceLocked("STORAGE id=" + entry->request.id + " warn=\"" +
+                end.storage_warning + "\"");
+  }
+  if (end.resumed) {
+    TraceLocked("RESUME id=" + entry->request.id +
+                " stage=" + std::to_string(end.resume_stage) +
+                " step=" + std::to_string(end.resume_step) +
+                " attempt=" + std::to_string(entry->attempts));
+  }
   if (end.sched_fault) {
     TraceLocked("FAULT id=" + entry->request.id +
                 " attempt=" + std::to_string(entry->attempts));
@@ -319,6 +447,10 @@ void Scheduler::FinishAttempt(Entry* entry, AttemptEnd end) {
     result.stats = end.stats;
     result.attempts = entry->attempts;
     result.preempted = entry->ever_intervened;
+    result.resumed = end.resumed;
+    result.resume_stage = end.resume_stage;
+    result.resume_step = end.resume_step;
+    result.storage_warning = std::move(end.storage_warning);
     result.submit_tick = entry->submit_tick;
     result.finish_tick = NowTicksLocked();
     if (end.status.ok()) {

@@ -18,6 +18,7 @@
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "iql/eval.h"
+#include "storage/durable.h"
 
 namespace iqlkit {
 namespace server {
@@ -52,7 +53,8 @@ struct QueryRequest {
   // num_threads is forced to 1: scheduler concurrency comes from running
   // many queries at once on the shared pool, and a serial inner evaluation
   // makes byte-identity with a standalone serial run immediate. governor,
-  // partial, cancel, metrics, and trace are overwritten per attempt.
+  // partial, cancel, metrics, trace, and durability are overwritten per
+  // attempt.
   EvalOptions eval;
 };
 
@@ -74,6 +76,17 @@ struct QueryResult {
   EvalStats stats;    // last attempt's statistics
   int attempts = 0;   // evaluation attempts consumed (1 = no retries)
   bool preempted = false;  // a scheduler preemption/degrade hit any attempt
+  // Durability (data_dir set): the final attempt continued from persisted
+  // state instead of starting over. resume_stage/resume_step are where that
+  // attempt picked up -- stats.steps counts only the steps it executed, so
+  // resume_step + stats.steps for the resumed stage equals the step count
+  // of an uninterrupted run (the never-re-derives assertion).
+  bool resumed = false;
+  uint32_t resume_stage = 0;
+  uint64_t resume_step = 0;
+  // Non-empty when durable storage degraded to in-memory evaluation (dir
+  // unwritable, or a tolerated write error): the structured warning text.
+  std::string storage_warning;
   uint64_t submit_tick = 0;
   uint64_t finish_tick = 0;
 };
@@ -112,6 +125,19 @@ struct SchedulerOptions {
   // Event log: one line per scheduler event (ADMIT/REJECT/START/DEGRADE/
   // PREEMPT/TRIP/RETRY/COMPLETE/FAIL), each stamped with the tick.
   std::ostream* trace = nullptr;
+  // Durable evaluation root. When non-empty, every query gets a directory
+  // `<data_dir>/q-<id>` holding a checksummed snapshot of its input, a WAL
+  // frame per committed fixpoint step, and a final snapshot of its output.
+  // Each attempt recovers from that directory before evaluating, so a
+  // retried (preempted, degraded, crashed, storage-faulted) query resumes
+  // from its last committed step instead of re-deriving, and a finished
+  // query re-submitted after a restart is served from its final snapshot.
+  // Storage write failures surface as kUnavailable and are retried with
+  // backoff like any transient; an unwritable dir degrades that query to
+  // plain in-memory evaluation with QueryResult::storage_warning set.
+  std::string data_dir;
+  // Policy knobs (fsync, degrade-on-write-error) for the directories above.
+  storage::DurabilityConfig durability;
 };
 
 // The concurrent-query scheduler: owns one shared TaskPool and a global
@@ -192,6 +218,10 @@ class Scheduler {
     std::string facts;
     EvalStats stats;
     bool sched_fault = false;  // FaultSite::kScheduler fired at dispatch
+    bool resumed = false;      // continued from persisted state
+    uint32_t resume_stage = 0;
+    uint64_t resume_step = 0;
+    std::string storage_warning;  // degraded / unusable persisted state
   };
 
   uint64_t NowTicksLocked() const;

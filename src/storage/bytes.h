@@ -1,0 +1,103 @@
+#ifndef IQLKIT_STORAGE_BYTES_H_
+#define IQLKIT_STORAGE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace iqlkit {
+namespace storage {
+
+// Little-endian byte emitter for the on-disk formats. Fixed-width encodings
+// (no varints) keep the format trivially seekable and the golden images
+// stable; compactness comes from the file-local symbol/value tables, not
+// from integer packing.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void Bytes(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  // The build targets little-endian hosts only (x86-64 / aarch64); a
+  // byte-swapping port would localize here.
+  void Raw(const void* p, size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string out_;
+};
+
+// Bounds-checked little-endian reader. Overruns latch ok() to false and
+// yield zeros, so decoders can parse straight-line and check once per
+// record; counts must still be sanity-capped against remaining() before
+// reserving memory.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : data_(bytes) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Raw(&v, 2);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::string_view Str() {
+    uint32_t n = U32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void Raw(void* p, size_t n) {
+    if (n > remaining()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace storage
+}  // namespace iqlkit
+
+#endif  // IQLKIT_STORAGE_BYTES_H_

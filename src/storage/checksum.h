@@ -1,0 +1,37 @@
+#ifndef IQLKIT_STORAGE_CHECKSUM_H_
+#define IQLKIT_STORAGE_CHECKSUM_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace iqlkit {
+namespace storage {
+
+// CRC-32 (the reflected 0xEDB88320 polynomial, as in zlib/gzip) over a byte
+// range. Every on-disk payload — snapshot body and each WAL frame — carries
+// its CRC so recovery can tell a torn or bit-rotted tail from a complete
+// record without trusting lengths alone.
+inline uint32_t Crc32(std::string_view data, uint32_t crc = 0) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (unsigned char b : data) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace storage
+}  // namespace iqlkit
+
+#endif  // IQLKIT_STORAGE_CHECKSUM_H_

@@ -1,0 +1,207 @@
+#include "storage/codec.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iqlkit {
+namespace storage {
+
+namespace {
+
+int CompareStrings(std::string_view a, std::string_view b) {
+  return a < b ? -1 : a > b ? 1 : 0;
+}
+
+// Tuple fields sorted by attribute *name* (the store keeps them sorted by
+// symbol id, which is an interning-order artifact).
+std::vector<size_t> FieldOrderByName(const ValueStore& store,
+                                     const ValueNode& n) {
+  const SymbolTable& symbols = *store.symbols();
+  std::vector<size_t> order(n.fields.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return symbols.name(n.fields[a].first) < symbols.name(n.fields[b].first);
+  });
+  return order;
+}
+
+}  // namespace
+
+int CompareValuesByName(const ValueStore& store, ValueId a, ValueId b) {
+  if (a == b) return 0;
+  const SymbolTable& symbols = *store.symbols();
+  const ValueNode& na = store.node(a);
+  const ValueNode& nb = store.node(b);
+  if (na.kind != nb.kind) {
+    return static_cast<int>(na.kind) < static_cast<int>(nb.kind) ? -1 : 1;
+  }
+  switch (na.kind) {
+    case ValueKind::kConst:
+      return CompareStrings(symbols.name(na.atom), symbols.name(nb.atom));
+    case ValueKind::kOid:
+      return na.oid.raw < nb.oid.raw ? -1 : na.oid.raw > nb.oid.raw ? 1 : 0;
+    case ValueKind::kTuple: {
+      std::vector<size_t> oa = FieldOrderByName(store, na);
+      std::vector<size_t> ob = FieldOrderByName(store, nb);
+      size_t k = std::min(oa.size(), ob.size());
+      for (size_t i = 0; i < k; ++i) {
+        const auto& fa = na.fields[oa[i]];
+        const auto& fb = nb.fields[ob[i]];
+        int c = CompareStrings(symbols.name(fa.first), symbols.name(fb.first));
+        if (c != 0) return c;
+        c = CompareValuesByName(store, fa.second, fb.second);
+        if (c != 0) return c;
+      }
+      return oa.size() < ob.size() ? -1 : oa.size() > ob.size() ? 1 : 0;
+    }
+    case ValueKind::kSet: {
+      // Canonical set order already sorts elements structurally; re-sorting
+      // by name keeps the comparison interning-order independent.
+      std::vector<ValueId> ea = na.elems;
+      std::vector<ValueId> eb = nb.elems;
+      auto by_name = [&](ValueId x, ValueId y) {
+        return CompareValuesByName(store, x, y) < 0;
+      };
+      std::sort(ea.begin(), ea.end(), by_name);
+      std::sort(eb.begin(), eb.end(), by_name);
+      size_t k = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < k; ++i) {
+        int c = CompareValuesByName(store, ea[i], eb[i]);
+        if (c != 0) return c;
+      }
+      return ea.size() < eb.size() ? -1 : ea.size() > eb.size() ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
+uint32_t TableBuilder::SymRef(Symbol s) {
+  auto it = sym_index_.find(s);
+  if (it != sym_index_.end()) return it->second;
+  uint32_t ref = static_cast<uint32_t>(syms_.size());
+  sym_index_.emplace(s, ref);
+  syms_.push_back(s);
+  return ref;
+}
+
+uint64_t TableBuilder::MapOid(Oid o) const {
+  if (oid_map_ == nullptr) return o.raw;
+  auto it = oid_map_->find(o.raw);
+  return it == oid_map_->end() ? o.raw : it->second;
+}
+
+uint32_t TableBuilder::ValueRef(ValueId v) {
+  auto it = val_index_.find(v);
+  if (it != val_index_.end()) return it->second;
+  const ValueNode& n = store_->node(v);
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(n.kind));
+  switch (n.kind) {
+    case ValueKind::kConst:
+      w.U32(SymRef(n.atom));
+      break;
+    case ValueKind::kOid:
+      w.U64(MapOid(n.oid));
+      break;
+    case ValueKind::kTuple: {
+      w.U32(static_cast<uint32_t>(n.fields.size()));
+      for (size_t i : FieldOrderByName(*store_, n)) {
+        // Children recurse before this node's ref is assigned, keeping the
+        // table in children-first order.
+        uint32_t attr = SymRef(n.fields[i].first);
+        uint32_t child = ValueRef(n.fields[i].second);
+        w.U32(attr);
+        w.U32(child);
+      }
+      break;
+    }
+    case ValueKind::kSet: {
+      std::vector<ValueId> elems = n.elems;
+      std::sort(elems.begin(), elems.end(), [&](ValueId a, ValueId b) {
+        return CompareValuesByName(*store_, a, b) < 0;
+      });
+      w.U32(static_cast<uint32_t>(elems.size()));
+      for (ValueId e : elems) w.U32(ValueRef(e));
+      break;
+    }
+  }
+  uint32_t ref = static_cast<uint32_t>(nodes_.size());
+  val_index_.emplace(v, ref);
+  nodes_.push_back(w.Take());
+  return ref;
+}
+
+void TableBuilder::EmitSymbols(ByteWriter* w) const {
+  w->U32(static_cast<uint32_t>(syms_.size()));
+  for (Symbol s : syms_) w->Str(store_->symbols()->name(s));
+}
+
+void TableBuilder::EmitValues(ByteWriter* w) const {
+  w->U32(static_cast<uint32_t>(nodes_.size()));
+  for (const std::string& n : nodes_) w->Bytes(n);
+}
+
+bool TableReader::Read(ByteReader* r, Universe* universe) {
+  uint32_t nsyms = r->U32();
+  if (!r->ok() || nsyms > r->remaining() / 4) return false;
+  syms_.reserve(nsyms);
+  for (uint32_t i = 0; i < nsyms; ++i) {
+    std::string_view s = r->Str();
+    if (!r->ok()) return false;
+    syms_.push_back(universe->Intern(s));
+  }
+  uint32_t nvals = r->U32();
+  if (!r->ok() || nvals > r->remaining()) return false;
+  vals_.reserve(nvals);
+  ValueStore& values = universe->values();
+  for (uint32_t i = 0; i < nvals; ++i) {
+    uint8_t kind = r->U8();
+    switch (static_cast<ValueKind>(kind)) {
+      case ValueKind::kConst: {
+        uint32_t s = r->U32();
+        if (!r->ok() || !SymOk(s)) return false;
+        vals_.push_back(values.ConstSymbol(Sym(s)));
+        break;
+      }
+      case ValueKind::kOid: {
+        uint64_t raw = r->U64();
+        if (!r->ok()) return false;
+        vals_.push_back(values.OfOid(Oid{raw}));
+        break;
+      }
+      case ValueKind::kTuple: {
+        uint32_t nfields = r->U32();
+        if (!r->ok() || nfields > r->remaining() / 8) return false;
+        std::vector<std::pair<Symbol, ValueId>> fields;
+        fields.reserve(nfields);
+        for (uint32_t f = 0; f < nfields; ++f) {
+          uint32_t attr = r->U32();
+          uint32_t child = r->U32();
+          if (!r->ok() || !SymOk(attr) || !ValueOk(child)) return false;
+          fields.emplace_back(Sym(attr), Value(child));
+        }
+        vals_.push_back(values.Tuple(std::move(fields)));
+        break;
+      }
+      case ValueKind::kSet: {
+        uint32_t nelems = r->U32();
+        if (!r->ok() || nelems > r->remaining() / 4) return false;
+        std::vector<ValueId> elems;
+        elems.reserve(nelems);
+        for (uint32_t e = 0; e < nelems; ++e) {
+          uint32_t child = r->U32();
+          if (!r->ok() || !ValueOk(child)) return false;
+          elems.push_back(Value(child));
+        }
+        vals_.push_back(values.Set(std::move(elems)));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace iqlkit

@@ -1,0 +1,62 @@
+#ifndef IQLKIT_STORAGE_WAL_H_
+#define IQLKIT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "model/instance.h"
+#include "storage/io.h"
+
+namespace iqlkit {
+namespace storage {
+
+// Write-ahead log of governor-committed fixpoint steps (version 1):
+//
+//   header (16 bytes): magic "IQW1", u8 version, u8+u16 reserved,
+//                      u64 schema fingerprint
+//   then zero or more frames, each self-contained:
+//     u32 payload length | u32 payload CRC-32 | payload:
+//       u32 stage   u64 step   u64 next-oid counter after the step
+//       symbol table   value table   u32 op count, then per op:
+//         u8 kind   u32 name ref   u64 oid raw   u32 value ref   str text
+//
+// One frame per committed step. A frame is logically appended only once its
+// bytes (and, with fsync on, its durability) are complete; recovery scans
+// sequentially, stops at the first short/corrupt frame, and reports the
+// byte offset so the torn tail can be truncated before appending resumes.
+inline constexpr uint8_t kWalVersion = 1;
+
+// Serialized 16-byte header for a fresh log.
+std::string EncodeWalHeader(uint64_t schema_fingerprint);
+
+// Serializes one committed step as a frame. Values are resolved against
+// `commit.instance`'s universe; oids keep their exact raws.
+std::string EncodeWalFrame(const StepCommit& commit);
+
+struct WalRecovery {
+  uint64_t frames_replayed = 0;
+  bool tail_truncated = false;  // trailing bytes did not form a full frame
+  uint64_t valid_bytes = 0;     // prefix length holding header + full frames
+  // Coordinates of the last replayed frame (meaningful when frames > 0).
+  uint32_t last_stage = 0;
+  uint64_t last_step = 0;
+  uint64_t next_oid_raw = 0;
+};
+
+// Replays every complete frame of `bytes` onto `instance` through its
+// public mutators. A torn tail is normal (reported, not an error); a bad
+// header or a CRC-valid frame that fails to decode is InvalidArgument; a
+// fingerprint mismatch is FailedPrecondition.
+Result<WalRecovery> ReplayWal(std::string_view bytes,
+                              uint64_t expected_fingerprint,
+                              Instance* instance);
+
+// Truncates the log file to its valid prefix (recovery's valid_bytes).
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace storage
+}  // namespace iqlkit
+
+#endif  // IQLKIT_STORAGE_WAL_H_

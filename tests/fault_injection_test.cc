@@ -58,6 +58,7 @@ TEST_F(FaultInjectionTest, SiteNamesAreStable) {
   EXPECT_STREQ(FaultSiteName(FaultSite::kWorkerTask), "worker-task");
   EXPECT_STREQ(FaultSiteName(FaultSite::kGovernorTrip), "governor-trip");
   EXPECT_STREQ(FaultSiteName(FaultSite::kScheduler), "scheduler");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kStorage), "storage");
 }
 
 TEST_F(FaultInjectionTest, ParseSpecSchedulerSite) {
@@ -66,6 +67,15 @@ TEST_F(FaultInjectionTest, ParseSpecSchedulerSite) {
   EXPECT_DOUBLE_EQ(config->p_sched, 0.25);
   EXPECT_TRUE(config->enabled());
   EXPECT_FALSE(FaultInjector::ParseSpec("sched=2").ok());
+}
+
+TEST_F(FaultInjectionTest, ParseSpecStorageSite) {
+  auto config = FaultInjector::ParseSpec("seed=9,storage=0.25");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_DOUBLE_EQ(config->p_storage, 0.25);
+  EXPECT_TRUE(config->enabled());
+  EXPECT_FALSE(FaultInjector::ParseSpec("storage=2").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("storage=abc").ok());
 }
 
 // CI's soak jobs run this binary with IQLKIT_FAULTS exported; the env
@@ -102,6 +112,22 @@ TEST_F(FaultInjectionTest, MalformedEnvSpecDisablesInjectionEntirely) {
   Status status = FaultInjector::Global().ConfigureFromEnv();
   EXPECT_FALSE(status.ok());
   EXPECT_FALSE(FaultInjector::Global().config().enabled());
+  EXPECT_DOUBLE_EQ(FaultInjector::Global().config().p_alloc, 0.0);
+}
+
+TEST_F(FaultInjectionTest, MalformedStorageSpecDisablesInjectionEntirely) {
+  // The never-half-applied guarantee extends to the storage site: a typo
+  // anywhere in a spec that also sets storage= must not leave any site live.
+  FaultInjector::Config live;
+  live.seed = 3;
+  live.p_storage = 0.5;
+  live.p_alloc = 0.25;
+  FaultInjector::Global().Configure(live);
+  ScopedFaultsEnv env("storage=0.5,alloc=nope");
+  Status status = FaultInjector::Global().ConfigureFromEnv();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FaultInjector::Global().config().enabled());
+  EXPECT_DOUBLE_EQ(FaultInjector::Global().config().p_storage, 0.0);
   EXPECT_DOUBLE_EQ(FaultInjector::Global().config().p_alloc, 0.0);
 }
 

@@ -25,6 +25,15 @@
 //                          (tightens) or preempts running queries
 //   --max-retries=N        retry budget for transient failures (default 2)
 //   --retry-base=SECONDS   backoff base (default 0.05)
+//   --data-dir=DIR         durable evaluation: per-query snapshot + WAL
+//                          under DIR/q-<id>; retried queries resume from
+//                          their last committed step, finished queries are
+//                          served from their final snapshot after a
+//                          restart, tripped partials are snapshotted on
+//                          drain. An unwritable DIR degrades to in-memory
+//                          with a warning (exit status unaffected).
+//   --no-fsync             skip fsync on snapshots/WAL frames (crash-only
+//                          durability, for tests and benchmarks)
 //   --seed=N               seed for backoff jitter (and the trace, in
 //                          deterministic mode)
 //   --deterministic        virtual clock, serial execution, poll stride 1:
@@ -108,6 +117,10 @@ int main(int argc, char** argv) {
         sched.max_retries = std::stoi(arg.substr(14));
       } else if (arg.rfind("--retry-base=", 0) == 0) {
         sched.retry_base_seconds = std::stod(arg.substr(13));
+      } else if (arg.rfind("--data-dir=", 0) == 0) {
+        sched.data_dir = arg.substr(11);
+      } else if (arg == "--no-fsync") {
+        sched.durability.fsync = false;
       } else if (arg.rfind("--seed=", 0) == 0) {
         sched.seed = std::stoull(arg.substr(7));
       } else if (arg.rfind("--repeat=", 0) == 0) {
@@ -192,8 +205,16 @@ int main(int argc, char** argv) {
                 << " outcome=" << QueryOutcomeName(result.outcome)
                 << " attempts=" << result.attempts
                 << " ticks=" << (result.finish_tick - result.submit_tick);
+      if (result.resumed) {
+        std::cout << " resumed=" << result.resume_stage << "/"
+                  << result.resume_step << " steps=" << result.stats.steps;
+      }
       if (!result.status.ok()) std::cout << " status=" << result.status;
       std::cout << "\n";
+      if (!result.storage_warning.empty()) {
+        std::cerr << "iqlserve: " << p.id
+                  << ": storage warning: " << result.storage_warning << "\n";
+      }
       if (print_facts && !result.facts.empty()) {
         std::cout << result.facts;
       }

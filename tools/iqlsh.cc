@@ -57,12 +57,25 @@
 //   --max-memory=BYTES   evaluation memory ceiling (interned values +
 //                        derived facts, as metered by the governor's
 //                        accountant)
+//   --data-dir=DIR       durable evaluation: DIR holds a checksummed
+//                        snapshot plus a WAL frame per committed fixpoint
+//                        step. A re-run with the same DIR resumes a
+//                        partial (tripped/interrupted/crashed) run from
+//                        its last committed step and serves a finished
+//                        run's output straight from its final snapshot.
+//                        An unwritable DIR degrades to plain in-memory
+//                        evaluation with a warning on stderr.
+//   --no-fsync           skip fsync on snapshots/WAL frames (crash-only
+//                        durability, for tests and benchmarks)
 //
 // SIGINT (Ctrl-C) during evaluation cancels the running query instead of
 // killing the process: the governor rolls the instance back to the last
 // completed fixpoint step, iqlsh prints a partial-evaluation report, and
 // exits 130. Any other governor trip (deadline, memory, step/derivation
-// budgets) prints the same report and exits 3.
+// budgets) prints the same report and exits 3. With --data-dir, the
+// rolled-back partial is additionally flushed as a durable snapshot before
+// exiting (the WAL folds into it), so the next run resumes where Ctrl-C
+// landed; the exit code stays 130.
 
 #include <csignal>
 #include <fstream>
@@ -82,6 +95,7 @@
 #include "iql/typecheck.h"
 #include "model/dot.h"
 #include "model/universe.h"
+#include "storage/durable.h"
 
 namespace {
 
@@ -140,6 +154,8 @@ int main(int argc, char** argv) {
   uint64_t max_memory = 0;
   uint32_t num_threads = 1;
   bool threads_set = false;
+  std::string data_dir;
+  bool no_fsync = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -203,6 +219,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       num_threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
       threads_set = true;
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(11);
+    } else if (arg == "--no-fsync") {
+      no_fsync = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "iqlsh: unknown flag " << arg << "\n";
       return 2;
@@ -309,6 +329,55 @@ int main(int argc, char** argv) {
     if (!metrics_flag) return 0;
   }
 
+  // Durable state (--data-dir): recover a previous run of this unit from
+  // the directory before evaluating. A finished run is served straight
+  // from its final snapshot; a partial resumes from its last committed
+  // step; anything unusable (corrupt, different schema) is discarded with
+  // a warning and the run starts over.
+  std::shared_ptr<const Schema> full_schema(std::shared_ptr<const Schema>(),
+                                            &unit->schema);
+  std::optional<storage::QueryDurability> durable;
+  std::optional<storage::RecoveredRun> recovered;
+  std::optional<Instance> served;  // complete run recovered from snapshot
+  if (!data_dir.empty()) {
+    storage::DurabilityConfig dconfig;
+    dconfig.fsync = !no_fsync;
+    durable.emplace(storage::QueryDurability::Open(data_dir, dconfig));
+    if (!durable->active()) {
+      std::cerr << "iqlsh: " << durable->warning() << "\n";
+      durable.reset();
+    }
+  }
+  if (durable.has_value()) {
+    std::shared_ptr<const Schema> out_schema = full_schema;
+    if (!unit->output_names.empty()) {
+      auto projected = unit->schema.Project(unit->output_names);
+      if (!projected.ok()) return Fail(projected.status());
+      out_schema = std::make_shared<const Schema>(std::move(*projected));
+    }
+    auto rec = durable->Recover(full_schema, out_schema, &u);
+    if (!rec.ok()) {
+      if (rec.status().code() == StatusCode::kUnavailable) {
+        return Fail(rec.status());
+      }
+      std::cerr << "iqlsh: discarding unusable durable state: "
+                << rec.status() << "\n";
+    } else if (rec->has_value()) {
+      if ((*rec)->complete) {
+        std::cerr << "iqlsh: serving finished run from " << data_dir
+                  << "/snapshot.iqs\n";
+        served = std::move((*rec)->instance);
+      } else {
+        std::cerr << "iqlsh: resuming from " << data_dir << " at stage "
+                  << (*rec)->resume_stage << " step " << (*rec)->resume_step
+                  << " (" << (*rec)->frames_replayed << " wal frames"
+                  << ((*rec)->tail_truncated ? ", torn tail truncated" : "")
+                  << ")\n";
+        recovered = std::move(**rec);
+      }
+    }
+  }
+
   EvalOptions options;
   options.allow_deletions = allow_deletions;
   if (choose_max) {
@@ -334,10 +403,31 @@ int main(int argc, char** argv) {
   EvalMetrics metrics;
   if (metrics_flag) options.metrics = &metrics;
   EvalStats stats;
+  if (durable.has_value() && !served.has_value()) {
+    if (recovered.has_value()) {
+      options.durability.resume = true;
+      options.durability.resume_stage = recovered->resume_stage;
+      options.durability.resume_step = recovered->resume_step;
+    } else {
+      // The durable base snapshot covers the input as absorbed into the
+      // full schema -- the state evaluation actually starts from, and the
+      // schema every later WAL frame and partial snapshot is keyed to.
+      Instance base(full_schema, &u);
+      Status absorbed = base.Absorb(input);
+      if (!absorbed.ok()) return Fail(absorbed);
+      Status begun = durable->BeginRun(base);
+      if (!begun.ok()) return Fail(begun);
+    }
+    options.durability.sink = &*durable;
+  }
   // Cancel the running query on Ctrl-C instead of killing the process; the
   // governor rolls the instance back to the last completed step.
   std::signal(SIGINT, HandleSigint);
-  auto out = RunUnit(&u, &*unit, input, options, &stats);
+  auto out = served.has_value()
+                 ? Result<Instance>(std::move(*served))
+                 : RunUnit(&u, &*unit,
+                           recovered.has_value() ? recovered->instance : input,
+                           options, &stats);
   std::signal(SIGINT, SIG_DFL);
   if (!out.ok()) {
     if (stats.trip == TripReason::kNone) return Fail(out.status());
@@ -353,6 +443,17 @@ int main(int argc, char** argv) {
               << "  elapsed seconds: " << stats.elapsed_seconds << "\n"
               << "  peak memory:     " << stats.peak_memory_bytes << "\n";
     if (partial.has_value()) {
+      if (durable.has_value()) {
+        // Flush the rolled-back partial as a durable snapshot (the WAL
+        // folds into it) so the next --data-dir run resumes right here.
+        // The partial report and exit code are unchanged either way.
+        Status flushed = durable->Checkpoint(*partial);
+        if (flushed.ok()) {
+          std::cerr << "  durable snapshot flushed to " << data_dir << "\n";
+        } else {
+          std::cerr << "iqlsh: snapshot flush failed: " << flushed << "\n";
+        }
+      }
       if (write_facts) {
         std::cout << WriteFacts(*partial);
       } else {
@@ -362,6 +463,13 @@ int main(int argc, char** argv) {
     }
     if (metrics_flag) std::cerr << metrics.ToJson() << "\n";
     return stats.trip == TripReason::kCancelled ? 130 : 3;
+  }
+  if (durable.has_value() && !served.has_value()) {
+    Status finalized = durable->Finalize(*out);
+    if (!finalized.ok()) {
+      std::cerr << "iqlsh: could not finalize durable state: " << finalized
+                << "\n";
+    }
   }
 
   if (dot) {
