@@ -1,0 +1,184 @@
+// Serving-tier throughput and latency. The qps series runs the full
+// deterministic serve loop (simulated clients over in-memory duplexes,
+// real worker-pool scheduler underneath) and reports sustained completed
+// queries per second; the first-page series pumps one session by hand
+// and samples the wall-clock gap from QUERY to the terminal PAGE, so the
+// p50/p99 counters are true end-to-end wire latencies (frame encode,
+// admission, evaluation, page materialization, frame decode).
+// bench/run_all.sh records both under `.serve` in BENCH_RESULTS.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/scheduler.h"
+#include "server/serve_loop.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace iqlkit::bench {
+namespace {
+
+using server::Frame;
+using server::FrameDecoder;
+using server::FrameType;
+using server::MemoryDuplex;
+using server::MemoryStream;
+using server::Scheduler;
+using server::SchedulerOptions;
+using server::ServeOptions;
+using server::ServeSimulated;
+using server::Session;
+using server::SessionCloseName;
+using server::SessionOptions;
+using server::SimClientSpec;
+using server::SimQuery;
+using server::kWireVersion;
+
+// A self-contained transitive-closure unit over a deterministic random
+// graph: the server re-parses per query, so the facts ride in the source
+// text (exactly what a wire client submits).
+std::string TcSource(int nodes, int edges, uint32_t seed) {
+  std::ostringstream source;
+  source << "schema { relation E : [D, D]; relation TC : [D, D]; }\n"
+            "input E;\noutput TC;\ninstance {\n";
+  for (auto [a, b] : RandomGraph(nodes, edges, seed)) {
+    source << "  E([\"" << a << "\", \"" << b << "\"]);\n";
+  }
+  source << "}\nprogram {\n"
+            "  TC(x, y) :- E(x, y).\n"
+            "  TC(x, z) :- TC(x, y), E(y, z).\n"
+            "}\n";
+  return source.str();
+}
+
+// Sustained throughput: N simulated clients, 8 queries each, paged
+// results, no drain, real scheduler workers underneath. The rate counter
+// divides total delivered queries by wall time.
+void BM_Serve_Qps(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t queries_each = 8;
+  std::string source = TcSource(24, 48, 11);
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    SchedulerOptions sched;
+    sched.workers = 4;
+    Scheduler scheduler(sched);
+    ServeOptions options;
+    options.session.max_inflight = queries_each;
+    options.session.page_rows = 64;
+    std::vector<SimClientSpec> specs(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      specs[c].tenant = "bench-" + std::to_string(c);
+      for (size_t q = 0; q < queries_each; ++q) {
+        SimQuery query;
+        query.id = "q" + std::to_string(q);
+        query.source = source;
+        specs[c].queries.push_back(std::move(query));
+      }
+    }
+    auto outcome = ServeSimulated(&scheduler, options, specs,
+                                  /*drain_at_ms=*/0, /*max_ms=*/600000);
+    IQL_CHECK(outcome.stats.totals.delivered_completed ==
+              clients * queries_each)
+        << outcome.stats.totals.delivered_completed;
+    delivered += outcome.stats.totals.delivered_completed;
+  }
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(delivered),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Serve_Qps)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// One hand-pumped wire client against a real Session (the same frames a
+// TCP client sends), sampling QUERY -> terminal-PAGE wall latency.
+struct BenchClient {
+  MemoryDuplex duplex{1 << 22, 1 << 22};
+  MemoryStream server_end{&duplex, true};
+  MemoryStream client_end{&duplex, false};
+  FrameDecoder decoder;
+
+  void Send(const Frame& frame) {
+    IQL_CHECK(client_end.Write(server::EncodeFrame(frame)).ok());
+  }
+  std::optional<Frame> Poll() {
+    std::string chunk;
+    auto got = client_end.Read(&chunk, 1 << 16);
+    if (got.ok() && *got > 0) decoder.Feed(chunk);
+    auto next = decoder.Next();
+    IQL_CHECK(next.ok()) << next.status();
+    return *next;
+  }
+};
+
+void BM_Serve_FirstPage(benchmark::State& state) {
+  std::string source = TcSource(static_cast<int>(state.range(0)),
+                                2 * static_cast<int>(state.range(0)), 11);
+  SchedulerOptions sched;
+  sched.workers = 2;
+  Scheduler scheduler(sched);
+  SessionOptions options;
+  options.page_rows = 1 << 16;  // one page: first page == terminal page
+  BenchClient client;
+  Session session(1, &client.server_end, &scheduler, options, nullptr);
+  uint64_t now = 0;
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.body.SetInt("version", kWireVersion).SetString("tenant", "bench");
+  client.Send(hello);
+  session.Pump(++now);
+  IQL_CHECK(client.Poll().has_value());  // HELLO ack
+
+  std::vector<double> samples_us;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    std::string wire_id = "q" + std::to_string(id++);
+    Frame query;
+    query.type = FrameType::kQuery;
+    query.body.SetString("id", wire_id).SetString("source", source);
+    Frame want;
+    want.type = FrameType::kPage;
+    want.body.SetString("id", wire_id).SetInt("want", 0);
+    auto start = std::chrono::steady_clock::now();
+    client.Send(query);
+    client.Send(want);
+    // One virtual tick per query: the clock must not advance while the
+    // busy-wait spins, or the session's idle timeout would fire after a
+    // few real milliseconds of evaluation.
+    ++now;
+    for (;;) {
+      session.Pump(now);
+      IQL_CHECK(session.open()) << SessionCloseName(session.close_reason());
+      auto frame = client.Poll();
+      if (!frame.has_value()) continue;
+      IQL_CHECK(frame->type == FrameType::kPage)
+          << server::FrameTypeName(frame->type);
+      IQL_CHECK(frame->body.BoolOr("done", false));
+      break;
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    samples_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  auto quantile = [&](double q) {
+    size_t index = static_cast<size_t>(q * (samples_us.size() - 1));
+    return samples_us[index];
+  };
+  if (!samples_us.empty()) {
+    state.counters["p50_us"] = quantile(0.50);
+    state.counters["p99_us"] = quantile(0.99);
+  }
+}
+BENCHMARK(BM_Serve_FirstPage)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+}  // namespace iqlkit::bench

@@ -41,6 +41,8 @@ const char* FaultSiteName(FaultSite site) {
       return "scheduler";
     case FaultSite::kStorage:
       return "storage";
+    case FaultSite::kNetwork:
+      return "network";
   }
   return "unknown";
 }
@@ -83,6 +85,8 @@ Result<FaultInjector::Config> FaultInjector::ParseSpec(std::string_view spec) {
       IQL_ASSIGN_OR_RETURN(config.p_sched, ParseProbability(key, value));
     } else if (key == "storage") {
       IQL_ASSIGN_OR_RETURN(config.p_storage, ParseProbability(key, value));
+    } else if (key == "network") {
+      IQL_ASSIGN_OR_RETURN(config.p_network, ParseProbability(key, value));
     } else {
       return InvalidArgumentError("fault spec: unknown key '" +
                                   std::string(key) + "'");
@@ -135,6 +139,9 @@ bool FaultInjector::ShouldFail(FaultSite site) {
       break;
     case FaultSite::kStorage:
       p = config_.p_storage;
+      break;
+    case FaultSite::kNetwork:
+      p = config_.p_network;
       break;
   }
   if (p <= 0) return false;

@@ -21,16 +21,17 @@ enum class FaultSite : uint8_t {
   kGovernorTrip = 2, // Governor::CheckNow; forces a FAULT trip
   kScheduler = 3,    // scheduler dispatch; fails the attempt (retryable)
   kStorage = 4,      // durability I/O; short write / fsync fail / lost rename
+  kNetwork = 5,      // wire I/O; torn frame / disconnect / stall / refused accept
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 const char* FaultSiteName(FaultSite site);
 
 // Process-wide fault injector. Disabled (all probabilities zero) unless
 // configured explicitly or via the IQLKIT_FAULTS environment variable:
 //
-//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005,sched=0.01,storage=0.01"
+//   IQLKIT_FAULTS="seed=42,alloc=0.001,task=0.01,trip=0.0005,sched=0.01,storage=0.01,network=0.01"
 //
 // Probabilities are per-consultation in [0,1]; omitted keys default to 0.
 // The injector is intentionally a singleton: fault sites are sprinkled
@@ -45,10 +46,11 @@ class FaultInjector {
     double p_trip = 0;
     double p_sched = 0;
     double p_storage = 0;
+    double p_network = 0;
 
     bool enabled() const {
       return p_alloc > 0 || p_task > 0 || p_trip > 0 || p_sched > 0 ||
-             p_storage > 0;
+             p_storage > 0 || p_network > 0;
     }
   };
 

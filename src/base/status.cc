@@ -36,6 +36,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OVERLOAD";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kNetworkError:
+      return "NETWORK_ERROR";
   }
   return "UNKNOWN";
 }
@@ -92,6 +94,9 @@ Status OverloadedError(std::string_view message) {
 }
 Status UnavailableError(std::string_view message) {
   return Status(StatusCode::kUnavailable, std::string(message));
+}
+Status NetworkError(std::string_view message) {
+  return Status(StatusCode::kNetworkError, std::string(message));
 }
 
 }  // namespace iqlkit

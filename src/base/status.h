@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kQueueFull = 13,         // scheduler admission queue at capacity; backoff
   kOverloaded = 14,        // transient overload (quota, preemption); retry
   kUnavailable = 15,       // durable storage unreachable or torn; transient
+  kNetworkError = 16,      // wire-level failure (torn frame, disconnect, CRC)
 };
 
 // Returns a stable human-readable name, e.g. "TYPE_ERROR".
@@ -75,6 +76,7 @@ Status DeadlineExceededError(std::string_view message);
 Status QueueFullError(std::string_view message);
 Status OverloadedError(std::string_view message);
 Status UnavailableError(std::string_view message);
+Status NetworkError(std::string_view message);
 
 }  // namespace iqlkit
 

@@ -65,6 +65,8 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
       return "rejected";
     case QueryOutcome::kFailed:
       return "failed";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
   }
   return "failed";
 }
@@ -109,6 +111,12 @@ void Scheduler::TraceLocked(const std::string& line) {
 Result<uint64_t> Scheduler::Submit(QueryRequest request) {
   std::unique_lock<std::mutex> lock(mu_);
   ++counters_.submitted;
+  if (draining_) {
+    ++counters_.rejected_draining;
+    TraceLocked("REJECT id=" + request.id + " reason=DRAINING");
+    return UnavailableError(
+        "scheduler is draining; not accepting new queries");
+  }
   for (const auto& [ticket, entry] : entries_) {
     if (entry->request.id == request.id) {
       return InvalidArgumentError("duplicate query id '" + request.id + "'");
@@ -392,12 +400,20 @@ void Scheduler::FinishAttempt(Entry* entry, AttemptEnd end) {
   // status is durable storage failing out from under the run (torn write,
   // failed fsync, unreadable dir): the retry recovers from the persisted
   // prefix and resumes, so it is transient by construction.
+  // A kNetworkError is likewise environmental, not the query's fault
+  // (an injected or real wire failure while an attempt touched a remote
+  // resource); the retry runs against a healthy connection.
   bool transient =
       end.sched_fault || trip == TripReason::kFault ||
       trip == TripReason::kPreempted ||
       end.status.code() == StatusCode::kUnavailable ||
+      end.status.code() == StatusCode::kNetworkError ||
       (trip == TripReason::kMemory &&
        ((governor != nullptr && governor->tightened()) || injected_alloc));
+  // A cancelled query never retries (the caller asked it to stop), and a
+  // draining scheduler never retries (every attempt's end is terminal so
+  // shutdown converges).
+  if (entry->cancel_requested || draining_) transient = false;
   if (entry->degraded || entry->preempted) entry->ever_intervened = true;
   entry->governor.reset();
   if (!end.storage_warning.empty()) {
@@ -454,9 +470,19 @@ void Scheduler::FinishAttempt(Entry* entry, AttemptEnd end) {
     result.submit_tick = entry->submit_tick;
     result.finish_tick = NowTicksLocked();
     if (end.status.ok()) {
+      // A completion that raced a cancel still counts as completed: the
+      // answer is in hand and already checkpointed/finalized.
       result.outcome = QueryOutcome::kCompleted;
       ++counters_.completed;
       TraceLocked("COMPLETE id=" + entry->request.id +
+                  " attempts=" + std::to_string(entry->attempts));
+    } else if (entry->cancel_requested) {
+      result.outcome = QueryOutcome::kCancelled;
+      result.status = CancelledError(entry->cancel_reason.empty()
+                                         ? "query cancelled"
+                                         : entry->cancel_reason);
+      ++counters_.cancelled;
+      TraceLocked("CANCELLED id=" + entry->request.id +
                   " attempts=" + std::to_string(entry->attempts));
     } else if (trip != TripReason::kNone) {
       result.outcome = QueryOutcome::kTrippedPartial;
@@ -587,6 +613,81 @@ QueryResult Scheduler::Wait(uint64_t ticket) {
   Entry* entry = it->second.get();
   cv_.wait(lock, [&] { return entry->state == State::kDone; });
   return entry->result;
+}
+
+std::optional<QueryResult> Scheduler::TryWait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end() || it->second->state != State::kDone) {
+    return std::nullopt;
+  }
+  return it->second->result;
+}
+
+void Scheduler::CancelQueuedLocked(Entry* entry, const std::string& reason) {
+  entry->state = State::kDone;
+  --waiting_;
+  --class_load_[static_cast<int>(entry->request.cls)];
+  QueryResult& result = entry->result;
+  result.outcome = QueryOutcome::kCancelled;
+  result.status = CancelledError(reason);
+  result.attempts = entry->attempts;
+  result.submit_tick = entry->submit_tick;
+  result.finish_tick = NowTicksLocked();
+  ++counters_.cancelled;
+  TraceLocked("CANCELLED id=" + entry->request.id + " queued");
+}
+
+bool Scheduler::Cancel(uint64_t ticket, const std::string& reason) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) return false;
+  Entry* entry = it->second.get();
+  switch (entry->state) {
+    case State::kDone:
+      return false;
+    case State::kQueued:
+      CancelQueuedLocked(entry, reason);
+      cv_.notify_all();
+      return true;
+    case State::kRunning:
+      // The preemption trip surfaces at the victim's next poll;
+      // FinishAttempt sees cancel_requested and lands it terminal (its
+      // rollback partial checkpoints when durable storage is attached).
+      entry->cancel_requested = true;
+      entry->cancel_reason = reason;
+      TraceLocked("CANCEL id=" + entry->request.id + " running");
+      if (entry->governor != nullptr) entry->governor->Preempt();
+      return true;
+  }
+  return false;
+}
+
+void Scheduler::BeginDrain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  TraceLocked("DRAIN begin");
+}
+
+void Scheduler::PreemptAll(const std::string& reason) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [ticket, entry] : entries_) {
+    if (entry->state == State::kQueued) {
+      CancelQueuedLocked(entry.get(), reason);
+    } else if (entry->state == State::kRunning) {
+      entry->cancel_requested = true;
+      entry->cancel_reason = reason;
+      if (entry->governor != nullptr) entry->governor->Preempt();
+    }
+  }
+  TraceLocked("DRAIN preempt-all");
+  cv_.notify_all();
+}
+
+bool Scheduler::draining() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return draining_;
 }
 
 Scheduler::Counters Scheduler::counters() const {

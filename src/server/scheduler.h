@@ -59,13 +59,14 @@ struct QueryRequest {
 };
 
 // Terminal classification of a submitted query. Every admitted query ends
-// in exactly one of the first, second, or fourth states; rejection happens
-// at Submit time (the ticket is never issued).
+// in exactly one of the completed, tripped, failed, or cancelled states;
+// rejection happens at Submit time (the ticket is never issued).
 enum class QueryOutcome : uint8_t {
   kCompleted = 0,       // clean fixpoint; `facts` is the output instance
   kTrippedPartial = 1,  // governor trip; `facts` is the rolled-back partial
   kRejected = 2,        // never admitted (QUEUE_FULL / OVERLOAD)
   kFailed = 3,          // non-trip error (parse/type/injected dispatch fault)
+  kCancelled = 4,       // Cancel()ed by the caller, or shed by a drain
 };
 const char* QueryOutcomeName(QueryOutcome outcome);
 
@@ -172,6 +173,32 @@ class Scheduler {
   // deterministic mode this drives RunUntilIdle() first.
   QueryResult Wait(uint64_t ticket);
 
+  // Non-blocking peek: the result once the query is terminal, nullopt
+  // while it is still queued or running (or the ticket is unknown). Never
+  // drives execution -- deterministic-mode callers run the scheduler via
+  // RunUntilIdle() between polls.
+  std::optional<QueryResult> TryWait(uint64_t ticket);
+
+  // Cancels a submitted query: a queued entry goes terminal immediately
+  // (outcome kCancelled); a running entry is preempted at its next poll
+  // and lands terminal without retry, its rollback partial checkpointed
+  // when durable storage is attached. Returns false when the ticket is
+  // unknown or already terminal. `reason` is carried in the final Status.
+  bool Cancel(uint64_t ticket, const std::string& reason);
+
+  // Graceful-shutdown entry points (see serve_loop.h for the state
+  // machine that drives them):
+  //   BeginDrain  -- stop admitting (Submit rejects with UNAVAILABLE) and
+  //                  stop retrying: every in-flight attempt's next end is
+  //                  terminal. Running queries keep running -- the caller
+  //                  owns the grace window.
+  //   PreemptAll  -- end the grace window: preempt every running query
+  //                  (their partials checkpoint via the durability path)
+  //                  and cancel every queued one.
+  void BeginDrain();
+  void PreemptAll(const std::string& reason);
+  bool draining() const;
+
   // Runs until no query is waiting or running. In deterministic mode this
   // is the execution driver; in real mode it just blocks for quiescence.
   void RunUntilIdle();
@@ -184,6 +211,8 @@ class Scheduler {
     uint64_t completed = 0;
     uint64_t tripped_partial = 0;
     uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t rejected_draining = 0;  // Submit() while draining
     uint64_t retries = 0;
     uint64_t degradations = 0;  // TightenMemory interventions
     uint64_t preemptions = 0;   // Preempt() interventions
@@ -207,6 +236,8 @@ class Scheduler {
     bool degraded = false;   // this attempt was tightened
     bool preempted = false;  // this attempt was preempted
     bool ever_intervened = false;
+    bool cancel_requested = false;  // Cancel()/drain: next end is terminal
+    std::string cancel_reason;
     std::shared_ptr<Governor> governor;  // live while running
     QueryResult result;
     uint64_t submit_tick = 0;
@@ -226,6 +257,7 @@ class Scheduler {
 
   uint64_t NowTicksLocked() const;
   void TraceLocked(const std::string& line);
+  void CancelQueuedLocked(Entry* entry, const std::string& reason);
   // Picks the best dispatchable entry (priority desc, interactive first,
   // ticket asc, eligible_tick <= now); null when none.
   Entry* NextRunnableLocked();
@@ -253,6 +285,7 @@ class Scheduler {
   size_t class_load_[kNumQueryClasses] = {0, 0};  // waiting + running
   Counters counters_;
   bool shutdown_ = false;
+  bool draining_ = false;
 
   std::optional<TaskPool> pool_;       // real mode only
   std::optional<std::thread> timekeeper_;  // real mode only

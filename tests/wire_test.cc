@@ -1,0 +1,262 @@
+// Wire-protocol codec tests: frame layout, the flat-JSON payload subset,
+// incremental decoding, CRC detection of torn/corrupt frames, the bounded
+// in-memory streams, and FaultSite::kNetwork injection.
+
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "base/fault_injection.h"
+#include "storage/bytes.h"
+#include "storage/checksum.h"
+
+namespace iqlkit {
+namespace server {
+namespace {
+
+Frame MakeQuery(const std::string& id, const std::string& source) {
+  Frame f;
+  f.type = FrameType::kQuery;
+  f.body.SetString("id", id).SetString("source", source);
+  return f;
+}
+
+TEST(WireObject, TypedGettersEnforceKinds) {
+  WireObject obj;
+  obj.SetString("s", "hello").SetInt("n", -42).SetBool("b", true);
+  EXPECT_EQ(obj.GetString("s").value(), "hello");
+  EXPECT_EQ(obj.GetInt("n").value(), -42);
+  EXPECT_TRUE(obj.GetBool("b").value());
+  EXPECT_FALSE(obj.GetString("n").ok());
+  EXPECT_FALSE(obj.GetInt("missing").ok());
+  EXPECT_EQ(obj.GetInt("missing").status().code(), StatusCode::kNetworkError);
+  EXPECT_EQ(obj.StringOr("missing", "fb"), "fb");
+  EXPECT_EQ(obj.IntOr("s", 7), 7);  // wrong kind falls back too
+}
+
+TEST(WireObject, JsonRoundTripPreservesOrderAndValues) {
+  WireObject obj;
+  obj.SetString("id", "q1")
+      .SetInt("seq", 3)
+      .SetBool("done", false)
+      .SetString("data", "line \"quoted\"\nwith\ttabs\x01");
+  std::string json = obj.ToJson();
+  auto parsed = WireObject::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToJson(), json);  // deterministic re-encoding
+  EXPECT_EQ(parsed->GetString("data").value(), "line \"quoted\"\nwith\ttabs\x01");
+}
+
+TEST(WireObject, RefusesRichJson) {
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":[1,2]})").ok());
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":{"b":1}})").ok());
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":1.5})").ok());
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":1e3})").ok());
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":null})").ok());
+  EXPECT_FALSE(WireObject::FromJson(R"({"a":1} trailing)").ok());
+  EXPECT_FALSE(
+      WireObject::FromJson(R"({"a":99999999999999999999999})").ok());
+  EXPECT_TRUE(WireObject::FromJson(R"({})").ok());
+  EXPECT_TRUE(WireObject::FromJson(" { \"a\" : -3 } ").ok());
+}
+
+TEST(Framing, LayoutIsLengthTypeCrcPayload) {
+  Frame frame = MakeQuery("q", "src");
+  std::string bytes = EncodeFrame(frame);
+  std::string payload = frame.body.ToJson();
+  ASSERT_EQ(bytes.size(), 4 + 1 + 4 + payload.size());
+  storage::ByteReader r(bytes);
+  EXPECT_EQ(r.U32(), 1 + 4 + payload.size());                // len
+  EXPECT_EQ(r.U8(), static_cast<uint8_t>(FrameType::kQuery));  // type
+  std::string crc_input;
+  crc_input.push_back(static_cast<char>(FrameType::kQuery));
+  crc_input.append(payload);
+  EXPECT_EQ(r.U32(), storage::Crc32(crc_input));  // crc over type+payload
+  EXPECT_EQ(bytes.substr(9), payload);
+}
+
+TEST(Framing, DecoderReassemblesByteAtATime) {
+  std::string bytes = EncodeFrame(MakeQuery("q1", "a")) +
+                      EncodeFrame(MakeQuery("q2", "b"));
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (char c : bytes) {
+    decoder.Feed(std::string_view(&c, 1));
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status();
+      if (!next->has_value()) break;
+      frames.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].body.GetString("id").value(), "q1");
+  EXPECT_EQ(frames[1].body.GetString("id").value(), "q2");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Framing, CrcMismatchPoisonsTheDecoder) {
+  std::string bytes = EncodeFrame(MakeQuery("q1", "a"));
+  bytes[bytes.size() - 1] ^= 0x40;  // flip a payload bit
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kNetworkError);
+  // Sticky: feeding a good frame afterwards cannot resynchronize.
+  decoder.Feed(EncodeFrame(MakeQuery("q2", "b")));
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(Framing, OversizeAndUndersizeLengthsAreRejected) {
+  {
+    storage::ByteWriter w;
+    w.U32(1 + 4 + kMaxFramePayload + 1);
+    FrameDecoder decoder;
+    decoder.Feed(w.Take());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {
+    storage::ByteWriter w;
+    w.U32(3);  // below the 5-byte frame header
+    FrameDecoder decoder;
+    decoder.Feed(w.Take());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+}
+
+TEST(Framing, UnknownTypeByteIsRejected) {
+  std::string payload = "{}";
+  std::string crc_input;
+  crc_input.push_back(static_cast<char>(17));
+  crc_input.append(payload);
+  storage::ByteWriter w;
+  w.U32(static_cast<uint32_t>(1 + 4 + payload.size()));
+  w.U8(17);
+  w.U32(storage::Crc32(crc_input));
+  w.Bytes(payload);
+  FrameDecoder decoder;
+  decoder.Feed(w.Take());
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("unknown frame type"),
+            std::string::npos);
+}
+
+TEST(MemoryStreams, DuplexMovesBytesAndSignalsEof) {
+  MemoryDuplex duplex;
+  MemoryStream client(&duplex, /*server_side=*/false);
+  MemoryStream server(&duplex, /*server_side=*/true);
+  ASSERT_TRUE(client.Write("hello").ok());
+  std::string got;
+  ASSERT_EQ(server.Read(&got, 64).value(), 5u);
+  EXPECT_EQ(got, "hello");
+  // Empty and open: would-block, not EOF.
+  got.clear();
+  EXPECT_EQ(server.Read(&got, 64).value(), 0u);
+  EXPECT_FALSE(server.closed());
+  client.Close();
+  EXPECT_EQ(server.Read(&got, 64).value(), 0u);
+  EXPECT_TRUE(server.closed());
+}
+
+TEST(MemoryStreams, BoundedPipeStallsWholeFrames) {
+  MemoryDuplex duplex(/*capacity=*/8);
+  MemoryStream client(&duplex, /*server_side=*/false);
+  Status first = client.Write("12345678");
+  ASSERT_TRUE(first.ok());
+  Status stalled = client.Write("9");
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_TRUE(IsStallError(stalled));
+  // All-or-nothing: the stalled byte was not queued, so draining and
+  // retrying cannot duplicate anything.
+  std::string got;
+  MemoryStream server(&duplex, /*server_side=*/true);
+  ASSERT_EQ(server.Read(&got, 64).value(), 8u);
+  ASSERT_TRUE(client.Write("9").ok());
+  ASSERT_EQ(server.Read(&got, 64).value(), 1u);
+  EXPECT_EQ(got, "123456789");
+}
+
+class NetworkFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    unsetenv("IQLKIT_FAULTS");
+  }
+
+  void Arm(const std::string& spec) {
+    auto config = FaultInjector::ParseSpec(spec);
+    ASSERT_TRUE(config.ok()) << config.status();
+    FaultInjector::Global().Configure(*config);
+  }
+};
+
+TEST_F(NetworkFaultTest, SpecParsesAndModesCycle) {
+  Arm("network=1.0,seed=5");
+  NetworkFaultMode mode;
+  // p=1: every draw injects; modes cycle by injected count (n%3 with the
+  // same mapping as the storage site's short-write/fsync/lost-rename).
+  ASSERT_TRUE(InjectNetworkFault(&mode));
+  EXPECT_EQ(mode, NetworkFaultMode::kTornWrite);  // count 1
+  ASSERT_TRUE(InjectNetworkFault(&mode));
+  EXPECT_EQ(mode, NetworkFaultMode::kDisconnect);  // count 2
+  ASSERT_TRUE(InjectNetworkFault(&mode));
+  EXPECT_EQ(mode, NetworkFaultMode::kStall);  // count 3
+  ASSERT_TRUE(InjectNetworkFault(&mode));
+  EXPECT_EQ(mode, NetworkFaultMode::kTornWrite);  // count 4
+}
+
+TEST_F(NetworkFaultTest, MalformedNetworkSpecFullyResets) {
+  // Malformed network= values are structured parse errors, exactly like
+  // the storage site's.
+  EXPECT_FALSE(FaultInjector::ParseSpec("network=banana").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("network=1.5").ok());
+  EXPECT_FALSE(FaultInjector::ParseSpec("network=0.5,bogus=1").ok());
+  // And via the environment: a bad spec never half-applies on top of a
+  // live config -- the injector is fully reset.
+  Arm("network=1.0,seed=1");
+  setenv("IQLKIT_FAULTS", "network=0.5,storage=nope", 1);
+  EXPECT_FALSE(FaultInjector::Global().ConfigureFromEnv().ok());
+  NetworkFaultMode mode;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(InjectNetworkFault(&mode));
+  }
+}
+
+TEST_F(NetworkFaultTest, TornWriteDeliversAPrefixThenKillsTheStream) {
+  Arm("network=1.0,seed=3");
+  MemoryDuplex duplex;
+  MemoryStream raw(&duplex, /*server_side=*/false);
+  FaultyStream faulty(&raw);
+  std::string frame = EncodeFrame(MakeQuery("q", "some source text"));
+  Status wrote = faulty.Write(frame);  // first injection: torn write
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.code(), StatusCode::kNetworkError);
+  MemoryStream server(&duplex, /*server_side=*/true);
+  std::string got;
+  ASSERT_TRUE(server.Read(&got, 1 << 16).ok());
+  EXPECT_EQ(got.size(), frame.size() / 2);  // exactly half reached the wire
+  // The receiver's decoder refuses the torn frame: either it waits for
+  // bytes that never come (stream closed) or the CRC fails.
+  FrameDecoder decoder;
+  decoder.Feed(got);
+  auto next = decoder.Next();
+  if (next.ok()) {
+    EXPECT_FALSE(next->has_value());
+    EXPECT_TRUE(server.closed());
+  }
+}
+
+TEST_F(NetworkFaultTest, StallErrorsAreDistinguished) {
+  EXPECT_TRUE(IsStallError(NetworkError("injected write stall: slow client")));
+  EXPECT_FALSE(IsStallError(NetworkError("injected disconnect on write")));
+  EXPECT_FALSE(IsStallError(UnavailableError("stall")));  // wrong code
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace iqlkit
